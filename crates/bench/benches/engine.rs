@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the simulation substrate itself: event throughput
+//! of the engine and the two contention models (processor-sharing vs FIFO,
+//! the DESIGN.md disk-model ablation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rh_sim::engine::{Scheduler, Simulation, World};
+use rh_sim::queue::FifoResource;
+use rh_sim::resource::PsResource;
+use rh_sim::time::{SimDuration, SimTime};
+
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, sched: &mut Scheduler<()>, _ev: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("event_chain_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(Chain { remaining: 100_000 });
+                sim.scheduler_mut().schedule_in(SimDuration::ZERO, ());
+                sim
+            },
+            |mut sim| {
+                sim.run_until_idle();
+                assert_eq!(sim.world().remaining, 0);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("schedule_cancel_10k", |b| {
+        b.iter_batched(
+            || Simulation::new(Chain { remaining: 0 }),
+            |mut sim| {
+                let handles: Vec<_> = (0..10_000)
+                    .map(|i| {
+                        sim.scheduler_mut()
+                            .schedule_at(SimTime::from_micros(i + 1), ())
+                    })
+                    .collect();
+                for h in handles {
+                    sim.scheduler_mut().cancel(h);
+                }
+                sim.run_until_idle();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// The disk-model ablation: drain 11 × 1 GiB transfers through the
+/// processor-sharing model (the paper-calibrated disk) vs a FIFO queue.
+fn bench_contention_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention_ablation");
+    const GIB: f64 = (1u64 << 30) as f64;
+    g.bench_function("processor_sharing_11_streams", |b| {
+        b.iter(|| {
+            let mut disk = PsResource::new(85.0e6).with_contention_penalty(0.0518);
+            let mut now = SimTime::ZERO;
+            for _ in 0..11 {
+                disk.submit(now, GIB);
+            }
+            while let Some(next) = disk.next_completion(now) {
+                now = next;
+                disk.take_completed(now);
+            }
+            now
+        })
+    });
+    g.bench_function("fifo_11_streams", |b| {
+        b.iter(|| {
+            let mut disk = FifoResource::new(1);
+            let service = SimDuration::from_secs_f64(GIB / 85.0e6);
+            for _ in 0..11 {
+                disk.submit(SimTime::ZERO, service);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(next) = disk.next_completion() {
+                last = next;
+                disk.take_completed(next);
+            }
+            last
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_contention_models);
+criterion_main!(benches);

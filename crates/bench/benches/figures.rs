@@ -1,0 +1,153 @@
+//! Criterion benches, one group per paper table/figure.
+//!
+//! Each bench runs the figure's underlying simulated experiment at a
+//! reduced scale (the `--bin fig*` binaries run the full sweeps), so the
+//! bench suite doubles as a regression harness for both the *results* (the
+//! returned durations are asserted against the paper's shape) and the
+//! *performance* of the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_guest::services::ServiceKind;
+use rh_vmm::config::RebootStrategy;
+use rh_vmm::harness::booted_host;
+
+fn bench_fig45_task_times(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fig5_task_times");
+    g.sample_size(10);
+    g.bench_function("measure_tasks_3gib_vm", |b| {
+        b.iter(|| {
+            let t = rh_bench::fig45::measure_tasks(|| {
+                rh_bench::util::booted_single_vm(3, ServiceKind::Ssh)
+            });
+            assert!(t.onmem_suspend < 0.2);
+            assert!(t.save > 3.0 * t.onmem_resume);
+            t
+        })
+    });
+    g.bench_function("measure_tasks_4_vms", |b| {
+        b.iter(|| {
+            let t =
+                rh_bench::fig45::measure_tasks(|| rh_bench::util::booted_n_vms(4, ServiceKind::Ssh));
+            assert!(t.boot > 10.0);
+            t
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_downtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_downtime");
+    g.sample_size(10);
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Cold,
+        RebootStrategy::Saved,
+    ] {
+        g.bench_function(format!("reboot_{strategy}_5vms"), |b| {
+            b.iter(|| {
+                let mut sim = booted_host(5, ServiceKind::Ssh);
+                let report = sim.reboot_and_wait(strategy);
+                assert!(report.corrupted.is_empty());
+                report.mean_downtime()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sec52_quick_reload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec52_quick_reload");
+    g.sample_size(10);
+    g.bench_function("quick_vs_reset", |b| {
+        b.iter(|| {
+            let r = rh_bench::sec52::run();
+            assert!(r.saving() > 40.0);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_sec53_availability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec53_availability");
+    g.sample_size(10);
+    g.bench_function("os_rejuvenation", |b| {
+        b.iter(|| {
+            let mut sim = booted_host(3, ServiceKind::Jboss);
+            sim.os_reboot_and_wait(rh_vmm::domain::DomainId(1))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_trace");
+    g.sample_size(10);
+    g.bench_function("warm_throughput_trace", |b| {
+        b.iter(|| {
+            let t = rh_bench::fig7::run(RebootStrategy::Warm);
+            assert!(t.after_ratio() > 0.9);
+            t.steady_before
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_throughput");
+    g.sample_size(10);
+    g.bench_function("file_read_cold", |b| {
+        b.iter(|| {
+            let r = rh_bench::fig8::file_read(RebootStrategy::Cold);
+            assert!(r.degradation() > 0.8);
+            r
+        })
+    });
+    g.bench_function("web_cold_500_files", |b| {
+        b.iter(|| {
+            let r = rh_bench::fig8::web(RebootStrategy::Cold, 500);
+            assert!(r.degradation() > 0.4);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_sec56_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec56_model_fit");
+    g.sample_size(10);
+    g.bench_function("three_point_sweep", |b| {
+        b.iter(|| {
+            let r = rh_bench::sec56::run([1u32, 5, 9].into_iter());
+            assert!(r.fitted.saving(11.0, 0.5) > 0.0);
+            r.fitted
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_cluster");
+    g.sample_size(10);
+    g.bench_function("analytic_plus_rolling", |b| {
+        b.iter(|| {
+            let r = rh_bench::fig9::run(4, 215.0, 3);
+            assert!(r.warm_loss < r.cold_loss);
+            r.warm_loss
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig45_task_times,
+    bench_fig6_downtime,
+    bench_sec52_quick_reload,
+    bench_sec53_availability,
+    bench_fig7_trace,
+    bench_fig8_throughput,
+    bench_sec56_fit,
+    bench_fig9_cluster,
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Runs the DESIGN.md ablations.
+fn main() {
+    let s = rh_bench::ablations::suspend_order(11);
+    let r = rh_bench::ablations::reservation_order();
+    println!("{}", rh_bench::ablations::render(&s, &r));
+    let d = rh_bench::ablations::driver_domains(11, 2);
+    println!("{}", rh_bench::ablations::render_driver_domains(&d));
+}

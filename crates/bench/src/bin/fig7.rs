@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: reboot phase breakdown + web throughput trace.
+use rh_vmm::config::RebootStrategy;
+fn main() {
+    for strategy in [RebootStrategy::Warm, RebootStrategy::Cold] {
+        let trace = rh_bench::fig7::run(strategy);
+        println!("{}", rh_bench::fig7::render_phases(&trace));
+        println!("throughput trace (50-request windows), CSV:");
+        println!("{}", trace.series.to_csv());
+    }
+}

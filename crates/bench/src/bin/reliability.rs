@@ -1,0 +1,7 @@
+//! Runs the reliability experiment: reactive vs time-based vs adaptive
+//! rejuvenation under an injected VMM heap leak.
+use rh_sim::time::SimDuration;
+fn main() {
+    let r = rh_bench::reliability::run(4, SimDuration::from_secs(24 * 3600));
+    println!("{}", rh_bench::reliability::render(&r));
+}

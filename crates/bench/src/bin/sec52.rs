@@ -1,0 +1,5 @@
+//! Regenerates §5.2: quick reload vs hardware reset.
+fn main() {
+    let r = rh_bench::sec52::run();
+    println!("{}", rh_bench::sec52::render(&r));
+}

@@ -1,0 +1,5 @@
+//! Regenerates §5.3: availability comparison.
+fn main() {
+    let r = rh_bench::sec53::run();
+    println!("{}", rh_bench::sec53::render(&r));
+}

@@ -1,0 +1,5 @@
+//! Regenerates §5.6: least-squares extraction of the downtime model.
+fn main() {
+    let r = rh_bench::sec56::run(1..=11);
+    println!("{}", rh_bench::sec56::render(&r));
+}

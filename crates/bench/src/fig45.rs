@@ -1,0 +1,166 @@
+//! Figures 4 and 5: time for pre- and post-reboot tasks.
+//!
+//! * **Fig. 4** — one VM, memory size swept 1..=11 GiB: on-memory
+//!   suspend/resume is flat, Xen's save/restore grows linearly with memory,
+//!   shutdown/boot is flat.
+//! * **Fig. 5** — 1..=11 VMs of 1 GiB: everything grows with `n`, but
+//!   on-memory suspend/resume stays orders of magnitude below the rest.
+
+use rh_guest::services::ServiceKind;
+use rh_vmm::config::RebootStrategy;
+use rh_vmm::harness::HostSim;
+
+use crate::util::{booted_n_vms, booted_single_vm, secs2, Table};
+
+/// Pre/post-reboot task times (seconds) for one configuration, one row of
+/// Fig. 4 or 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTimes {
+    /// On-memory suspend of all VMs (warm pre-reboot task).
+    pub onmem_suspend: f64,
+    /// On-memory resume of all VMs (warm post-reboot task).
+    pub onmem_resume: f64,
+    /// Xen-style save to disk (saved pre-reboot task).
+    pub save: f64,
+    /// Xen-style restore from disk (saved post-reboot task).
+    pub restore: f64,
+    /// Guest OS shutdown (cold pre-reboot task).
+    pub shutdown: f64,
+    /// Guest OS boot including service start (cold post-reboot task).
+    pub boot: f64,
+}
+
+fn span(sim: &HostSim, name: &str) -> f64 {
+    sim.host()
+        .metrics
+        .duration_of(name)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN)
+}
+
+/// Measures all six task times by running one reboot of each strategy on
+/// fresh hosts built by `make`.
+pub fn measure_tasks(make: impl Fn() -> HostSim) -> TaskTimes {
+    let mut warm = make();
+    warm.reboot_and_wait(RebootStrategy::Warm);
+    let mut saved = make();
+    saved.reboot_and_wait(RebootStrategy::Saved);
+    let mut cold = make();
+    cold.reboot_and_wait(RebootStrategy::Cold);
+    TaskTimes {
+        onmem_suspend: span(&warm, "suspend"),
+        onmem_resume: span(&warm, "resume"),
+        save: span(&saved, "save"),
+        restore: span(&saved, "restore"),
+        shutdown: span(&cold, "guest shutdown"),
+        boot: span(&cold, "guest boot"),
+    }
+}
+
+/// Fig. 4 sweep: `(mem_gib, times)` for 1..=11 GiB, single VM.
+pub fn fig4(sizes: impl Iterator<Item = u64>) -> Vec<(u64, TaskTimes)> {
+    sizes
+        .map(|gib| {
+            (
+                gib,
+                measure_tasks(|| booted_single_vm(gib, ServiceKind::Ssh)),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 5 sweep: `(n, times)` for 1..=11 VMs of 1 GiB.
+pub fn fig5(counts: impl Iterator<Item = u32>) -> Vec<(u32, TaskTimes)> {
+    counts
+        .map(|n| (n, measure_tasks(|| booted_n_vms(n, ServiceKind::Ssh))))
+        .collect()
+}
+
+/// Renders a sweep as a table with the given x-axis label.
+pub fn render<T: std::fmt::Display>(title: &str, x_label: &str, rows: &[(T, TaskTimes)]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            x_label,
+            "onmem-suspend",
+            "onmem-resume",
+            "xen-save",
+            "xen-restore",
+            "shutdown",
+            "boot",
+        ],
+    );
+    for (x, v) in rows {
+        t.row(vec![
+            x.to_string(),
+            secs2(v.onmem_suspend),
+            secs2(v.onmem_resume),
+            secs2(v.save),
+            secs2(v.restore),
+            secs2(v.shutdown),
+            secs2(v.boot),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_suspend_flat_save_linear() {
+        // Three points are enough to check the shape in a unit test; the
+        // bench binary runs the full 1..=11 sweep.
+        let rows = fig4([1u64, 6, 11].into_iter());
+        let (_, t1) = rows[0];
+        let (_, t11) = rows[2];
+        // On-memory suspend/resume hardly depends on memory size.
+        assert!(t1.onmem_suspend < 0.2 && t11.onmem_suspend < 0.2);
+        assert!((t11.onmem_resume - t1.onmem_resume).abs() < 1.0);
+        // Xen's save/restore is memory-proportional: ~12.6 s/GiB.
+        assert!(t11.save / t1.save > 8.0, "save {} -> {}", t1.save, t11.save);
+        assert!((t11.save - 139.0).abs() < 10.0, "save(11GiB) = {}", t11.save);
+        assert!((t11.restore - 139.0).abs() < 10.0);
+        // Shutdown/boot do not depend on memory size.
+        assert!((t11.shutdown - t1.shutdown).abs() < 1.0);
+        assert!((t11.boot - t1.boot).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig5_shape_everything_grows_but_onmem_stays_tiny() {
+        let rows = fig5([1u32, 11].into_iter());
+        let (_, t1) = rows[0];
+        let (_, t11) = rows[1];
+        // Paper: at 11 VMs suspend 0.04 s, resume 4.2 s.
+        assert!(t11.onmem_suspend < 0.2, "suspend(11) = {}", t11.onmem_suspend);
+        assert!((t11.onmem_resume - 4.2).abs() < 1.0, "resume(11) = {}", t11.onmem_resume);
+        // Save ≈ 200 s and restore ≈ 156 s at 11 VMs (paper Fig. 5).
+        assert!((t11.save - 200.0).abs() < 30.0, "save(11) = {}", t11.save);
+        assert!((t11.restore - 156.0).abs() < 30.0, "restore(11) = {}", t11.restore);
+        // Boot grows largely with n.
+        assert!(t11.boot > t1.boot + 20.0, "boot {} -> {}", t1.boot, t11.boot);
+        // On-memory resume is ~2.7 % of Xen's restore (paper: 2.7 %).
+        let ratio = t11.onmem_resume / t11.restore;
+        assert!(ratio < 0.05, "resume/restore ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn render_produces_full_rows() {
+        let rows = vec![(
+            1u32,
+            TaskTimes {
+                onmem_suspend: 0.03,
+                onmem_resume: 0.4,
+                save: 12.6,
+                restore: 12.6,
+                shutdown: 10.8,
+                boot: 7.0,
+            },
+        )];
+        let t = render("fig5", "n", &rows);
+        let s = t.render();
+        assert!(s.contains("onmem-suspend"));
+        assert!(s.contains("12.60"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # rh-bench — the experiment harness
+//!
+//! One module (and one binary) per table/figure of the paper's evaluation,
+//! regenerating each result from the simulated host. See DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+//!
+//! | module | paper result |
+//! |--------|--------------|
+//! | [`fig45`] | Figs. 4 & 5 — pre/post-reboot task times vs memory size and VM count |
+//! | [`sec52`] | §5.2 — quick reload vs hardware reset |
+//! | [`fig6`]  | Fig. 6 — service downtime (ssh / JBoss) per strategy |
+//! | [`sec53`] | §5.3 — availability (four nines vs three) |
+//! | [`fig7`]  | Fig. 7 — downtime breakdown + throughput trace |
+//! | [`fig8`]  | Fig. 8 — file-read and web throughput before/after |
+//! | [`sec56`] | §5.6 — least-squares model extraction |
+//! | [`fig9`]  | Fig. 9 / §6 — cluster total throughput |
+//! | [`ablations`] | DESIGN.md ablations (suspend ordering, reservation order, driver domains) |
+//! | [`reliability`] | proactive vs adaptive vs reactive rejuvenation under injected aging |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod reliability;
+pub mod sec52;
+pub mod sec53;
+pub mod sec56;
+pub mod util;

@@ -1,0 +1,84 @@
+//! §5.2: effect of quick reload — VMM reboot time with and without a
+//! hardware reset.
+//!
+//! The paper measures the time from the completion of the shutdown scripts
+//! to the completion of the VMM reboot: **11 s** with quick reload versus
+//! **59 s** with a hardware reset — a 48 s saving.
+
+use rh_guest::services::ServiceKind;
+use rh_vmm::config::RebootStrategy;
+
+use crate::util::booted_single_vm;
+
+/// §5.2 measurements (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuickReloadResult {
+    /// VMM reboot via quick reload.
+    pub quick_reload: f64,
+    /// VMM reboot via hardware reset (reset + VMM init).
+    pub hardware_reset: f64,
+}
+
+impl QuickReloadResult {
+    /// Seconds saved by quick reload.
+    pub fn saving(&self) -> f64 {
+        self.hardware_reset - self.quick_reload
+    }
+}
+
+/// Measures both paths on single-VM hosts.
+pub fn run() -> QuickReloadResult {
+    let mut warm = booted_single_vm(1, ServiceKind::Ssh);
+    warm.reboot_and_wait(RebootStrategy::Warm);
+    let quick = warm
+        .host()
+        .metrics
+        .duration_of("quick reload")
+        .expect("warm reboot records quick reload")
+        .as_secs_f64();
+    let mut cold = booted_single_vm(1, ServiceKind::Ssh);
+    cold.reboot_and_wait(RebootStrategy::Cold);
+    let reset = cold
+        .host()
+        .metrics
+        .duration_of("hardware reset")
+        .expect("cold reboot records the reset")
+        .as_secs_f64();
+    let vmm_boot = cold
+        .host()
+        .metrics
+        .duration_of("vmm boot")
+        .expect("cold reboot records vmm boot")
+        .as_secs_f64();
+    QuickReloadResult {
+        quick_reload: quick,
+        hardware_reset: reset + vmm_boot,
+    }
+}
+
+/// Renders the comparison.
+pub fn render(r: &QuickReloadResult) -> String {
+    format!(
+        "## sec5.2 quick reload\n\
+         quick reload   : {:>5.1} s   (paper: 11 s)\n\
+         hardware reset : {:>5.1} s   (paper: 59 s)\n\
+         saving         : {:>5.1} s   (paper: 48 s)\n",
+        r.quick_reload,
+        r.hardware_reset,
+        r.saving()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers() {
+        let r = run();
+        assert!((r.quick_reload - 11.0).abs() < 1.0, "quick {:.1}", r.quick_reload);
+        assert!((r.hardware_reset - 59.0).abs() < 6.0, "hw {:.1}", r.hardware_reset);
+        assert!((r.saving() - 48.0).abs() < 7.0, "saving {:.1}", r.saving());
+        assert!(render(&r).contains("quick reload"));
+    }
+}

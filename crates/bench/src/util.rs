@@ -1,0 +1,152 @@
+//! Shared experiment plumbing: host construction and table rendering.
+
+use rh_guest::services::ServiceKind;
+use rh_vmm::config::HostConfig;
+use rh_vmm::domain::DomainSpec;
+use rh_vmm::harness::HostSim;
+
+/// A booted host with a single VM of `mem_gib` GiB running `service`
+/// (the Fig. 4 configuration).
+pub fn booted_single_vm(mem_gib: u64, service: ServiceKind) -> HostSim {
+    let spec = DomainSpec::standard("vm1", service).with_mem_bytes(mem_gib << 30);
+    let cfg = HostConfig::paper_testbed().with_domain(spec).with_trace(false);
+    let mut sim = HostSim::new(cfg);
+    sim.power_on_and_wait();
+    sim
+}
+
+/// A booted host with `n` standard 1 GiB VMs of `service`
+/// (the Fig. 5/6 configuration), without tracing for speed.
+pub fn booted_n_vms(n: u32, service: ServiceKind) -> HostSim {
+    let cfg = HostConfig::paper_testbed()
+        .with_vms(n, service)
+        .with_trace(false);
+    let mut sim = HostSim::new(cfg);
+    sim.power_on_and_wait();
+    sim
+}
+
+/// A plain-text table with aligned columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+            .collect();
+        out.push_str(&hdr.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(hdr.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats seconds with two decimals (for sub-second values).
+pub fn secs2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["n", "warm", "cold"]);
+        t.row(vec!["1".into(), "38.9".into(), "107.6".into()]);
+        t.row(vec!["11".into(), "41.1".into(), "141.8".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let lines: Vec<&str> = r.lines().collect();
+        // Header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(41.13), "41.1");
+        assert_eq!(secs2(0.043), "0.04");
+    }
+}

@@ -1,0 +1,197 @@
+//! The Fig. 9 analytic cluster-throughput model.
+//!
+//! §6 considers a cluster of `m` hosts behind a load balancer, each
+//! contributing throughput `p`, and derives the total-throughput timeline
+//! while one host's VMM is rejuvenated:
+//!
+//! * **warm**: dip to `(m−1)p` for the warm downtime (≈42 s), then full
+//!   recovery — no cache-miss tail;
+//! * **cold**: dip to `(m−1)p` for the cold downtime (≈241 s with JBoss),
+//!   then `(m−δ)p` with `δ ≈ 0.69` while the page cache refills;
+//! * **migration**: steady state is already `(m−1)p` because one host is
+//!   reserved as the migration target; while migrating, `(m−1.12)p` for
+//!   ≈17 minutes.
+
+use rh_sim::series::TimeSeries;
+use rh_sim::time::{SimDuration, SimTime};
+
+use crate::migration::MigrationModel;
+
+/// Scenario parameters for the Fig. 9 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterScenario {
+    /// Hosts in the cluster.
+    pub hosts: u32,
+    /// Per-host throughput `p` (requests/second, arbitrary units).
+    pub per_host_throughput: f64,
+    /// VMs per host.
+    pub vms_per_host: u32,
+    /// VM memory in bytes.
+    pub vm_mem_bytes: u64,
+    /// Warm-reboot downtime of one host (s).
+    pub warm_downtime_secs: f64,
+    /// Cold-reboot downtime of one host (s).
+    pub cold_downtime_secs: f64,
+    /// Post-cold cache-miss degradation δ (0.69 in §5.5/§6).
+    pub delta: f64,
+    /// How long the cache-refill degradation lasts (s).
+    pub warmup_secs: f64,
+}
+
+impl ClusterScenario {
+    /// The paper's running example: 11 × 1 GB VMs per host, JBoss numbers
+    /// (warm 42 s, cold 241 s), δ = 0.69.
+    pub fn paper(hosts: u32, per_host_throughput: f64) -> Self {
+        ClusterScenario {
+            hosts,
+            per_host_throughput,
+            vms_per_host: 11,
+            vm_mem_bytes: 1 << 30,
+            warm_downtime_secs: 42.0,
+            cold_downtime_secs: 241.0,
+            delta: 0.69,
+            warmup_secs: 60.0,
+        }
+    }
+
+    fn mp(&self) -> f64 {
+        self.hosts as f64 * self.per_host_throughput
+    }
+
+    /// Total throughput over time while ONE host is rejuvenated with the
+    /// warm-VM reboot at `at`.
+    pub fn warm_series(&self, at: SimTime, horizon: SimDuration) -> TimeSeries {
+        let mut s = TimeSeries::new("warm");
+        let p = self.per_host_throughput;
+        s.push(SimTime::ZERO, self.mp());
+        s.push(at, self.mp() - p);
+        s.push(at + SimDuration::from_secs_f64(self.warm_downtime_secs), self.mp());
+        s.push(SimTime::ZERO + horizon, self.mp());
+        s
+    }
+
+    /// Same for the cold-VM reboot, including the `(m−δ)p` warm-up tail.
+    pub fn cold_series(&self, at: SimTime, horizon: SimDuration) -> TimeSeries {
+        let mut s = TimeSeries::new("cold");
+        let p = self.per_host_throughput;
+        s.push(SimTime::ZERO, self.mp());
+        s.push(at, self.mp() - p);
+        let back_up = at + SimDuration::from_secs_f64(self.cold_downtime_secs);
+        s.push(back_up, self.mp() - self.delta * p);
+        s.push(
+            back_up + SimDuration::from_secs_f64(self.warmup_secs),
+            self.mp(),
+        );
+        s.push(SimTime::ZERO + horizon, self.mp());
+        s
+    }
+
+    /// Same for rejuvenation-by-migration: one host is permanently the
+    /// spare, and the evacuating host is degraded by 12 % while moving.
+    pub fn migration_series(
+        &self,
+        model: &MigrationModel,
+        at: SimTime,
+        horizon: SimDuration,
+    ) -> TimeSeries {
+        let mut s = TimeSeries::new("migration");
+        let p = self.per_host_throughput;
+        let steady = (self.hosts as f64 - 1.0) * p;
+        s.push(SimTime::ZERO, steady);
+        let est = model.evacuate_host(self.vms_per_host, self.vm_mem_bytes);
+        s.push(at, steady - model.degradation * p);
+        s.push(at + est.total, steady);
+        s.push(SimTime::ZERO + horizon, steady);
+        s
+    }
+
+    /// Requests *lost* relative to the no-rejuvenation ideal `m·p·horizon`,
+    /// for a series produced by the methods above.
+    pub fn capacity_loss(&self, series: &TimeSeries, horizon: SimDuration) -> f64 {
+        let ideal = self.mp() * horizon.as_secs_f64();
+        ideal - series.integral(SimTime::ZERO, SimTime::ZERO + horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scen() -> ClusterScenario {
+        ClusterScenario::paper(4, 100.0)
+    }
+
+    fn hour() -> SimDuration {
+        SimDuration::from_secs(3600)
+    }
+
+    fn at() -> SimTime {
+        SimTime::from_secs(600)
+    }
+
+    #[test]
+    fn warm_dip_is_shallow_and_short() {
+        let s = scen().warm_series(at(), hour());
+        // During the dip: (m-1)p = 300.
+        assert_eq!(s.value_at(SimTime::from_secs(620)), Some(300.0));
+        // Recovered right after 42 s.
+        assert_eq!(s.value_at(SimTime::from_secs(643)), Some(400.0));
+    }
+
+    #[test]
+    fn cold_dip_is_long_with_cache_tail() {
+        let s = scen().cold_series(at(), hour());
+        assert_eq!(s.value_at(SimTime::from_secs(700)), Some(300.0));
+        // After 241 s the host is back but degraded: (m − 0.69)p = 331.
+        let tail = s.value_at(SimTime::from_secs(600 + 242)).unwrap();
+        assert!((tail - 331.0).abs() < 1e-9, "tail {tail}");
+        // Fully recovered after the warm-up.
+        assert_eq!(s.value_at(SimTime::from_secs(600 + 242 + 61)), Some(400.0));
+    }
+
+    #[test]
+    fn migration_steady_state_sacrifices_a_host() {
+        let m = MigrationModel::paper();
+        let s = scen().migration_series(&m, at(), hour());
+        // (m−1)p even when idle.
+        assert_eq!(s.value_at(SimTime::from_secs(10)), Some(300.0));
+        // (m−1.12)p while migrating.
+        let migrating = s.value_at(SimTime::from_secs(650)).unwrap();
+        assert!((migrating - 288.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_loss_ordering_matches_paper_argument() {
+        // §6's conclusion: warm loses the least capacity; migration's
+        // permanently idle spare dwarfs both reboot strategies when m is
+        // small.
+        let scen = scen();
+        let m = MigrationModel::paper();
+        let warm = scen.capacity_loss(&scen.warm_series(at(), hour()), hour());
+        let cold = scen.capacity_loss(&scen.cold_series(at(), hour()), hour());
+        let mig = scen.capacity_loss(&scen.migration_series(&m, at(), hour()), hour());
+        assert!(warm < cold, "warm {warm:.0} !< cold {cold:.0}");
+        assert!(cold < mig, "cold {cold:.0} !< migration {mig:.0}");
+        // Warm loses exactly p × 42 s.
+        assert!((warm - 100.0 * 42.0).abs() < 1.0);
+        // Cold adds the δ tail: p × 241 + 0.69p × 60.
+        assert!((cold - (100.0 * 241.0 + 69.0 * 60.0)).abs() < 2.0);
+    }
+
+    #[test]
+    fn spare_host_cost_amortizes_with_cluster_size() {
+        // §6: migration's steady state is (m−1)/m of full capacity —
+        // "this is critical if m is not large enough".
+        let m = MigrationModel::paper();
+        let h = hour();
+        let frac = |hosts: u32| {
+            let scen = ClusterScenario::paper(hosts, 100.0);
+            let loss = scen.capacity_loss(&scen.migration_series(&m, at(), h), h);
+            loss / (scen.mp() * h.as_secs_f64())
+        };
+        // Losing one host of three is severe; of fifty, mild.
+        assert!(frac(3) > 0.30, "m=3 loss fraction {:.3}", frac(3));
+        assert!(frac(50) < 0.03, "m=50 loss fraction {:.3}", frac(50));
+        assert!(frac(50) < frac(10) && frac(10) < frac(3));
+    }
+}

@@ -1,0 +1,30 @@
+//! # rh-cluster — the cluster environment (paper §6)
+//!
+//! Software rejuvenation "is naturally fit with a cluster environment":
+//! a load balancer hides individual host reboots, but total throughput
+//! dips while a host is down. This crate reproduces the §6/Fig. 9
+//! comparison of three ways to rejuvenate a cluster's VMMs:
+//!
+//! * [`analytic`] — the paper's closed-form total-throughput timelines for
+//!   warm, cold, and rejuvenation-by-live-migration, plus capacity-loss
+//!   accounting,
+//! * [`migration`] — a pre-copy live-migration cost model calibrated to
+//!   the Clark et al. numbers the paper quotes (72 s / 800 MB, −12 %,
+//!   17 min for 11 × 1 GB),
+//! * [`rolling`] — rolling rejuvenation over *live* simulated hosts with a
+//!   load-balancer composition of the measured outages,
+//! * [`schedule`] — constraint-based planning of cluster-wide
+//!   rejuvenation passes (max hosts down, capacity floor).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod migration;
+pub mod rolling;
+pub mod schedule;
+
+pub use analytic::ClusterScenario;
+pub use migration::{MigrationEstimate, MigrationModel};
+pub use rolling::{rolling_rejuvenation, HostOutage, LoadBalancer, RollingReport};
+pub use schedule::{plan_uniform, RejuvenationSchedule, ScheduleConstraints, ScheduleError};

@@ -1,0 +1,186 @@
+//! Pre-copy live migration (Clark et al., NSDI '05 — the paper's reference 8).
+//!
+//! §6 compares the warm-VM reboot against rejuvenation-by-migration: move
+//! every VM to a spare host, reboot the empty VMM, move them back. Live
+//! migration's cost model:
+//!
+//! * **round 0** transfers the whole memory image while the VM runs,
+//! * each later round re-transfers the pages dirtied during the previous
+//!   round, until the residue is small (or a round cap is hit),
+//! * a final stop-and-copy transfers the residue plus execution state —
+//!   the only true downtime.
+//!
+//! Calibration: the paper quotes Clark et al.'s 72 s to migrate one VM
+//! with 800 MB and a 12 % throughput degradation while migrating, and
+//! estimates 17 minutes to move 11 × 1 GB.
+
+use rh_sim::time::SimDuration;
+
+/// Parameters of the pre-copy migration engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationModel {
+    /// Effective migration transfer rate, bytes/second (rate-limited to
+    /// protect the service; calibrated so 800 MB ≈ 72 s).
+    pub rate_bps: f64,
+    /// Rate at which the running guest dirties memory, bytes/second.
+    pub dirty_rate_bps: f64,
+    /// Stop-and-copy when the residue drops below this many bytes.
+    pub stop_threshold_bytes: f64,
+    /// Safety cap on pre-copy rounds.
+    pub max_rounds: u32,
+    /// Throughput degradation of the migrating host (0.12 = −12 %).
+    pub degradation: f64,
+}
+
+impl MigrationModel {
+    /// Calibrated to the numbers §6 quotes from Clark et al.
+    pub fn paper() -> Self {
+        MigrationModel {
+            rate_bps: 11.8e6,
+            dirty_rate_bps: 1.0e6,
+            stop_threshold_bytes: 8.0e6,
+            max_rounds: 16,
+            degradation: 0.12,
+        }
+    }
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        MigrationModel::paper()
+    }
+}
+
+/// Outcome of migrating one VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationEstimate {
+    /// Total wall-clock time of the migration (all rounds + stop-and-copy).
+    pub total: SimDuration,
+    /// Service downtime (the stop-and-copy phase only).
+    pub downtime: SimDuration,
+    /// Pre-copy rounds executed (excluding the stop-and-copy).
+    pub rounds: u32,
+    /// Total bytes moved over the wire.
+    pub bytes_transferred: f64,
+}
+
+impl MigrationModel {
+    /// Estimates migrating one VM with `mem_bytes` of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` is zero.
+    pub fn migrate_vm(&self, mem_bytes: u64) -> MigrationEstimate {
+        assert!(mem_bytes > 0, "cannot migrate an empty VM");
+        let mut residue = mem_bytes as f64;
+        let mut total_secs = 0.0;
+        let mut transferred = 0.0;
+        let mut rounds = 0;
+        while residue > self.stop_threshold_bytes && rounds < self.max_rounds {
+            let round_secs = residue / self.rate_bps;
+            transferred += residue;
+            total_secs += round_secs;
+            residue = (self.dirty_rate_bps * round_secs).min(mem_bytes as f64);
+            rounds += 1;
+            // Divergence: dirtying outpaces transfer — stop-and-copy now.
+            if self.dirty_rate_bps >= self.rate_bps {
+                break;
+            }
+        }
+        let stop_secs = residue / self.rate_bps;
+        transferred += residue;
+        total_secs += stop_secs;
+        MigrationEstimate {
+            total: SimDuration::from_secs_f64(total_secs),
+            downtime: SimDuration::from_secs_f64(stop_secs),
+            rounds,
+            bytes_transferred: transferred,
+        }
+    }
+
+    /// Estimates evacuating a whole host: `vms` VMs of `mem_bytes` each,
+    /// migrated sequentially (the paper's 17-minute figure for 11 × 1 GB).
+    pub fn evacuate_host(&self, vms: u32, mem_bytes: u64) -> MigrationEstimate {
+        let one = self.migrate_vm(mem_bytes);
+        MigrationEstimate {
+            total: one.total * vms as u64,
+            downtime: one.downtime * vms as u64,
+            rounds: one.rounds,
+            bytes_transferred: one.bytes_transferred * vms as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_hundred_mb_takes_about_72s() {
+        // §6 quoting Clark et al.: "the time needed for migration was 72
+        // seconds when only one VM with 800 MB of memory was run".
+        let m = MigrationModel::paper();
+        let est = m.migrate_vm(800 << 20);
+        let total = est.total.as_secs_f64();
+        assert!((total - 72.0).abs() < 6.0, "800 MB migration = {total:.1}s");
+        assert!(est.rounds >= 1);
+    }
+
+    #[test]
+    fn eleven_one_gb_vms_take_about_17_minutes() {
+        // §6: "estimated to last for 17 minutes when we run 11 VMs, each of
+        // which has 1 GB of memory".
+        let m = MigrationModel::paper();
+        let est = m.evacuate_host(11, 1 << 30);
+        let minutes = est.total.as_secs_f64() / 60.0;
+        assert!((minutes - 17.0).abs() < 1.5, "evacuation = {minutes:.1} min");
+    }
+
+    #[test]
+    fn downtime_is_tiny_compared_to_total() {
+        // Live migration's selling point: negligible service downtime.
+        let m = MigrationModel::paper();
+        let est = m.migrate_vm(1 << 30);
+        assert!(est.downtime.as_secs_f64() < 1.5, "downtime {}", est.downtime);
+        assert!(est.downtime.as_secs_f64() * 20.0 < est.total.as_secs_f64());
+    }
+
+    #[test]
+    fn precopy_converges_monotonically() {
+        let m = MigrationModel::paper();
+        let est = m.migrate_vm(1 << 30);
+        // Transferred a bit more than the image (the dirtied residues)…
+        assert!(est.bytes_transferred > (1u64 << 30) as f64);
+        // …but not unboundedly more.
+        assert!(est.bytes_transferred < 1.5 * (1u64 << 30) as f64);
+    }
+
+    #[test]
+    fn hot_dirtying_falls_back_to_stop_and_copy() {
+        let m = MigrationModel {
+            dirty_rate_bps: 50.0e6, // dirties faster than it transfers
+            ..MigrationModel::paper()
+        };
+        let est = m.migrate_vm(256 << 20);
+        assert_eq!(est.rounds, 1, "one futile round then stop-and-copy");
+        // Downtime is now substantial (the whole re-dirtied image).
+        assert!(est.downtime.as_secs_f64() > 5.0);
+    }
+
+    #[test]
+    fn max_rounds_caps_divergence() {
+        let m = MigrationModel {
+            dirty_rate_bps: 11.7e6, // barely below the transfer rate
+            stop_threshold_bytes: 1.0,
+            ..MigrationModel::paper()
+        };
+        let est = m.migrate_vm(1 << 30);
+        assert!(est.rounds <= m.max_rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty VM")]
+    fn zero_memory_rejected() {
+        MigrationModel::paper().migrate_vm(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # rh-guest — the guest operating system substrate
+//!
+//! Models the paravirtualized Linux guests ("Linux 2.6.12 modified for
+//! Xen") that run on RootHammer-RS's VMM:
+//!
+//! * [`kernel`] — the boot/shutdown/suspend/resume lifecycle state machine,
+//! * [`boot`] — calibrated work profiles (fixed latency + shared disk/CPU
+//!   demands) whose contention produces the paper's linear-in-`n` boot and
+//!   shutdown times,
+//! * [`pagecache`] — the LRU file cache whose loss explains the cold-VM
+//!   reboot's throughput collapse (Fig. 8),
+//! * [`fs`] — files and reads that split into cache hits and disk misses,
+//! * [`services`] — sshd / JBoss / Apache with start/stop costs and process
+//!   generations,
+//! * [`session`] — TCP session survival (retransmission vs timeout vs
+//!   reset),
+//! * [`aging`] — kernel-memory/swap exhaustion, the §2 reason OS
+//!   rejuvenation exists.
+//!
+//! The host-side orchestration (who runs these state machines and when)
+//! lives in `rh-vmm`; this crate is deliberately passive and fully unit
+//! testable.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aging;
+pub mod boot;
+pub mod fs;
+pub mod kernel;
+pub mod pagecache;
+pub mod services;
+pub mod session;
+
+pub use aging::{GuestAging, GuestHealth};
+pub use boot::WorkProfile;
+pub use fs::{FileSet, FileSystem, ReadPlan};
+pub use kernel::{GuestKernel, InvalidTransition, KernelState};
+pub use pagecache::{ChunkKey, PageCache};
+pub use services::{Service, ServiceKind, ServiceSpec, ServiceStatus};
+pub use session::{SessionFate, TcpSession};

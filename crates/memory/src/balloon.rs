@@ -1,0 +1,233 @@
+//! Ballooning (Waldspurger, OSDI '02 — the paper's reference 27).
+//!
+//! A balloon driver lets the VMM reclaim machine frames from a domain
+//! without the domain noticing more than reduced free memory: inflating the
+//! balloon unmaps pseudo-physical pages (releasing their machine frames),
+//! deflating maps fresh frames back in.
+//!
+//! The paper notes (§4.1) that the P2M-mapping table "can maintain the
+//! mapping properly" even when total pseudo-physical memory exceeds machine
+//! memory due to ballooning — the property tests in this module and in the
+//! VMM crate pin that behaviour down.
+
+use std::fmt;
+
+use crate::frame::Pfn;
+use crate::machine::{MachineMemory, MemoryError};
+use crate::p2m::{P2mError, P2mTable};
+
+/// Errors from balloon operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalloonError {
+    /// The underlying machine allocator failed.
+    Memory(MemoryError),
+    /// The P2M table rejected the operation.
+    P2m(P2mError),
+    /// The domain does not have enough mapped pages to inflate by the
+    /// requested amount.
+    TooLarge {
+        /// Pages requested.
+        requested: u64,
+        /// Pages currently mapped.
+        mapped: u64,
+    },
+}
+
+impl fmt::Display for BalloonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalloonError::Memory(e) => write!(f, "balloon: {e}"),
+            BalloonError::P2m(e) => write!(f, "balloon: {e}"),
+            BalloonError::TooLarge { requested, mapped } => write!(
+                f,
+                "balloon inflate of {requested} pages exceeds mapped {mapped}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BalloonError {}
+
+impl From<MemoryError> for BalloonError {
+    fn from(e: MemoryError) -> Self {
+        BalloonError::Memory(e)
+    }
+}
+
+impl From<P2mError> for BalloonError {
+    fn from(e: P2mError) -> Self {
+        BalloonError::P2m(e)
+    }
+}
+
+/// Per-domain balloon state: how many pages are currently ballooned out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Balloon {
+    inflated_pages: u64,
+}
+
+impl Balloon {
+    /// A deflated balloon.
+    pub fn new() -> Self {
+        Balloon::default()
+    }
+
+    /// Pages currently surrendered to the VMM.
+    pub fn inflated_pages(&self) -> u64 {
+        self.inflated_pages
+    }
+
+    /// Inflates by `pages`: unmaps the domain's highest PFNs and returns
+    /// their machine frames to the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`BalloonError::TooLarge`] if the domain has fewer mapped pages;
+    /// propagates allocator/P2M failures.
+    pub fn inflate(
+        &mut self,
+        p2m: &mut P2mTable,
+        ram: &mut MachineMemory,
+        pages: u64,
+    ) -> Result<(), BalloonError> {
+        if pages > p2m.total_pages() {
+            return Err(BalloonError::TooLarge {
+                requested: pages,
+                mapped: p2m.total_pages(),
+            });
+        }
+        let released = p2m.unmap_top(pages)?;
+        ram.release(&released)?;
+        self.inflated_pages += pages;
+        Ok(())
+    }
+
+    /// Deflates by `pages`: allocates fresh machine frames and maps them at
+    /// the domain's current PFN limit. Deflating more than was inflated is
+    /// allowed (it grows the domain) — callers enforce policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator/P2M failures (e.g. machine memory exhausted).
+    pub fn deflate(
+        &mut self,
+        p2m: &mut P2mTable,
+        ram: &mut MachineMemory,
+        pages: u64,
+    ) -> Result<(), BalloonError> {
+        let ranges = ram.allocate(pages)?;
+        let pfn = Pfn(p2m.pfn_limit());
+        if let Err(e) = p2m.map_contiguous(pfn, &ranges) {
+            // Roll back the allocation; mapping at a fresh PFN limit cannot
+            // overlap, but keep the path safe anyway.
+            let _ = ram.release(&ranges);
+            return Err(e.into());
+        }
+        self.inflated_pages = self.inflated_pages.saturating_sub(pages);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameRange, Mfn};
+
+    fn setup(total: u64, domain: u64) -> (P2mTable, MachineMemory, Balloon) {
+        let mut ram = MachineMemory::new(total);
+        let ranges = ram.allocate(domain).unwrap();
+        let mut p2m = P2mTable::new();
+        p2m.map_contiguous(Pfn(0), &ranges).unwrap();
+        (p2m, ram, Balloon::new())
+    }
+
+    #[test]
+    fn inflate_returns_frames_to_allocator() {
+        let (mut p2m, mut ram, mut b) = setup(1000, 500);
+        assert_eq!(ram.free_frames(), 500);
+        b.inflate(&mut p2m, &mut ram, 200).unwrap();
+        assert_eq!(ram.free_frames(), 700);
+        assert_eq!(p2m.total_pages(), 300);
+        assert_eq!(b.inflated_pages(), 200);
+    }
+
+    #[test]
+    fn deflate_grows_domain_back() {
+        let (mut p2m, mut ram, mut b) = setup(1000, 500);
+        b.inflate(&mut p2m, &mut ram, 200).unwrap();
+        b.deflate(&mut p2m, &mut ram, 200).unwrap();
+        assert_eq!(p2m.total_pages(), 500);
+        assert_eq!(ram.free_frames(), 500);
+        assert_eq!(b.inflated_pages(), 0);
+        p2m.check_machine_disjoint().unwrap();
+    }
+
+    #[test]
+    fn inflate_more_than_mapped_rejected() {
+        let (mut p2m, mut ram, mut b) = setup(1000, 100);
+        let err = b.inflate(&mut p2m, &mut ram, 200).unwrap_err();
+        assert!(matches!(err, BalloonError::TooLarge { .. }));
+        assert_eq!(p2m.total_pages(), 100);
+    }
+
+    #[test]
+    fn deflate_fails_when_machine_memory_exhausted() {
+        let (mut p2m, mut ram, mut b) = setup(500, 500);
+        // All machine memory belongs to the domain already.
+        let err = b.deflate(&mut p2m, &mut ram, 10).unwrap_err();
+        assert!(matches!(err, BalloonError::Memory(_)));
+    }
+
+    #[test]
+    fn pseudo_physical_can_exceed_machine_memory() {
+        // Two domains, each 400 pages of pseudo-physical memory, on a
+        // 600-page machine: ballooning makes it fit (paper §4.1).
+        let mut ram = MachineMemory::new(600);
+        let r1 = ram.allocate(400).unwrap();
+        let mut p2m1 = P2mTable::new();
+        p2m1.map_contiguous(Pfn(0), &r1).unwrap();
+        let mut b1 = Balloon::new();
+        // Domain 1 balloons down to 200 resident pages...
+        b1.inflate(&mut p2m1, &mut ram, 200).unwrap();
+        // ...so domain 2's 400 pages fit.
+        let r2 = ram.allocate(400).unwrap();
+        let mut p2m2 = P2mTable::new();
+        p2m2.map_contiguous(Pfn(0), &r2).unwrap();
+        // Pseudo-physical total (400 + 400) exceeds machine total (600);
+        // the tables stay disjoint and correct.
+        let mut all = p2m1.machine_ranges();
+        all.extend(p2m2.machine_ranges());
+        all.sort_by_key(|r| r.start);
+        for w in all.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+        }
+        assert_eq!(p2m1.total_pages() + p2m2.total_pages(), 600);
+    }
+
+    #[test]
+    fn repeated_inflate_deflate_keeps_table_consistent() {
+        let (mut p2m, mut ram, mut b) = setup(1000, 600);
+        for step in 1..=10u64 {
+            b.inflate(&mut p2m, &mut ram, step * 10).unwrap();
+            b.deflate(&mut p2m, &mut ram, step * 10).unwrap();
+            p2m.check_machine_disjoint().unwrap();
+            ram.check_invariants().unwrap();
+        }
+        assert_eq!(p2m.total_pages(), 600);
+        // Every PFN still resolves.
+        for pfn in 0..600 {
+            assert!(p2m.lookup(Pfn(pfn)).is_some(), "pfn {pfn} lost");
+        }
+    }
+
+    #[test]
+    fn error_display_covers_variants() {
+        let e1 = BalloonError::TooLarge { requested: 5, mapped: 2 };
+        assert!(e1.to_string().contains("exceeds"));
+        let e2: BalloonError = P2mError::NotMapped(Pfn(0), 1).into();
+        assert!(e2.to_string().contains("balloon"));
+        let e3: BalloonError =
+            MemoryError::AlreadyAllocated(FrameRange::new(Mfn(0), 1)).into();
+        assert!(e3.to_string().contains("allocated"));
+    }
+}

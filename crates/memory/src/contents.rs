@@ -1,0 +1,414 @@
+//! Frame content modelling.
+//!
+//! The simulator cannot (and need not) store 12 GiB of real bytes. Instead,
+//! every frame carries a deterministic 64-bit *content signature*:
+//!
+//! * explicitly written frames store their signature in a sparse map,
+//! * bulk-initialized regions (a freshly booted guest, a restored image)
+//!   store a *pattern extent* — a `(salt, base)` pair from which each
+//!   frame's signature is derived via [`splitmix64`].
+//!
+//! The warm-VM reboot's central claim — *the memory image of every domain
+//! survives the VMM reboot untouched* — becomes a checkable invariant:
+//! digest a domain's memory (in pseudo-physical page order) before the
+//! reboot and after resume, and compare.
+
+use std::collections::BTreeMap;
+
+use rh_sim::rng::splitmix64;
+
+use crate::frame::{FrameRange, Mfn};
+
+/// Marker mixed into digests for unreadable (scrubbed) frames.
+const ABSENT: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PatternExt {
+    count: u64,
+    salt: u64,
+    /// Logical index of the first frame in the extent; preserved across
+    /// splits so values never change when an extent is divided.
+    base: u64,
+}
+
+/// Sparse content signatures for machine memory.
+///
+/// # Examples
+///
+/// ```
+/// use rh_memory::contents::FrameContents;
+/// use rh_memory::frame::{FrameRange, Mfn};
+///
+/// let mut mem = FrameContents::new();
+/// mem.fill_pattern(FrameRange::new(Mfn(0), 100), 42);
+/// let before = mem.read(Mfn(7));
+/// mem.write(Mfn(7), 1234);
+/// assert_eq!(mem.read(Mfn(7)), Some(1234));
+/// assert_ne!(mem.read(Mfn(7)), before);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameContents {
+    explicit: BTreeMap<u64, u64>,
+    patterns: BTreeMap<u64, PatternExt>,
+}
+
+impl FrameContents {
+    /// Creates empty (all-scrubbed) contents.
+    pub fn new() -> Self {
+        FrameContents::default()
+    }
+
+    /// Writes a signature to one frame.
+    pub fn write(&mut self, mfn: Mfn, value: u64) {
+        self.explicit.insert(mfn.0, value);
+    }
+
+    /// Reads a frame's signature: an explicit write wins, then any covering
+    /// pattern extent; `None` means the frame is scrubbed/uninitialized.
+    pub fn read(&self, mfn: Mfn) -> Option<u64> {
+        if let Some(&v) = self.explicit.get(&mfn.0) {
+            return Some(v);
+        }
+        let (&start, ext) = self.patterns.range(..=mfn.0).next_back()?;
+        if mfn.0 < start + ext.count {
+            Some(splitmix64(ext.salt ^ (ext.base + (mfn.0 - start))))
+        } else {
+            None
+        }
+    }
+
+    /// Bulk-initializes `range` with a pattern derived from `salt`.
+    ///
+    /// Clears any previous explicit writes and pattern extents in the range.
+    pub fn fill_pattern(&mut self, range: FrameRange, salt: u64) {
+        self.fill_pattern_with_base(range, salt, 0)
+    }
+
+    /// Like [`fill_pattern`](Self::fill_pattern) with a custom logical base
+    /// index — used when restoring a saved image onto *different* machine
+    /// frames so the pseudo-physical view is byte-identical.
+    pub fn fill_pattern_with_base(&mut self, range: FrameRange, salt: u64, base: u64) {
+        self.scrub(range);
+        self.patterns.insert(
+            range.start.0,
+            PatternExt {
+                count: range.count,
+                salt,
+                base,
+            },
+        );
+    }
+
+    /// Erases the contents of `range` (explicit writes and patterns).
+    pub fn scrub(&mut self, range: FrameRange) {
+        let lo = range.start.0;
+        let hi = range.end().0;
+        // Remove explicit entries.
+        let keys: Vec<u64> = self.explicit.range(lo..hi).map(|(&k, _)| k).collect();
+        for k in keys {
+            self.explicit.remove(&k);
+        }
+        // Split/truncate overlapping pattern extents.
+        let overlapping: Vec<u64> = self
+            .patterns
+            .range(..hi)
+            .filter(|(&s, e)| s + e.count > lo)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let ext = self.patterns.remove(&s).expect("collected above");
+            let e_end = s + ext.count;
+            if s < lo {
+                self.patterns.insert(
+                    s,
+                    PatternExt {
+                        count: lo - s,
+                        salt: ext.salt,
+                        base: ext.base,
+                    },
+                );
+            }
+            if e_end > hi {
+                self.patterns.insert(
+                    hi,
+                    PatternExt {
+                        count: e_end - hi,
+                        salt: ext.salt,
+                        base: ext.base + (hi - s),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Erases everything — the model of a hardware reset's power-on
+    /// self-test wiping RAM.
+    pub fn scrub_all(&mut self) {
+        self.explicit.clear();
+        self.patterns.clear();
+    }
+
+    /// Number of explicitly written frames.
+    pub fn written_frames(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// The pattern runs intersecting `range`, clipped to it, as
+    /// `(sub-range, salt, logical base of the sub-range)` triples in
+    /// ascending order. Used to capture a domain's memory image without a
+    /// per-page walk.
+    pub fn pattern_runs(&self, range: FrameRange) -> Vec<(FrameRange, u64, u64)> {
+        let lo = range.start.0;
+        let hi = range.end().0;
+        self.patterns
+            .range(..hi)
+            .filter(|(&s, e)| s + e.count > lo)
+            .map(|(&s, e)| {
+                let cut_lo = lo.max(s);
+                let cut_hi = hi.min(s + e.count);
+                (
+                    FrameRange::new(Mfn(cut_lo), cut_hi - cut_lo),
+                    e.salt,
+                    e.base + (cut_lo - s),
+                )
+            })
+            .collect()
+    }
+
+    /// The explicitly written frames inside `range`, in ascending order.
+    pub fn explicit_in(&self, range: FrameRange) -> Vec<(Mfn, u64)> {
+        self.explicit
+            .range(range.start.0..range.end().0)
+            .map(|(&k, &v)| (Mfn(k), v))
+            .collect()
+    }
+
+    /// Number of pattern extents.
+    pub fn pattern_extents(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+/// Incrementally combines `(logical key, signature)` pairs into an
+/// order-sensitive digest.
+///
+/// Keys are *logical* (e.g. PFN within a domain), not machine frame numbers,
+/// so a digest is stable across image relocation — the saved-VM baseline
+/// restores to different machine frames yet must produce the same digest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DigestBuilder {
+    acc: u64,
+    count: u64,
+}
+
+impl DigestBuilder {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        DigestBuilder::default()
+    }
+
+    /// Mixes in one frame. `None` values (scrubbed frames) are distinct
+    /// from every real signature.
+    pub fn add(&mut self, key: u64, value: Option<u64>) {
+        let v = value.unwrap_or(ABSENT);
+        self.acc = splitmix64(self.acc ^ splitmix64(key) ^ v);
+        self.count += 1;
+    }
+
+    /// Finalizes to a digest value incorporating the frame count.
+    pub fn finish(&self) -> u64 {
+        splitmix64(self.acc ^ self.count)
+    }
+
+    /// Number of frames mixed in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, count: u64) -> FrameRange {
+        FrameRange::new(Mfn(start), count)
+    }
+
+    #[test]
+    fn unwritten_frames_read_none() {
+        let mem = FrameContents::new();
+        assert_eq!(mem.read(Mfn(0)), None);
+    }
+
+    #[test]
+    fn explicit_write_read_round_trip() {
+        let mut mem = FrameContents::new();
+        mem.write(Mfn(10), 77);
+        assert_eq!(mem.read(Mfn(10)), Some(77));
+        assert_eq!(mem.read(Mfn(11)), None);
+        assert_eq!(mem.written_frames(), 1);
+    }
+
+    #[test]
+    fn pattern_fill_is_deterministic_and_varied() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(100, 50), 7);
+        let a = mem.read(Mfn(100)).unwrap();
+        let b = mem.read(Mfn(101)).unwrap();
+        assert_ne!(a, b);
+        // Same salt, same frame => same value in a fresh instance.
+        let mut mem2 = FrameContents::new();
+        mem2.fill_pattern(r(100, 50), 7);
+        assert_eq!(mem2.read(Mfn(100)), Some(a));
+        // Out of range.
+        assert_eq!(mem.read(Mfn(99)), None);
+        assert_eq!(mem.read(Mfn(150)), None);
+    }
+
+    #[test]
+    fn explicit_write_overrides_pattern() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 10), 1);
+        let original = mem.read(Mfn(5)).unwrap();
+        mem.write(Mfn(5), original ^ 1);
+        assert_eq!(mem.read(Mfn(5)), Some(original ^ 1));
+    }
+
+    #[test]
+    fn scrub_erases_range_only() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 100), 3);
+        mem.write(Mfn(50), 42);
+        let keep_low = mem.read(Mfn(39));
+        let keep_high = mem.read(Mfn(60));
+        mem.scrub(r(40, 20));
+        assert_eq!(mem.read(Mfn(45)), None);
+        assert_eq!(mem.read(Mfn(50)), None, "explicit write scrubbed too");
+        assert_eq!(mem.read(Mfn(39)), keep_low, "below range untouched");
+        assert_eq!(mem.read(Mfn(60)), keep_high, "above range keeps value after split");
+    }
+
+    #[test]
+    fn scrub_all_erases_everything() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 10), 1);
+        mem.write(Mfn(100), 5);
+        mem.scrub_all();
+        assert_eq!(mem.read(Mfn(0)), None);
+        assert_eq!(mem.read(Mfn(100)), None);
+        assert_eq!(mem.pattern_extents(), 0);
+    }
+
+    #[test]
+    fn split_preserves_values() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 100), 9);
+        let vals: Vec<Option<u64>> = (0..100).map(|i| mem.read(Mfn(i))).collect();
+        mem.scrub(r(30, 10));
+        for (i, v) in vals.iter().enumerate() {
+            let i = i as u64;
+            if (30..40).contains(&i) {
+                assert_eq!(mem.read(Mfn(i)), None);
+            } else {
+                assert_eq!(mem.read(Mfn(i)), *v, "frame {i} changed across split");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_overwrites_previous_pattern() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 10), 1);
+        let old = mem.read(Mfn(3));
+        mem.fill_pattern(r(0, 10), 2);
+        assert_ne!(mem.read(Mfn(3)), old);
+        assert_eq!(mem.pattern_extents(), 1);
+    }
+
+    #[test]
+    fn base_offset_relocation_matches() {
+        // Restoring a pattern to different machine frames with matching
+        // logical bases must produce identical logical digests.
+        let mut a = FrameContents::new();
+        a.fill_pattern(r(0, 64), 5);
+        let mut b = FrameContents::new();
+        b.fill_pattern_with_base(r(1000, 64), 5, 0);
+        let mut da = DigestBuilder::new();
+        let mut db = DigestBuilder::new();
+        for i in 0..64 {
+            da.add(i, a.read(Mfn(i)));
+            db.add(i, b.read(Mfn(1000 + i)));
+        }
+        assert_eq!(da.finish(), db.finish());
+    }
+
+    #[test]
+    fn digest_detects_any_change() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 32), 8);
+        let digest = |m: &FrameContents| {
+            let mut d = DigestBuilder::new();
+            for i in 0..32 {
+                d.add(i, m.read(Mfn(i)));
+            }
+            d.finish()
+        };
+        let before = digest(&mem);
+        let mut changed = mem.clone();
+        changed.write(Mfn(13), 0);
+        assert_ne!(digest(&changed), before);
+        let mut scrubbed = mem.clone();
+        scrubbed.scrub(r(13, 1));
+        assert_ne!(digest(&scrubbed), before);
+        assert_eq!(digest(&mem), before, "digest is pure");
+    }
+
+    #[test]
+    fn pattern_runs_clip_to_range() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(10, 20), 3); // frames [10, 30)
+        mem.fill_pattern(r(40, 10), 4); // frames [40, 50)
+        let runs = mem.pattern_runs(r(15, 30)); // query [15, 45)
+        assert_eq!(runs.len(), 2);
+        let (r0, salt0, base0) = runs[0];
+        assert_eq!((r0, salt0, base0), (r(15, 15), 3, 5));
+        let (r1, salt1, base1) = runs[1];
+        assert_eq!((r1, salt1, base1), (r(40, 5), 4, 0));
+        // Reconstructing from the clipped run gives identical values.
+        let mut copy = FrameContents::new();
+        copy.fill_pattern_with_base(r0, salt0, base0);
+        for i in 15..30 {
+            assert_eq!(copy.read(Mfn(i)), mem.read(Mfn(i)), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn explicit_in_returns_sorted_entries() {
+        let mut mem = FrameContents::new();
+        mem.write(Mfn(5), 50);
+        mem.write(Mfn(2), 20);
+        mem.write(Mfn(99), 990);
+        let got = mem.explicit_in(r(0, 10));
+        assert_eq!(got, vec![(Mfn(2), 20), (Mfn(5), 50)]);
+    }
+
+    #[test]
+    fn digest_distinguishes_counts_and_order() {
+        let mut a = DigestBuilder::new();
+        a.add(0, Some(1));
+        let mut b = DigestBuilder::new();
+        b.add(0, Some(1));
+        b.add(1, None);
+        assert_ne!(a.finish(), b.finish());
+        assert_eq!(a.count(), 1);
+        assert_eq!(b.count(), 2);
+
+        let mut c = DigestBuilder::new();
+        c.add(0, Some(1));
+        c.add(1, Some(2));
+        let mut d = DigestBuilder::new();
+        d.add(1, Some(2));
+        d.add(0, Some(1));
+        assert_ne!(c.finish(), d.finish(), "order matters");
+    }
+}

@@ -1,0 +1,304 @@
+//! Service downtime measurement.
+//!
+//! The paper measures "the time from when a networked service in each VM
+//! was down and until it was up again after the VMM was rebooted" (§5.3).
+//! [`DowntimeMeter`] records up/down transitions and reports outages;
+//! [`ProbeLog`] reproduces the client-side methodology (periodic probes)
+//! for cross-checking the exact meter against sampled observation.
+
+use rh_sim::time::{SimDuration, SimTime};
+
+/// One contiguous outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// When the service stopped answering.
+    pub start: SimTime,
+    /// When it answered again.
+    pub end: SimTime,
+}
+
+impl Outage {
+    /// Length of the outage.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Records exact service up/down transitions.
+///
+/// # Examples
+///
+/// ```
+/// use rh_net::downtime::DowntimeMeter;
+/// use rh_sim::time::SimTime;
+///
+/// let mut m = DowntimeMeter::new();
+/// m.mark_up(SimTime::ZERO);
+/// m.mark_down(SimTime::from_secs(100));
+/// m.mark_up(SimTime::from_secs(142));
+/// let outage = m.longest_outage().unwrap();
+/// assert_eq!(outage.duration().as_secs_f64(), 42.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DowntimeMeter {
+    outages: Vec<Outage>,
+    down_since: Option<SimTime>,
+    is_up: bool,
+    transitions: u64,
+}
+
+impl DowntimeMeter {
+    /// Creates a meter; the service is considered down until the first
+    /// [`mark_up`](Self::mark_up).
+    pub fn new() -> Self {
+        DowntimeMeter::default()
+    }
+
+    /// True if the service is currently up.
+    pub fn is_up(&self) -> bool {
+        self.is_up
+    }
+
+    /// Number of up/down transitions observed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Marks the service up at `at`. Idempotent while up.
+    pub fn mark_up(&mut self, at: SimTime) {
+        if self.is_up {
+            return;
+        }
+        self.is_up = true;
+        self.transitions += 1;
+        if let Some(start) = self.down_since.take() {
+            self.outages.push(Outage { start, end: at });
+        }
+    }
+
+    /// Marks the service down at `at`. Idempotent while down.
+    pub fn mark_down(&mut self, at: SimTime) {
+        if !self.is_up {
+            return;
+        }
+        self.is_up = false;
+        self.transitions += 1;
+        self.down_since = Some(at);
+    }
+
+    /// Completed outages (down periods that ended with an up).
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// The longest completed outage.
+    pub fn longest_outage(&self) -> Option<Outage> {
+        self.outages
+            .iter()
+            .copied()
+            .max_by_key(|o| o.duration())
+    }
+
+    /// Sum of all completed outage durations.
+    pub fn total_downtime(&self) -> SimDuration {
+        self.outages.iter().map(|o| o.duration()).sum()
+    }
+
+    /// If the service is currently down, since when.
+    pub fn down_since(&self) -> Option<SimTime> {
+        self.down_since
+    }
+}
+
+/// Client-side sampled observation: a probe every `interval`, each noted as
+/// success or failure.
+///
+/// Downtime estimated from probes brackets the exact value to within one
+/// probe interval — the cross-check tests in the VMM crate rely on this.
+#[derive(Debug, Clone)]
+pub struct ProbeLog {
+    interval: SimDuration,
+    samples: Vec<(SimTime, bool)>,
+}
+
+impl ProbeLog {
+    /// Creates a log for probes sent every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "probe interval must be positive");
+        ProbeLog {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The probe interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Records one probe outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probes are recorded out of order.
+    pub fn record(&mut self, at: SimTime, success: bool) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(at >= last, "probes must be recorded in order");
+        }
+        self.samples.push((at, success));
+    }
+
+    /// Number of probes recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no probes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Estimated outages: maximal runs of failed probes, reported from the
+    /// last success before the run to the first success after it.
+    pub fn estimated_outages(&self) -> Vec<Outage> {
+        let mut outages = Vec::new();
+        let mut last_ok: Option<SimTime> = None;
+        let mut in_outage_from: Option<SimTime> = None;
+        for &(t, ok) in &self.samples {
+            if ok {
+                if let Some(start) = in_outage_from.take() {
+                    outages.push(Outage { start, end: t });
+                }
+                last_ok = Some(t);
+            } else if in_outage_from.is_none() {
+                in_outage_from = Some(last_ok.unwrap_or(t));
+            }
+        }
+        outages
+    }
+
+    /// The longest estimated outage.
+    pub fn longest_estimated_outage(&self) -> Option<Outage> {
+        self.estimated_outages()
+            .into_iter()
+            .max_by_key(|o| o.duration())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_outage_measured_exactly() {
+        let mut m = DowntimeMeter::new();
+        m.mark_up(t(0.0));
+        m.mark_down(t(10.0));
+        m.mark_up(t(52.5));
+        assert_eq!(m.outages().len(), 1);
+        assert!((m.total_downtime().as_secs_f64() - 42.5).abs() < 1e-9);
+        assert!(m.is_up());
+        assert_eq!(m.transitions(), 3);
+    }
+
+    #[test]
+    fn multiple_outages_accumulate() {
+        let mut m = DowntimeMeter::new();
+        m.mark_up(t(0.0));
+        m.mark_down(t(1.0));
+        m.mark_up(t(2.0));
+        m.mark_down(t(3.0));
+        m.mark_up(t(6.0));
+        assert_eq!(m.outages().len(), 2);
+        assert!((m.total_downtime().as_secs_f64() - 4.0).abs() < 1e-9);
+        assert_eq!(m.longest_outage().unwrap().duration(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn marks_are_idempotent() {
+        let mut m = DowntimeMeter::new();
+        m.mark_up(t(0.0));
+        m.mark_up(t(1.0));
+        m.mark_down(t(2.0));
+        m.mark_down(t(3.0));
+        m.mark_up(t(4.0));
+        assert_eq!(m.outages().len(), 1);
+        assert_eq!(m.outages()[0].start, t(2.0), "first down mark wins");
+        assert_eq!(m.transitions(), 3);
+    }
+
+    #[test]
+    fn ongoing_outage_not_counted_yet() {
+        let mut m = DowntimeMeter::new();
+        m.mark_up(t(0.0));
+        m.mark_down(t(5.0));
+        assert!(m.outages().is_empty());
+        assert_eq!(m.down_since(), Some(t(5.0)));
+        assert!(!m.is_up());
+    }
+
+    #[test]
+    fn initial_down_period_is_not_an_outage() {
+        // The service was never up before; first mark_up opens no outage.
+        let mut m = DowntimeMeter::new();
+        m.mark_up(t(30.0));
+        assert!(m.outages().is_empty());
+        assert_eq!(m.total_downtime(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn probe_log_brackets_exact_outage() {
+        // Exact outage [10, 52]; probes every second.
+        let mut log = ProbeLog::new(SimDuration::from_secs(1));
+        for i in 0..60 {
+            let now = t(i as f64);
+            let up = !(10.0..52.0).contains(&(i as f64));
+            log.record(now, up);
+        }
+        let est = log.longest_estimated_outage().unwrap();
+        // Estimated from the last success (9 s) to the first success (52 s).
+        assert_eq!(est.start, t(9.0));
+        assert_eq!(est.end, t(52.0));
+        let exact = 42.0;
+        let estimate = est.duration().as_secs_f64();
+        assert!((estimate - exact).abs() <= 1.0 + 1e-9, "estimate {estimate}");
+    }
+
+    #[test]
+    fn probe_log_multiple_outages() {
+        let mut log = ProbeLog::new(SimDuration::from_secs(1));
+        let pattern = [true, false, true, false, false, true];
+        for (i, &ok) in pattern.iter().enumerate() {
+            log.record(t(i as f64), ok);
+        }
+        let outages = log.estimated_outages();
+        assert_eq!(outages.len(), 2);
+        assert_eq!(outages[0], Outage { start: t(0.0), end: t(2.0) });
+        assert_eq!(outages[1], Outage { start: t(2.0), end: t(5.0) });
+    }
+
+    #[test]
+    fn probe_log_all_failures_yields_open_outage() {
+        let mut log = ProbeLog::new(SimDuration::from_secs(1));
+        log.record(t(0.0), false);
+        log.record(t(1.0), false);
+        assert!(log.estimated_outages().is_empty(), "never recovered");
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn probe_log_rejects_unordered() {
+        let mut log = ProbeLog::new(SimDuration::from_secs(1));
+        log.record(t(5.0), true);
+        log.record(t(4.0), true);
+    }
+}

@@ -1,0 +1,18 @@
+//! # rh-net — the client-side measurement substrate
+//!
+//! Models the client host of the paper's testbed: the machine that probes
+//! services for liveness and hammers the web server with httperf.
+//!
+//! * [`downtime`] — exact downtime meters and sampled probe logs (§5.3's
+//!   methodology),
+//! * [`httperf`] — a closed-loop HTTP load generator with windowed
+//!   throughput extraction (Figs. 7 and 8b).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod downtime;
+pub mod httperf;
+
+pub use downtime::{DowntimeMeter, Outage, ProbeLog};
+pub use httperf::{AccessPattern, HttperfClient};

@@ -1,0 +1,180 @@
+//! Extraction of the §5.6 model from simulation measurements.
+//!
+//! The paper sweeps n = 1..=11 VMs, measures each reboot phase, and fits
+//! straight lines. [`ComponentMeasurements`] collects the same sweep from
+//! our simulated host and [`fit_model`] performs the least-squares
+//! extraction, yielding a [`DowntimeModel`] comparable coefficient by
+//! coefficient with the published one.
+
+use rh_sim::stats::linear_fit;
+
+use crate::model::{DowntimeModel, Linear};
+
+/// Per-`n` phase measurements from a reboot sweep (seconds).
+#[derive(Debug, Clone, Default)]
+pub struct ComponentMeasurements {
+    /// VM counts (the x axis).
+    pub n: Vec<f64>,
+    /// VMM reboot time with `n` suspended VMs (warm path: quick reload +
+    /// dom0 boot).
+    pub reboot_vmm: Vec<f64>,
+    /// On-memory suspend + resume of `n` VMs.
+    pub resume: Vec<f64>,
+    /// Shutdown + boot of `n` OSes.
+    pub reboot_os: Vec<f64>,
+    /// Boot of `n` OSes.
+    pub boot: Vec<f64>,
+    /// Hardware reset times observed (averaged into `reset_hw`).
+    pub reset_hw: Vec<f64>,
+}
+
+/// Error from fitting: a component had too few points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    /// Which component failed.
+    pub component: &'static str,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot fit component {:?}: need ≥2 distinct points", self.component)
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl ComponentMeasurements {
+    /// Adds one sweep point. Vectors must be pushed together; use this
+    /// helper to keep them aligned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        n: u32,
+        reboot_vmm: f64,
+        resume: f64,
+        reboot_os: f64,
+        boot: f64,
+        reset_hw: f64,
+    ) {
+        self.n.push(n as f64);
+        self.reboot_vmm.push(reboot_vmm);
+        self.resume.push(resume);
+        self.reboot_os.push(reboot_os);
+        self.boot.push(boot);
+        self.reset_hw.push(reset_hw);
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n.is_empty()
+    }
+}
+
+fn fit_component(
+    xs: &[f64],
+    ys: &[f64],
+    component: &'static str,
+) -> Result<Linear, FitError> {
+    let fit = linear_fit(xs, ys).ok_or(FitError { component })?;
+    Ok(Linear::new(fit.slope, fit.intercept))
+}
+
+/// Least-squares extraction of the downtime model from a sweep.
+///
+/// # Errors
+///
+/// [`FitError`] if any component has fewer than two distinct points.
+pub fn fit_model(m: &ComponentMeasurements) -> Result<DowntimeModel, FitError> {
+    let reset_hw = if m.reset_hw.is_empty() {
+        return Err(FitError { component: "reset_hw" });
+    } else {
+        m.reset_hw.iter().sum::<f64>() / m.reset_hw.len() as f64
+    };
+    Ok(DowntimeModel {
+        reset_hw,
+        reboot_vmm: fit_component(&m.n, &m.reboot_vmm, "reboot_vmm")?,
+        resume: fit_component(&m.n, &m.resume, "resume")?,
+        reboot_os: fit_component(&m.n, &m.reboot_os, "reboot_os")?,
+        boot: fit_component(&m.n, &m.boot, "boot")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesize a sweep from known lines and recover them.
+    #[test]
+    fn recovers_known_coefficients() {
+        let truth = DowntimeModel::paper();
+        let mut m = ComponentMeasurements::default();
+        for n in 1..=11u32 {
+            let x = n as f64;
+            m.push(
+                n,
+                truth.reboot_vmm.at(x),
+                truth.resume.at(x),
+                truth.reboot_os.at(x),
+                truth.boot.at(x),
+                truth.reset_hw,
+            );
+        }
+        assert_eq!(m.len(), 11);
+        let fitted = fit_model(&m).unwrap();
+        assert!((fitted.reboot_vmm.slope - -0.55).abs() < 1e-9);
+        assert!((fitted.reboot_vmm.intercept - 43.0).abs() < 1e-9);
+        assert!((fitted.resume.slope - 0.43).abs() < 1e-9);
+        assert!((fitted.reboot_os.slope - 3.8).abs() < 1e-9);
+        assert!((fitted.boot.slope - 3.4).abs() < 1e-9);
+        assert!((fitted.reset_hw - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let mut m = ComponentMeasurements::default();
+        m.push(1, 1.0, 1.0, 1.0, 1.0, 47.0);
+        let err = fit_model(&m).unwrap_err();
+        assert_eq!(err.component, "reboot_vmm");
+        assert!(err.to_string().contains("reboot_vmm"));
+    }
+
+    #[test]
+    fn empty_measurements_fail_on_reset() {
+        let m = ComponentMeasurements::default();
+        assert!(m.is_empty());
+        let err = fit_model(&m).unwrap_err();
+        assert_eq!(err.component, "reset_hw");
+    }
+
+    #[test]
+    fn noisy_sweep_fits_approximately() {
+        use rh_sim::rng::SimRng;
+        let truth = DowntimeModel::paper();
+        let mut rng = SimRng::from_seed(31);
+        let mut m = ComponentMeasurements::default();
+        for n in 1..=11u32 {
+            let x = n as f64;
+            let noise = |r: &mut SimRng| (r.next_f64() - 0.5) * 0.8;
+            m.push(
+                n,
+                truth.reboot_vmm.at(x) + noise(&mut rng),
+                truth.resume.at(x) + noise(&mut rng) * 0.1,
+                truth.reboot_os.at(x) + noise(&mut rng),
+                truth.boot.at(x) + noise(&mut rng),
+                truth.reset_hw + noise(&mut rng),
+            );
+        }
+        let fitted = fit_model(&m).unwrap();
+        assert!((fitted.reboot_os.slope - 3.8).abs() < 0.2);
+        assert!((fitted.boot.slope - 3.4).abs() < 0.2);
+        // The derived saving stays close to the paper's line.
+        let saving = fitted.saving_line(0.5);
+        assert!((saving.slope - 3.9).abs() < 0.4, "saving slope {:.2}", saving.slope);
+        assert!((saving.at(11.0) - (3.9 * 11.0 + 60.0 - 8.5)).abs() < 3.0);
+    }
+}

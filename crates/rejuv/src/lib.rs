@@ -1,0 +1,33 @@
+//! # rh-rejuv — rejuvenation policy and analytics
+//!
+//! The proactive side of the paper: when to rejuvenate, what it costs, and
+//! what it buys.
+//!
+//! * [`model`] — the §3.2 analytic downtime model (`d_w`, `d_c`, `r(n)`)
+//!   with the §5.6 published coefficients,
+//! * [`fit`] — least-squares extraction of those coefficients from
+//!   simulation sweeps,
+//! * [`availability`] — the §5.3 nine-counting (warm achieves four 9s),
+//! * [`policy`] — time-based OS/VMM rejuvenation scheduling with the
+//!   Fig. 2 interaction semantics, plus a live-host policy executor,
+//! * [`aging`] — trend-based resource-exhaustion detection (Garg et al.)
+//!   for proactive triggering,
+//! * [`adaptive`] — a measurement-driven policy that rejuvenates only when
+//!   the detector projects exhaustion within a lead time.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod aging;
+pub mod availability;
+pub mod fit;
+pub mod model;
+pub mod policy;
+
+pub use adaptive::{run_adaptive, AdaptiveOutcome, AdaptivePolicy};
+pub use aging::AgingDetector;
+pub use availability::{nines, AvailabilityComparison, AvailabilityModel};
+pub use fit::{fit_model, ComponentMeasurements, FitError};
+pub use model::{DowntimeModel, Linear};
+pub use policy::{render_timeline, run_policy, PolicyAction, PolicyEvent, PolicyOutcome, TimeBasedPolicy};

@@ -1,0 +1,176 @@
+//! The analytic downtime model of paper §3.2 and §5.6.
+//!
+//! With `n` VMs:
+//!
+//! * warm-VM reboot downtime increase:
+//!   `d_w(n) = reboot_vmm(n) + resume(n)`
+//! * cold-VM reboot downtime increase:
+//!   `d_c(n) = reset_hw + reboot_vmm(0) + reboot_os(n) − reboot_os(1)·α`
+//!   where `α ∈ (0, 1]` is the fraction of the OS-rejuvenation interval
+//!   already elapsed when the VMM rejuvenation happens (that much OS
+//!   rejuvenation is subsumed by the forced reboot),
+//! * the saving: `r(n) = d_c(n) − d_w(n)`.
+//!
+//! §5.6 instantiates the component functions from measurements at
+//! n = 1..=11; [`DowntimeModel::paper`] carries those published
+//! coefficients, and `rh-bench`'s `sec56` binary re-derives them from our
+//! simulation via [`crate::fit`].
+
+/// A straight line `y = slope·n + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Slope per VM.
+    pub slope: f64,
+    /// Intercept at n = 0.
+    pub intercept: f64,
+}
+
+impl Linear {
+    /// Creates a line.
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        Linear { slope, intercept }
+    }
+
+    /// Evaluates at `n` VMs.
+    pub fn at(&self, n: f64) -> f64 {
+        self.slope * n + self.intercept
+    }
+}
+
+impl std::fmt::Display for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.intercept >= 0.0 {
+            write!(f, "{:.2}n + {:.2}", self.slope, self.intercept)
+        } else {
+            write!(f, "{:.2}n - {:.2}", self.slope, -self.intercept)
+        }
+    }
+}
+
+/// The §3.2 downtime model, parameterized by the §5.6 component functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DowntimeModel {
+    /// Hardware reset time `reset_hw` (s).
+    pub reset_hw: f64,
+    /// `reboot_vmm(n)`: VMM reboot time with `n` suspended VMs (s).
+    pub reboot_vmm: Linear,
+    /// `resume(n)`: on-memory suspend+resume of `n` VMs in parallel (s).
+    pub resume: Linear,
+    /// `reboot_os(n)`: shutdown+boot of `n` OSes in parallel (s).
+    pub reboot_os: Linear,
+    /// `boot(n)`: boot of `n` OSes in parallel (s).
+    pub boot: Linear,
+}
+
+impl DowntimeModel {
+    /// The coefficients published in §5.6:
+    /// `reboot_vmm(n) = −0.55n + 43`, `resume(n) = 0.43n − 0.07`,
+    /// `reboot_os(n) = 3.8n + 13`, `boot(n) = 3.4n + 2.8`, `reset_hw = 47`.
+    pub fn paper() -> Self {
+        DowntimeModel {
+            reset_hw: 47.0,
+            reboot_vmm: Linear::new(-0.55, 43.0),
+            resume: Linear::new(0.43, -0.07),
+            reboot_os: Linear::new(3.8, 13.0),
+            boot: Linear::new(3.4, 2.8),
+        }
+    }
+
+    /// Warm-reboot downtime increase `d_w(n)`.
+    pub fn d_warm(&self, n: f64) -> f64 {
+        self.reboot_vmm.at(n) + self.resume.at(n)
+    }
+
+    /// Cold-reboot downtime increase `d_c(n)` for a given `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α ≤ 1`.
+    pub fn d_cold(&self, n: f64, alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha <= 1.0, "α must be in (0, 1], got {alpha}");
+        self.reset_hw + self.reboot_vmm.at(0.0) + self.reboot_os.at(n)
+            - self.reboot_os.at(1.0) * alpha
+    }
+
+    /// Downtime saved by the warm-VM reboot, `r(n) = d_c(n) − d_w(n)`.
+    pub fn saving(&self, n: f64, alpha: f64) -> f64 {
+        self.d_cold(n, alpha) - self.d_warm(n)
+    }
+
+    /// The saving as a closed-form line in `n` for a fixed `α` —
+    /// the paper's `r(n) = 3.9n + 60 − 17α`.
+    pub fn saving_line(&self, alpha: f64) -> Linear {
+        let slope = self.reboot_os.slope - self.reboot_vmm.slope - self.resume.slope;
+        let intercept = self.reset_hw + self.reboot_vmm.at(0.0) + self.reboot_os.intercept
+            - self.reboot_os.at(1.0) * alpha
+            - self.reboot_vmm.intercept
+            - self.resume.intercept;
+        Linear::new(slope, intercept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_coefficients_reproduce_r_of_n() {
+        // §5.6: r(n) = 3.9n + 60 − 17α.
+        let m = DowntimeModel::paper();
+        for alpha in [0.25, 0.5, 1.0] {
+            for n in 1..=11 {
+                let n = n as f64;
+                let expected = 3.9 * n + 60.0 - 17.0 * alpha;
+                let got = m.saving(n, alpha);
+                assert!(
+                    (got - expected).abs() < 0.6,
+                    "r({n}) at α={alpha}: {got:.2} vs paper {expected:.2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saving_is_always_positive() {
+        // §5.6: "Since r(n) is always positive under α ≤ 1, the warm-VM
+        // reboot can always reduce the downtime in our configuration."
+        let m = DowntimeModel::paper();
+        for n in 0..=64 {
+            assert!(m.saving(n as f64, 1.0) > 0.0, "r({n}) not positive at α=1");
+        }
+    }
+
+    #[test]
+    fn saving_line_matches_pointwise_saving() {
+        let m = DowntimeModel::paper();
+        let line = m.saving_line(0.5);
+        for n in 1..=11 {
+            let n = n as f64;
+            assert!((line.at(n) - m.saving(n, 0.5)).abs() < 1e-9);
+        }
+        assert!((line.slope - 3.92).abs() < 0.01);
+    }
+
+    #[test]
+    fn warm_downtime_is_flat_cold_grows() {
+        let m = DowntimeModel::paper();
+        let w1 = m.d_warm(1.0);
+        let w11 = m.d_warm(11.0);
+        assert!((w11 - w1).abs() < 2.0, "warm is ~flat: {w1:.1} → {w11:.1}");
+        let c1 = m.d_cold(1.0, 0.5);
+        let c11 = m.d_cold(11.0, 0.5);
+        assert!(c11 - c1 > 30.0, "cold grows with n: {c1:.1} → {c11:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be in")]
+    fn alpha_zero_rejected() {
+        DowntimeModel::paper().d_cold(5.0, 0.0);
+    }
+
+    #[test]
+    fn linear_display() {
+        assert_eq!(Linear::new(3.8, 13.0).to_string(), "3.80n + 13.00");
+        assert_eq!(Linear::new(0.43, -0.07).to_string(), "0.43n - 0.07");
+    }
+}

@@ -1,0 +1,405 @@
+//! Time-based rejuvenation policy — the Fig. 2 semantics.
+//!
+//! Each OS is rejuvenated every `os_interval` (time-based rejuvenation,
+//! Garg et al.); the VMM every `vmm_interval`. The key interaction the
+//! paper draws in Fig. 2:
+//!
+//! * with the **warm**-VM reboot, VMM rejuvenation does not disturb the OS
+//!   rejuvenation schedule (Fig. 2a);
+//! * with the **cold**-VM reboot (or saved), the forced OS reboot *resets*
+//!   each OS's timer — the next OS rejuvenation happens one full interval
+//!   after the VMM rejuvenation (Fig. 2b).
+//!
+//! [`TimeBasedPolicy::schedule`] generates the event timeline analytically;
+//! [`run_policy`] executes it against a live [`HostSim`], actually
+//! performing the reboots in simulated time.
+
+use rh_sim::time::{SimDuration, SimTime};
+use rh_vmm::config::RebootStrategy;
+use rh_vmm::domain::DomainId;
+use rh_vmm::harness::HostSim;
+
+/// A scheduled rejuvenation action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Rejuvenate one guest OS.
+    RejuvenateOs(DomainId),
+    /// Rejuvenate the VMM.
+    RejuvenateVmm,
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: PolicyAction,
+    /// For VMM events: the α value (fraction of the OS interval elapsed
+    /// since the last OS rejuvenation of the *first* guest). Zero for OS
+    /// events.
+    pub alpha: f64,
+}
+
+/// The time-based policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBasedPolicy {
+    /// OS rejuvenation interval.
+    pub os_interval: SimDuration,
+    /// VMM rejuvenation interval.
+    pub vmm_interval: SimDuration,
+}
+
+impl TimeBasedPolicy {
+    /// The paper's §5.3 cadence: OS weekly, VMM every four weeks.
+    pub fn paper() -> Self {
+        TimeBasedPolicy {
+            os_interval: SimDuration::from_secs(7 * 24 * 3600),
+            vmm_interval: SimDuration::from_secs(4 * 7 * 24 * 3600),
+        }
+    }
+
+    /// Generates the rejuvenation timeline for `guests` over `horizon`,
+    /// starting the clocks at `start`. `forces_os` selects the Fig. 2(b)
+    /// semantics (cold/saved: VMM rejuvenation resets every OS timer).
+    ///
+    /// Events exactly coinciding are ordered VMM first; an OS rejuvenation
+    /// coinciding with a VMM one is skipped when `forces_os` (it is
+    /// subsumed).
+    pub fn schedule(
+        &self,
+        guests: &[DomainId],
+        start: SimTime,
+        horizon: SimDuration,
+        forces_os: bool,
+    ) -> Vec<PolicyEvent> {
+        let end = start + horizon;
+        let mut events = Vec::new();
+        let mut next_vmm = start + self.vmm_interval;
+        let mut next_os: Vec<SimTime> = guests.iter().map(|_| start + self.os_interval).collect();
+        let mut last_os: Vec<SimTime> = guests.iter().map(|_| start).collect();
+        loop {
+            let min_os = next_os.iter().copied().min();
+            let next = match min_os {
+                Some(t) => t.min(next_vmm),
+                None => next_vmm,
+            };
+            if next > end {
+                break;
+            }
+            if next_vmm <= next {
+                // VMM rejuvenation fires (ties resolve to the VMM).
+                let alpha = if guests.is_empty() {
+                    0.0
+                } else {
+                    (next_vmm - last_os[0]).as_secs_f64() / self.os_interval.as_secs_f64()
+                };
+                events.push(PolicyEvent {
+                    at: next_vmm,
+                    action: PolicyAction::RejuvenateVmm,
+                    alpha: alpha.min(1.0),
+                });
+                if forces_os {
+                    // Fig. 2(b): every OS timer resets.
+                    for (i, _) in guests.iter().enumerate() {
+                        last_os[i] = next_vmm;
+                        next_os[i] = next_vmm + self.os_interval;
+                    }
+                }
+                next_vmm += self.vmm_interval;
+            } else {
+                for (i, g) in guests.iter().enumerate() {
+                    if next_os[i] == next {
+                        events.push(PolicyEvent {
+                            at: next,
+                            action: PolicyAction::RejuvenateOs(*g),
+                            alpha: 0.0,
+                        });
+                        last_os[i] = next;
+                        next_os[i] = next + self.os_interval;
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+/// Renders a schedule as a Fig. 2-style ASCII timeline: one lane per
+/// guest plus a VMM lane, one column per `tick` of simulated time.
+///
+/// `O` marks an OS rejuvenation, `V` a VMM rejuvenation, `.` quiet time.
+pub fn render_timeline(
+    events: &[PolicyEvent],
+    guests: &[DomainId],
+    horizon: SimDuration,
+    tick: SimDuration,
+) -> String {
+    assert!(!tick.is_zero(), "tick must be positive");
+    let cols = (horizon.as_micros() / tick.as_micros()) as usize + 1;
+    let col_of = |at: SimTime| (at.as_micros() / tick.as_micros()) as usize;
+    let mut out = String::new();
+    let mut vmm_lane = vec!['.'; cols];
+    for e in events {
+        if e.action == PolicyAction::RejuvenateVmm {
+            let c = col_of(e.at).min(cols - 1);
+            vmm_lane[c] = 'V';
+        }
+    }
+    out.push_str(&format!("{:>7}  {}
+", "VMM", vmm_lane.iter().collect::<String>()));
+    for g in guests {
+        let mut lane = vec!['.'; cols];
+        for e in events {
+            if e.action == PolicyAction::RejuvenateOs(*g) {
+                let c = col_of(e.at).min(cols - 1);
+                lane[c] = 'O';
+            }
+        }
+        out.push_str(&format!("{:>7}  {}
+", g.to_string(), lane.iter().collect::<String>()));
+    }
+    out
+}
+
+/// Outcome of executing a policy against a live host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyOutcome {
+    /// Total simulated span covered.
+    pub horizon: SimDuration,
+    /// OS rejuvenations performed.
+    pub os_rejuvenations: u64,
+    /// VMM rejuvenations performed.
+    pub vmm_rejuvenations: u64,
+    /// Sum of every per-domain outage in the span.
+    pub total_downtime: SimDuration,
+    /// Measured availability (1 − downtime / (guests × horizon)).
+    pub availability: f64,
+}
+
+/// Executes the policy on a live simulated host for `horizon`, actually
+/// performing every rejuvenation, and measures the resulting availability.
+///
+/// The host must already be powered on with all services up.
+///
+/// # Panics
+///
+/// Panics if the host has no guests or is mid-reboot.
+pub fn run_policy(
+    sim: &mut HostSim,
+    policy: &TimeBasedPolicy,
+    strategy: RebootStrategy,
+    horizon: SimDuration,
+) -> PolicyOutcome {
+    let guests = sim.host().domu_ids();
+    assert!(!guests.is_empty(), "policy needs at least one guest");
+    assert!(!sim.host().reboot_in_progress(), "host is mid-reboot");
+    let start = sim.now();
+    let end = start + horizon;
+    let forces_os = strategy != RebootStrategy::Warm;
+    let mut next_vmm = start + policy.vmm_interval;
+    let mut next_os: Vec<SimTime> = guests.iter().map(|_| start + policy.os_interval).collect();
+    let mut os_count = 0u64;
+    let mut vmm_count = 0u64;
+    loop {
+        let min_os_idx = (0..guests.len()).min_by_key(|&i| next_os[i]);
+        let (fire_vmm, at) = match min_os_idx {
+            Some(i) if next_os[i] < next_vmm => (false, next_os[i]),
+            _ => (true, next_vmm),
+        };
+        if at > end {
+            break;
+        }
+        // A long rejuvenation may overrun the next scheduled slot; fire
+        // immediately in that case.
+        let gap = at.saturating_duration_since(sim.now());
+        sim.run_for(gap);
+        if fire_vmm {
+            sim.reboot_and_wait(strategy);
+            vmm_count += 1;
+            if forces_os {
+                for t in next_os.iter_mut() {
+                    *t = sim.now() + policy.os_interval;
+                }
+            }
+            next_vmm = at + policy.vmm_interval;
+        } else {
+            let i = min_os_idx.expect("picked an OS event");
+            sim.os_reboot_and_wait(guests[i]);
+            os_count += 1;
+            next_os[i] = at + policy.os_interval;
+        }
+    }
+    if sim.now() < end {
+        let rest = end - sim.now();
+        sim.run_for(rest);
+    }
+    let mut total = SimDuration::ZERO;
+    for g in &guests {
+        if let Some(m) = sim.host().meter(*g) {
+            total += m
+                .outages()
+                .iter()
+                .filter(|o| o.start >= start)
+                .map(|o| o.duration())
+                .sum();
+        }
+    }
+    let denom = horizon.as_secs_f64() * guests.len() as f64;
+    PolicyOutcome {
+        horizon,
+        os_rejuvenations: os_count,
+        vmm_rejuvenations: vmm_count,
+        total_downtime: total,
+        availability: 1.0 - total.as_secs_f64() / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn days(d: u64) -> SimDuration {
+        SimDuration::from_secs(d * 24 * 3600)
+    }
+
+    fn doms(n: u32) -> Vec<DomainId> {
+        (1..=n).map(DomainId).collect()
+    }
+
+    #[test]
+    fn warm_schedule_keeps_os_cadence() {
+        // Fig. 2(a): over 8 weeks with weekly OS and 4-weekly VMM
+        // rejuvenation, one guest sees 8 OS + 2 VMM events and the OS
+        // events stay exactly weekly.
+        let p = TimeBasedPolicy::paper();
+        let events = p.schedule(&doms(1), SimTime::ZERO, days(7 * 8), false);
+        let os: Vec<SimTime> = events
+            .iter()
+            .filter(|e| matches!(e.action, PolicyAction::RejuvenateOs(_)))
+            .map(|e| e.at)
+            .collect();
+        let vmm: Vec<&PolicyEvent> = events
+            .iter()
+            .filter(|e| e.action == PolicyAction::RejuvenateVmm)
+            .collect();
+        assert_eq!(vmm.len(), 2);
+        // Week 4 coincides: VMM fires, OS *also* fires (warm does not
+        // subsume it) — 8 weekly OS events in total.
+        assert_eq!(os.len(), 8);
+        for (i, t) in os.iter().enumerate() {
+            assert_eq!(*t, SimTime::ZERO + days(7 * (i as u64 + 1)), "os event {i}");
+        }
+        // α at the coinciding VMM rejuvenation is a full interval.
+        assert!((vmm[0].alpha - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_schedule_resets_os_timers() {
+        // Fig. 2(b): the VMM rejuvenation at week 4 replaces that week's
+        // OS rejuvenation and shifts the following ones.
+        let p = TimeBasedPolicy::paper();
+        let events = p.schedule(&doms(1), SimTime::ZERO, days(7 * 8), true);
+        let os: Vec<SimTime> = events
+            .iter()
+            .filter(|e| matches!(e.action, PolicyAction::RejuvenateOs(_)))
+            .map(|e| e.at)
+            .collect();
+        // Weeks 1, 2, 3 then (post-VMM) weeks 5, 6, 7 — week 4's OS rejuv
+        // is subsumed and week 8 is the next VMM rejuvenation.
+        assert_eq!(os.len(), 6);
+        assert_eq!(os[3], SimTime::ZERO + days(7 * 5));
+        let vmm_count = events
+            .iter()
+            .filter(|e| e.action == PolicyAction::RejuvenateVmm)
+            .count();
+        assert_eq!(vmm_count, 2);
+    }
+
+    #[test]
+    fn alpha_reflects_offset_schedules() {
+        // VMM every 10 days, OS every 7: the first VMM rejuvenation lands
+        // 3 days into the second OS interval → α = 3/7.
+        let p = TimeBasedPolicy {
+            os_interval: days(7),
+            vmm_interval: days(10),
+        };
+        let events = p.schedule(&doms(1), SimTime::ZERO, days(11), true);
+        let vmm: Vec<&PolicyEvent> = events
+            .iter()
+            .filter(|e| e.action == PolicyAction::RejuvenateVmm)
+            .collect();
+        assert_eq!(vmm.len(), 1);
+        assert!((vmm[0].alpha - 3.0 / 7.0).abs() < 1e-9, "α = {}", vmm[0].alpha);
+    }
+
+    #[test]
+    fn multiple_guests_each_keep_their_timer() {
+        let p = TimeBasedPolicy::paper();
+        let events = p.schedule(&doms(3), SimTime::ZERO, days(14), false);
+        let os_count = events
+            .iter()
+            .filter(|e| matches!(e.action, PolicyAction::RejuvenateOs(_)))
+            .count();
+        assert_eq!(os_count, 6, "3 guests × 2 weeks");
+    }
+
+    #[test]
+    fn timeline_render_shows_fig2_difference() {
+        // Fig. 2(a) vs 2(b) as ASCII: with the warm reboot the OS lane is
+        // strictly periodic; with the cold reboot the week-4 OS mark
+        // disappears (subsumed) and the rest shift.
+        let p = TimeBasedPolicy::paper();
+        let g = doms(1);
+        let horizon = days(7 * 8);
+        let tick = days(7);
+        let warm = render_timeline(&p.schedule(&g, SimTime::ZERO, horizon, false), &g, horizon, tick);
+        let cold = render_timeline(&p.schedule(&g, SimTime::ZERO, horizon, true), &g, horizon, tick);
+        assert_ne!(warm, cold);
+        let warm_os = warm.lines().nth(1).unwrap().matches('O').count();
+        let cold_os = cold.lines().nth(1).unwrap().matches('O').count();
+        assert_eq!(warm_os, 8, "warm keeps all weekly OS rejuvenations");
+        assert_eq!(cold_os, 6, "cold subsumes the coinciding ones");
+        let vmm_lane = warm.lines().next().unwrap().split_whitespace().last().unwrap();
+        assert_eq!(vmm_lane.matches('V').count(), 2);
+    }
+
+    #[test]
+    fn empty_horizon_is_empty() {
+        let p = TimeBasedPolicy::paper();
+        assert!(p.schedule(&doms(2), SimTime::ZERO, days(1), false).is_empty());
+    }
+
+    // End-to-end policy execution against a live host, at a compressed
+    // cadence so the test stays fast.
+    #[test]
+    fn live_policy_warm_beats_cold_availability() {
+        use rh_guest::services::ServiceKind;
+        use rh_vmm::harness::booted_host;
+
+        let policy = TimeBasedPolicy {
+            os_interval: SimDuration::from_secs(4_000),
+            vmm_interval: SimDuration::from_secs(16_000),
+        };
+        let horizon = SimDuration::from_secs(33_000);
+
+        let mut warm_sim = booted_host(3, ServiceKind::Jboss);
+        let warm = run_policy(&mut warm_sim, &policy, RebootStrategy::Warm, horizon);
+        let mut cold_sim = booted_host(3, ServiceKind::Jboss);
+        let cold = run_policy(&mut cold_sim, &policy, RebootStrategy::Cold, horizon);
+
+        assert_eq!(warm.vmm_rejuvenations, 2);
+        assert_eq!(cold.vmm_rejuvenations, 2);
+        // Warm keeps the OS cadence: strictly more OS rejuvenations.
+        assert!(
+            warm.os_rejuvenations > cold.os_rejuvenations,
+            "warm {} vs cold {} OS rejuvenations",
+            warm.os_rejuvenations,
+            cold.os_rejuvenations
+        );
+        // And still ends up with less downtime and higher availability.
+        assert!(warm.total_downtime < cold.total_downtime);
+        assert!(warm.availability > cold.availability);
+        assert!(warm.availability > 0.95 && cold.availability > 0.9);
+    }
+}

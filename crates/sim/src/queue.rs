@@ -1,0 +1,242 @@
+//! A FIFO multi-server queueing resource.
+//!
+//! [`FifoResource`] models `k` identical servers with a first-in-first-out
+//! waiting line: each job has a fixed service duration and occupies one
+//! server exclusively. It is the ablation counterpart to the
+//! processor-sharing [`PsResource`](crate::resource::PsResource) — the
+//! DESIGN.md ablation "processor-sharing vs FIFO disk" swaps one for the
+//! other to show how the contention model shapes the paper's linear-in-`n`
+//! slopes.
+//!
+//! Driving pattern is identical to `PsResource`: mutate, ask
+//! [`next_completion`](FifoResource::next_completion), arm a wake-up, then
+//! [`take_completed`](FifoResource::take_completed) on wake-up.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::resource::JobId;
+use crate::time::{SimDuration, SimTime};
+
+/// A `k`-server FIFO queue with per-job fixed service times.
+///
+/// # Examples
+///
+/// ```
+/// use rh_sim::queue::FifoResource;
+/// use rh_sim::time::{SimDuration, SimTime};
+///
+/// let mut q = FifoResource::new(1);
+/// let t0 = SimTime::ZERO;
+/// let a = q.submit(t0, SimDuration::from_secs(2));
+/// let b = q.submit(t0, SimDuration::from_secs(3));
+/// // Single server: a finishes at 2, then b at 5.
+/// let t1 = q.next_completion().unwrap();
+/// assert_eq!(q.take_completed(t1), vec![a]);
+/// let t2 = q.next_completion().unwrap();
+/// assert_eq!(t2.as_secs_f64(), 5.0);
+/// assert_eq!(q.take_completed(t2), vec![b]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    servers: usize,
+    in_service: BTreeMap<u64, SimTime>,
+    waiting: VecDeque<(u64, SimDuration)>,
+    next_id: u64,
+    served: u64,
+}
+
+impl FifoResource {
+    /// Creates a queue with `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "FifoResource needs at least one server");
+        FifoResource {
+            servers,
+            in_service: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            next_id: 0,
+            served: 0,
+        }
+    }
+
+    /// Number of configured servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Jobs currently being served.
+    pub fn in_service(&self) -> usize {
+        self.in_service.len()
+    }
+
+    /// Jobs waiting for a server.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Total jobs in the system.
+    pub fn len(&self) -> usize {
+        self.in_service.len() + self.waiting.len()
+    }
+
+    /// True if no job is in the system.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total jobs served over the lifetime of the queue.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Submits a job requiring `service` time; it starts immediately if a
+    /// server is free, otherwise waits in FIFO order.
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> JobId {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.in_service.len() < self.servers {
+            self.in_service.insert(id, now + service);
+        } else {
+            self.waiting.push_back((id, service));
+        }
+        JobId(id)
+    }
+
+    /// Removes a job whether waiting or in service. Returns `true` if it was
+    /// present. Freed capacity is *not* backfilled until the next
+    /// [`take_completed`](Self::take_completed) call, mirroring a driver that
+    /// reacts on its next wake-up.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if self.in_service.remove(&id.0).is_some() {
+            return true;
+        }
+        let before = self.waiting.len();
+        self.waiting.retain(|(j, _)| *j != id.0);
+        before != self.waiting.len()
+    }
+
+    /// The earliest pending completion instant, or `None` if no job is in
+    /// service.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.in_service.values().min().copied()
+    }
+
+    /// Removes every job whose service finished at or before `now` (in
+    /// submission order) and promotes waiting jobs onto freed servers,
+    /// starting their service at `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<JobId> {
+        let done: Vec<u64> = self
+            .in_service
+            .iter()
+            .filter(|(_, &finish)| finish <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &done {
+            self.in_service.remove(id);
+            self.served += 1;
+        }
+        while self.in_service.len() < self.servers {
+            match self.waiting.pop_front() {
+                Some((id, service)) => {
+                    self.in_service.insert(id, now + service);
+                }
+                None => break,
+            }
+        }
+        done.into_iter().map(JobId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn parallel_servers_run_concurrently() {
+        let mut q = FifoResource::new(2);
+        let a = q.submit(SimTime::ZERO, secs(2));
+        let b = q.submit(SimTime::ZERO, secs(2));
+        assert_eq!(q.in_service(), 2);
+        let t = q.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        let done = q.take_completed(t);
+        assert_eq!(done, vec![a, b]);
+    }
+
+    #[test]
+    fn overflow_waits_fifo() {
+        let mut q = FifoResource::new(1);
+        let _a = q.submit(SimTime::ZERO, secs(1));
+        let b = q.submit(SimTime::ZERO, secs(1));
+        let c = q.submit(SimTime::ZERO, secs(1));
+        assert_eq!(q.waiting(), 2);
+        let t1 = q.next_completion().unwrap();
+        q.take_completed(t1);
+        // b should now be in service, c still waiting.
+        assert_eq!(q.in_service(), 1);
+        assert_eq!(q.waiting(), 1);
+        let t2 = q.next_completion().unwrap();
+        assert_eq!(t2, SimTime::from_secs(2));
+        assert_eq!(q.take_completed(t2), vec![b]);
+        let t3 = q.next_completion().unwrap();
+        assert_eq!(q.take_completed(t3), vec![c]);
+        assert_eq!(q.served(), 3);
+    }
+
+    #[test]
+    fn cancel_waiting_job() {
+        let mut q = FifoResource::new(1);
+        let _a = q.submit(SimTime::ZERO, secs(1));
+        let b = q.submit(SimTime::ZERO, secs(1));
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b));
+        let t = q.next_completion().unwrap();
+        q.take_completed(t);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_in_service_job() {
+        let mut q = FifoResource::new(1);
+        let a = q.submit(SimTime::ZERO, secs(5));
+        let b = q.submit(SimTime::ZERO, secs(1));
+        assert!(q.cancel(a));
+        // b is promoted on the next drain.
+        let drained = q.take_completed(SimTime::from_secs(0));
+        assert!(drained.is_empty());
+        assert_eq!(q.in_service(), 1);
+        let t = q.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        assert_eq!(q.take_completed(t), vec![b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = FifoResource::new(0);
+    }
+
+    #[test]
+    fn makespan_scales_linearly_with_load_on_one_server() {
+        // The FIFO ablation: n sequential unit jobs take exactly n seconds.
+        for n in 1..=8u64 {
+            let mut q = FifoResource::new(1);
+            for _ in 0..n {
+                q.submit(SimTime::ZERO, secs(1));
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(t) = q.next_completion() {
+                last = t;
+                q.take_completed(t);
+            }
+            assert_eq!(last, SimTime::from_secs(n));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Simulated time.
+//!
+//! All simulation time is expressed in integer microseconds since the start
+//! of the simulation. Integer time keeps the event queue total-ordered and
+//! the whole simulation bit-for-bit deterministic across runs and platforms.
+//!
+//! Two newtypes are provided: [`SimTime`], an absolute instant, and
+//! [`SimDuration`], a span between instants. Arithmetic between them mirrors
+//! `std::time::{Instant, Duration}`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant on the simulated clock, in microseconds since the
+/// simulation epoch (time zero).
+///
+/// # Examples
+///
+/// ```
+/// use rh_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(3);
+/// assert_eq!(t.as_secs_f64(), 3.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use rh_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_millis(1500);
+/// assert_eq!(d.as_secs_f64(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimTime((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: {earlier} is later than {self}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow in subtraction"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration underflow in subtraction"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration overflow in multiplication"),
+        )
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:.6}s)", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({:.6}s)", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_secs_f64(0.25).as_micros(), 250_000);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_nearest_micro() {
+        assert_eq!(SimDuration::from_secs_f64(0.000_000_4).as_micros(), 0);
+        assert_eq!(SimDuration::from_secs_f64(0.000_000_6).as_micros(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn time_from_secs_f64_rejects_nan() {
+        let _ = SimTime::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimTime::from_secs(10);
+        let t1 = t0 + SimDuration::from_secs(5);
+        assert_eq!(t1, SimTime::from_secs(15));
+        assert_eq!(t1 - t0, SimDuration::from_secs(5));
+        assert_eq!(t1 - SimDuration::from_secs(15), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn duration_since_panics_on_reversed_order() {
+        let _ = SimTime::from_secs(1).duration_since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let d = SimTime::from_secs(1).saturating_duration_since(SimTime::from_secs(2));
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(4);
+        let b = SimDuration::from_secs(1);
+        assert_eq!(a + b, SimDuration::from_secs(5));
+        assert_eq!(a - b, SimDuration::from_secs(3));
+        assert_eq!(a * 3, SimDuration::from_secs(12));
+        assert_eq!(a / 2, SimDuration::from_secs(2));
+        assert_eq!(a * 0.5, SimDuration::from_secs(2));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(SimDuration::from_secs(3)));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_millis_for_test(1500).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+
+    impl SimTime {
+        fn from_millis_for_test(ms: u64) -> SimTime {
+            SimTime::from_micros(ms * 1_000)
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+}

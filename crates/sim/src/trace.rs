@@ -1,0 +1,172 @@
+//! Structured event tracing.
+//!
+//! A [`Trace`] accumulates timestamped, categorized messages from the
+//! simulated host. Tests assert on traces ("suspend happened after dom0
+//! shutdown"), and the Fig. 7 harness renders the reboot timeline from the
+//! `phase` category.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Instant at which the entry was recorded.
+    pub at: SimTime,
+    /// Free-form category (e.g. `"phase"`, `"vmm"`, `"guest"`).
+    pub category: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] {:<8} {}", self.at.to_string(), self.category, self.message)
+    }
+}
+
+/// An append-only, time-ordered log of [`TraceEntry`] values.
+///
+/// # Examples
+///
+/// ```
+/// use rh_sim::trace::Trace;
+/// use rh_sim::time::SimTime;
+///
+/// let mut trace = Trace::new();
+/// trace.log(SimTime::from_secs(1), "vmm", "quick reload started");
+/// assert_eq!(trace.in_category("vmm").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that drops every entry (for long-running
+    /// benchmark simulations where tracing overhead matters).
+    pub fn disabled() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// True if entries are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry (no-op when disabled).
+    pub fn log(&mut self, at: SimTime, category: impl Into<String>, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.entries.push(TraceEntry {
+            at,
+            category: category.into(),
+            message: message.into(),
+        });
+    }
+
+    /// All entries, in recording order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries whose category equals `category`.
+    pub fn in_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.category == category)
+    }
+
+    /// The first entry whose message contains `needle`, if any.
+    pub fn find(&self, needle: &str) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// True if some entry's message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.find(needle).is_some()
+    }
+
+    /// Discards all entries (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the whole trace, one entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_and_query() {
+        let mut t = Trace::new();
+        t.log(SimTime::from_secs(1), "vmm", "xexec loaded");
+        t.log(SimTime::from_secs(2), "guest", "domU 3 suspended");
+        t.log(SimTime::from_secs(3), "vmm", "quick reload done");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.in_category("vmm").count(), 2);
+        assert!(t.contains("domU 3"));
+        assert!(!t.contains("cold"));
+        assert_eq!(t.find("reload").unwrap().at, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn disabled_trace_drops_entries() {
+        let mut t = Trace::disabled();
+        t.log(SimTime::ZERO, "x", "dropped");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn clear_retains_enabled_flag() {
+        let mut t = Trace::new();
+        t.log(SimTime::ZERO, "x", "one");
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn render_has_one_line_per_entry() {
+        let mut t = Trace::new();
+        t.log(SimTime::from_secs(1), "a", "first");
+        t.log(SimTime::from_secs(2), "b", "second");
+        let rendered = t.render();
+        assert_eq!(rendered.lines().count(), 2);
+        assert!(rendered.contains("first"));
+        assert!(rendered.contains("second"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Host configuration.
+//!
+//! [`HostConfig`] describes one simulated server: installed RAM, the set of
+//! guest domains, the timing calibration, and the knobs the paper's
+//! experiments (and our ablations) turn.
+
+use rh_guest::services::ServiceKind;
+
+use crate::domain::DomainSpec;
+use crate::timing::TimingParams;
+
+/// The three VMM rejuvenation strategies compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RebootStrategy {
+    /// The paper's warm-VM reboot: on-memory suspend + quick reload.
+    Warm,
+    /// Xen's suspend-to-disk, hardware reset, restore-from-disk.
+    Saved,
+    /// Ordinary shutdown, hardware reset, boot.
+    Cold,
+}
+
+impl std::fmt::Display for RebootStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebootStrategy::Warm => write!(f, "warm"),
+            RebootStrategy::Saved => write!(f, "saved"),
+            RebootStrategy::Cold => write!(f, "cold"),
+        }
+    }
+}
+
+/// Who initiates the on-memory suspend, and when (a DESIGN.md ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuspendOrder {
+    /// The paper's RootHammer ordering: the VMM suspends domain Us *after*
+    /// domain 0 has shut down, so guests keep serving ~14 s longer (§4.2,
+    /// Fig. 7 credits ≈7 s of downtime to this).
+    VmmAfterDom0Shutdown,
+    /// The original Xen ordering: domain 0 suspends the guests while it is
+    /// itself shutting down, stopping them earlier.
+    Dom0DuringShutdown,
+}
+
+/// Full description of one simulated host.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Installed machine memory in bytes (the paper's host: 12 GiB).
+    pub ram_bytes: u64,
+    /// Guest domain specs (domain 0 is implicit).
+    pub domains: Vec<DomainSpec>,
+    /// Timing calibration.
+    pub timing: TimingParams,
+    /// Experiment RNG seed.
+    pub seed: u64,
+    /// Suspend-ordering ablation.
+    pub suspend_order: SuspendOrder,
+    /// Retain a full event trace (disable for long benchmark runs).
+    pub trace: bool,
+    /// Send liveness probes every `timing.probe_interval` (client-side
+    /// sampled downtime, cross-checking the exact meters).
+    pub probes: bool,
+    /// Model OS-level aging inside guests (kernel-memory/swap wear that
+    /// slows request service until an OS reboot).
+    pub guest_aging: bool,
+}
+
+impl HostConfig {
+    /// The paper's testbed: 12 GiB RAM, no guests yet.
+    pub fn paper_testbed() -> Self {
+        HostConfig {
+            ram_bytes: 12 << 30,
+            domains: Vec::new(),
+            timing: TimingParams::paper_testbed(),
+            seed: 0x5EED,
+            suspend_order: SuspendOrder::VmmAfterDom0Shutdown,
+            trace: true,
+            probes: false,
+            guest_aging: false,
+        }
+    }
+
+    /// Adds `n` standard 1 GiB guests running `service`.
+    pub fn with_vms(mut self, n: u32, service: ServiceKind) -> Self {
+        let base = self.domains.len() as u32;
+        for i in 0..n {
+            self.domains
+                .push(DomainSpec::standard(format!("vm{}", base + i + 1), service));
+        }
+        self
+    }
+
+    /// Adds one custom domain.
+    pub fn with_domain(mut self, spec: DomainSpec) -> Self {
+        self.domains.push(spec);
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the suspend ordering (ablation).
+    pub fn with_suspend_order(mut self, order: SuspendOrder) -> Self {
+        self.suspend_order = order;
+        self
+    }
+
+    /// Enables or disables tracing.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enables or disables client-side probes.
+    pub fn with_probes(mut self, on: bool) -> Self {
+        self.probes = on;
+        self
+    }
+
+    /// Enables or disables guest OS aging.
+    pub fn with_guest_aging(mut self, on: bool) -> Self {
+        self.guest_aging = on;
+        self
+    }
+
+    /// Overrides the timing parameters.
+    pub fn with_timing(mut self, timing: TimingParams) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Installed RAM in GiB.
+    pub fn ram_gib(&self) -> f64 {
+        self.ram_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_defaults() {
+        let c = HostConfig::paper_testbed();
+        assert_eq!(c.ram_bytes, 12 << 30);
+        assert!((c.ram_gib() - 12.0).abs() < 1e-9);
+        assert!(c.domains.is_empty());
+        assert_eq!(c.suspend_order, SuspendOrder::VmmAfterDom0Shutdown);
+    }
+
+    #[test]
+    fn with_vms_appends_specs() {
+        let c = HostConfig::paper_testbed().with_vms(11, ServiceKind::Ssh);
+        assert_eq!(c.domains.len(), 11);
+        assert_eq!(c.domains[0].name, "vm1");
+        assert_eq!(c.domains[10].name, "vm11");
+        for d in &c.domains {
+            assert_eq!(d.mem_bytes, 1 << 30);
+        }
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = HostConfig::paper_testbed()
+            .with_seed(99)
+            .with_trace(false)
+            .with_probes(true)
+            .with_suspend_order(SuspendOrder::Dom0DuringShutdown);
+        assert_eq!(c.seed, 99);
+        assert!(!c.trace);
+        assert!(c.probes);
+        assert_eq!(c.suspend_order, SuspendOrder::Dom0DuringShutdown);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(RebootStrategy::Warm.to_string(), "warm");
+        assert_eq!(RebootStrategy::Saved.to_string(), "saved");
+        assert_eq!(RebootStrategy::Cold.to_string(), "cold");
+    }
+}

@@ -1,0 +1,1846 @@
+//! The simulated host: VMM + domains + disk + CPU + network + clients.
+//!
+//! [`Host`] implements [`rh_sim::World`] and orchestrates, event by event,
+//! the three rejuvenation strategies the paper compares:
+//!
+//! * **warm** ([`Host::warm_reboot`]) — dom0 shuts down while guests keep
+//!   serving; the VMM then suspends every domain U on memory, quick-reloads
+//!   itself, boots dom0, and resumes the frozen domains;
+//! * **cold** ([`Host::cold_reboot`]) — guests shut down, hardware reset,
+//!   VMM + dom0 boot, guests boot, services restart;
+//! * **saved** ([`Host::saved_reboot`]) — Xen's suspend-to-disk of every
+//!   image, hardware reset, restore-from-disk.
+//!
+//! Every timing result in the paper's §5 is produced by driving this world:
+//! downtime meters record service outages, [`RebootMetrics`] records the
+//! Fig. 7 phase breakdown, the httperf client records the throughput
+//! traces, and memory digests verify (not assume!) image preservation.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use rh_guest::boot::{
+    linux_guest_boot, linux_guest_shutdown, resume_handler, suspend_handler, WorkProfile,
+};
+use rh_memory::contents::FrameContents;
+use rh_memory::frame::frames_for_bytes;
+use rh_net::downtime::{DowntimeMeter, ProbeLog};
+use rh_net::httperf::HttperfClient;
+use rh_sim::engine::{Scheduler, World};
+use rh_sim::histogram::LatencyHistogram;
+use rh_sim::resource::{JobId, PsResource, Retick};
+use rh_sim::rng::SimRng;
+use rh_sim::time::{SimDuration, SimTime};
+use rh_sim::trace::Trace;
+use rh_storage::disk::{Disk, IoKind};
+use rh_storage::image::MemoryImage;
+use rh_storage::partition::{PartitionId, PartitionTable};
+
+use crate::config::{HostConfig, RebootStrategy, SuspendOrder};
+use crate::domain::{Domain, DomainId, ExecState};
+use crate::metrics::RebootMetrics;
+use crate::timing::TimingParams;
+use crate::vmm::{Vmm, VmmError};
+
+/// Events of the host world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostEvent {
+    /// The shared disk may have completed transfers.
+    DiskWake,
+    /// The shared CPU pool may have completed work.
+    CpuWake,
+    /// The network may have completed transfers.
+    NetWake,
+    /// A lifecycle operation's fixed-latency part elapsed.
+    WorkFixedDone(DomainId, WorkTag),
+    /// A step of the VMM reboot sequence.
+    Reboot(RebootStep),
+    /// Issue httperf requests for free workers.
+    HttperfKick,
+    /// Send a round of liveness probes.
+    ProbeTick,
+    /// A guest's dirty-page writer fires.
+    DirtyTick(DomainId),
+}
+
+/// Lifecycle operations that flow through the work pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkTag {
+    /// Guest OS boot.
+    BootOs,
+    /// Guest OS shutdown (includes clean service stop).
+    ShutdownOs,
+    /// The in-guest suspend handler.
+    SuspendHandler,
+    /// The in-guest resume handler.
+    ResumeHandler,
+    /// Service start after boot.
+    StartService,
+}
+
+/// Steps of a VMM reboot sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebootStep {
+    /// Cold path: guests begin shutting down.
+    GuestsStop,
+    /// Domain 0 finished its shutdown scripts.
+    Dom0ShutdownDone,
+    /// The new VMM instance is up (quick reload path).
+    QuickReloadDone,
+    /// The hardware reset (BIOS POST + SCSI init) completed.
+    HwResetDone,
+    /// The VMM initialized after a hardware reset.
+    VmmBootDone,
+    /// Domain 0 finished booting.
+    Dom0BootDone,
+    /// Serialized per-domain setup (create/resume/restore) slot.
+    NextDomainSetup,
+    /// Single-domain OS rejuvenation: create + boot after shutdown.
+    SingleSetup(DomainId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiskPurpose {
+    Work(DomainId),
+    SaveImage(DomainId),
+    RestoreImage(DomainId),
+    RequestMiss(u64),
+    FileRead(DomainId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkState {
+    tag: WorkTag,
+    profile: WorkProfile,
+}
+
+#[derive(Debug)]
+struct RebootRun {
+    strategy: RebootStrategy,
+    commanded_at: SimTime,
+    dom0_shutdown_done: bool,
+    reset_started: bool,
+    pending_stops: BTreeSet<DomainId>,
+    setup_queue: VecDeque<DomainId>,
+    pending_setup: BTreeSet<DomainId>,
+    digests: BTreeMap<DomainId, u64>,
+}
+
+/// A completed reboot, summarized.
+#[derive(Debug, Clone)]
+pub struct RebootReport {
+    /// Strategy used.
+    pub strategy: RebootStrategy,
+    /// When the reboot command was issued.
+    pub commanded_at: SimTime,
+    /// When the last domain came back up.
+    pub completed_at: SimTime,
+    /// Per-domain service outage across this reboot.
+    pub downtime: BTreeMap<DomainId, SimDuration>,
+    /// Domains whose post-reboot memory digest did not match the frozen
+    /// image (must be empty for warm and saved reboots).
+    pub corrupted: Vec<DomainId>,
+}
+
+impl RebootReport {
+    /// Mean per-domain downtime.
+    pub fn mean_downtime(&self) -> SimDuration {
+        if self.downtime.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = self.downtime.values().copied().sum();
+        total / self.downtime.len() as u64
+    }
+
+    /// Maximum per-domain downtime.
+    pub fn max_downtime(&self) -> SimDuration {
+        self.downtime.values().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SavedDomain {
+    image: MemoryImage,
+    exec: ExecState,
+    snapshot: Domain,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    dom: DomainId,
+    bytes: u64,
+    issued: SimTime,
+}
+
+/// One completed in-guest file read (the Fig. 8a workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileReadResult {
+    /// Domain that read.
+    pub dom: DomainId,
+    /// Read start.
+    pub start: SimTime,
+    /// Read end.
+    pub end: SimTime,
+    /// Bytes read.
+    pub bytes: u64,
+}
+
+impl FileReadResult {
+    /// Observed throughput in bytes/second.
+    pub fn throughput_bps(&self) -> f64 {
+        self.bytes as f64 / (self.end - self.start).as_secs_f64()
+    }
+}
+
+/// The simulated host.
+#[derive(Debug)]
+pub struct Host {
+    cfg: HostConfig,
+    t: TimingParams,
+    vmm: Vmm,
+    contents: FrameContents,
+    domains: BTreeMap<DomainId, Domain>,
+    disk: Disk,
+    disk_wake: Retick,
+    cpu: PsResource,
+    cpu_wake: Retick,
+    net: PsResource,
+    net_wake: Retick,
+    disk_jobs: BTreeMap<JobId, DiskPurpose>,
+    cpu_jobs: BTreeMap<JobId, DomainId>,
+    net_jobs: BTreeMap<JobId, u64>,
+    work: BTreeMap<DomainId, WorkState>,
+    run: Option<RebootRun>,
+    saved: BTreeMap<DomainId, SavedDomain>,
+    meters: BTreeMap<DomainId, DowntimeMeter>,
+    probes: BTreeMap<DomainId, ProbeLog>,
+    httperf: Option<(DomainId, HttperfClient)>,
+    requests: BTreeMap<u64, Request>,
+    next_req: u64,
+    file_reads: BTreeMap<DomainId, (SimTime, u64)>,
+    file_read_results: Vec<FileReadResult>,
+    /// Phase timeline of the most recent reboot (Fig. 7 data).
+    pub metrics: RebootMetrics,
+    /// Structured event trace.
+    pub trace: Trace,
+    reports: Vec<RebootReport>,
+    errors: Vec<VmmError>,
+    single_rejuvs: BTreeSet<DomainId>,
+    latencies: LatencyHistogram,
+    dirty_writers: BTreeMap<DomainId, (u64, SimDuration)>,
+    rng: SimRng,
+    partitions: PartitionTable,
+    partition_of: BTreeMap<DomainId, PartitionId>,
+    aging_clock: BTreeMap<DomainId, SimTime>,
+}
+
+impl Host {
+    /// Builds a host from `cfg`. Call [`power_on`](Self::power_on) to bring
+    /// it up.
+    pub fn new(cfg: HostConfig) -> Self {
+        let t = cfg.timing.clone();
+        let vmm = Vmm::new(frames_for_bytes(cfg.ram_bytes));
+        let mut domains = BTreeMap::new();
+        // Domain 0: 512 MB, no service (paper §5).
+        let dom0_spec = crate::domain::DomainSpec {
+            name: "dom0".to_string(),
+            mem_bytes: 512 << 20,
+            service: None,
+            files: None,
+            driver_domain: false,
+            backend: None,
+        };
+        domains.insert(DomainId::DOM0, Domain::new(DomainId::DOM0, dom0_spec, 0));
+        let mut meters = BTreeMap::new();
+        let mut probes = BTreeMap::new();
+        for (i, spec) in cfg.domains.iter().enumerate() {
+            let id = DomainId(i as u32 + 1);
+            let mut dom = Domain::new(id, spec.clone(), 0);
+            if cfg.guest_aging {
+                dom.aging = Some(rh_guest::aging::GuestAging::typical_2007_linux());
+            }
+            domains.insert(id, dom);
+            meters.insert(id, DowntimeMeter::new());
+            probes.insert(id, ProbeLog::new(t.probe_interval));
+        }
+        let trace = if cfg.trace { Trace::new() } else { Trace::disabled() };
+        // One physical partition per VM on the 36.7 GB disk (paper §5).
+        let mut partitions = PartitionTable::new(36_700_000_000);
+        let mut partition_of = BTreeMap::new();
+        let slice = 36_700_000_000 / (cfg.domains.len() as u64 + 1).max(1);
+        for i in 0..cfg.domains.len() {
+            let id = DomainId(i as u32 + 1);
+            if let Ok(pid) = partitions.create(id.0, slice) {
+                partition_of.insert(id, pid);
+            }
+        }
+        Host {
+            disk: Disk::new(t.disk),
+            cpu: PsResource::new(t.cpu_cores),
+            net: PsResource::new(t.net_bandwidth_bps),
+            t,
+            vmm,
+            contents: FrameContents::new(),
+            domains,
+            disk_wake: Retick::new(),
+            cpu_wake: Retick::new(),
+            net_wake: Retick::new(),
+            disk_jobs: BTreeMap::new(),
+            cpu_jobs: BTreeMap::new(),
+            net_jobs: BTreeMap::new(),
+            work: BTreeMap::new(),
+            run: None,
+            saved: BTreeMap::new(),
+            meters,
+            probes,
+            httperf: None,
+            requests: BTreeMap::new(),
+            next_req: 0,
+            file_reads: BTreeMap::new(),
+            file_read_results: Vec::new(),
+            metrics: RebootMetrics::new(),
+            trace,
+            reports: Vec::new(),
+            errors: Vec::new(),
+            single_rejuvs: BTreeSet::new(),
+            latencies: LatencyHistogram::new(),
+            dirty_writers: BTreeMap::new(),
+            rng: SimRng::from_seed(cfg.seed),
+            partitions,
+            partition_of,
+            aging_clock: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration this host was built from.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// The VMM.
+    pub fn vmm(&self) -> &Vmm {
+        &self.vmm
+    }
+
+    /// Mutable VMM access (aging injection).
+    pub fn vmm_mut(&mut self) -> &mut Vmm {
+        &mut self.vmm
+    }
+
+    /// All domains (including dom0).
+    pub fn domains(&self) -> &BTreeMap<DomainId, Domain> {
+        &self.domains
+    }
+
+    /// One domain.
+    pub fn domain(&self, id: DomainId) -> Option<&Domain> {
+        self.domains.get(&id)
+    }
+
+    /// Mutable access to one domain (experiment setup, e.g. cache warming).
+    pub fn domain_mut(&mut self, id: DomainId) -> Option<&mut Domain> {
+        self.domains.get_mut(&id)
+    }
+
+    /// Ids of all domain Us, ascending.
+    pub fn domu_ids(&self) -> Vec<DomainId> {
+        self.domains.keys().copied().filter(|d| !d.is_dom0()).collect()
+    }
+
+    /// The exact downtime meter of a domain U.
+    pub fn meter(&self, id: DomainId) -> Option<&DowntimeMeter> {
+        self.meters.get(&id)
+    }
+
+    /// The sampled probe log of a domain U.
+    pub fn probe_log(&self, id: DomainId) -> Option<&ProbeLog> {
+        self.probes.get(&id)
+    }
+
+    /// Completed reboot reports, oldest first.
+    pub fn reports(&self) -> &[RebootReport] {
+        &self.reports
+    }
+
+    /// The most recent reboot report.
+    pub fn last_report(&self) -> Option<&RebootReport> {
+        self.reports.last()
+    }
+
+    /// Errors the VMM raised (heap exhaustion under aging, ...).
+    pub fn errors(&self) -> &[VmmError] {
+        &self.errors
+    }
+
+    /// Completed file-read measurements.
+    pub fn file_read_results(&self) -> &[FileReadResult] {
+        &self.file_read_results
+    }
+
+    /// The httperf client, if attached.
+    pub fn httperf(&self) -> Option<&HttperfClient> {
+        self.httperf.as_ref().map(|(_, c)| c)
+    }
+
+    /// The shared physical disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// True when every configured domain U is up and serving.
+    pub fn all_services_up(&self) -> bool {
+        self.vmm.is_running()
+            && self
+                .domains
+                .values()
+                .filter(|d| !d.id.is_dom0())
+                .all(|d| d.service_up())
+    }
+
+    /// True while a VMM reboot is in progress.
+    pub fn reboot_in_progress(&self) -> bool {
+        self.run.is_some()
+    }
+
+    /// Digest of a domain's current memory image.
+    pub fn domain_digest(&self, id: DomainId) -> Option<u64> {
+        self.domains
+            .get(&id)
+            .map(|d| self.vmm.domain_digest(d, &self.contents))
+    }
+
+    /// Histogram of completed web-request latencies.
+    pub fn request_latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+
+    /// The disk partition table (one slice per VM, paper §5).
+    pub fn partitions(&self) -> &PartitionTable {
+        &self.partitions
+    }
+
+    /// The partition backing a domain's virtual disk.
+    pub fn partition_of(&self, id: DomainId) -> Option<PartitionId> {
+        self.partition_of.get(&id).copied()
+    }
+
+    /// Advances a domain's OS aging to `now` (uptime wear + one served
+    /// request) and returns the current service-time multiplier.
+    fn aging_slowdown(&mut self, id: DomainId, now: SimTime) -> f64 {
+        let Some(dom) = self.domains.get_mut(&id) else { return 1.0 };
+        let Some(aging) = dom.aging.as_mut() else { return 1.0 };
+        let last = self.aging_clock.get(&id).copied().unwrap_or(now);
+        if now > last {
+            aging.advance(now - last);
+        }
+        aging.on_requests(1);
+        self.aging_clock.insert(id, now);
+        aging.service_slowdown()
+    }
+
+    fn account_read(&mut self, id: DomainId, bytes: f64) {
+        if let Some(pid) = self.partition_of.get(&id) {
+            let _ = self.partitions.record_read(*pid, bytes);
+        }
+    }
+
+    /// Starts a dirty-page writer inside a guest: every `interval`,
+    /// `pages_per_tick` random pages of the domain are overwritten. This
+    /// models a working set that mutates continuously — the state the
+    /// warm-VM reboot must carry across intact (and the load a pre-copy
+    /// migration would have to chase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is unknown or a writer is already attached.
+    pub fn start_dirty_writer(
+        &mut self,
+        sched: &mut Scheduler<HostEvent>,
+        id: DomainId,
+        pages_per_tick: u64,
+        interval: SimDuration,
+    ) {
+        assert!(self.domains.contains_key(&id), "unknown domain {id}");
+        let prev = self.dirty_writers.insert(id, (pages_per_tick, interval));
+        assert!(prev.is_none(), "{id} already has a dirty writer");
+        sched.schedule_in(interval, HostEvent::DirtyTick(id));
+    }
+
+    /// Stops a domain's dirty-page writer.
+    pub fn stop_dirty_writer(&mut self, id: DomainId) {
+        self.dirty_writers.remove(&id);
+    }
+
+    fn on_dirty_tick(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let Some(&(pages, interval)) = self.dirty_writers.get(&id) else {
+            return; // writer stopped; stale event
+        };
+        // Only a *running* kernel dirties memory; a frozen or rebooting
+        // guest must not (that would falsify the preservation digests).
+        let can_write = self
+            .domains
+            .get(&id)
+            .map(|d| d.kernel.is_running())
+            .unwrap_or(false);
+        if can_write {
+            let dom = self.domains.get_mut(&id).expect("exists");
+            let total = dom.p2m.total_pages();
+            if total > 0 {
+                for _ in 0..pages {
+                    let pfn = rh_memory::frame::Pfn(self.rng.below(total));
+                    if let Some(mfn) = dom.p2m.lookup(pfn) {
+                        self.contents.write(mfn, self.rng.next_u64());
+                    }
+                }
+            }
+        }
+        sched.schedule_in(interval, HostEvent::DirtyTick(id));
+    }
+
+    fn observable_up(&self, id: DomainId) -> bool {
+        if !self.vmm.is_running() {
+            return false;
+        }
+        let Some(dom) = self.domains.get(&id) else { return false };
+        if !dom.service_up() {
+            return false;
+        }
+        // I/O flows through the backend domain's drivers (§7): a guest
+        // behind a down driver domain is unreachable.
+        match dom.spec.backend {
+            Some(b) => self
+                .domains
+                .get(&DomainId(b))
+                .map(|d| d.kernel.is_running())
+                .unwrap_or(false),
+            None => true,
+        }
+    }
+
+    fn refresh(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        if id.is_dom0() {
+            return;
+        }
+        // A backend's state change changes its dependents' reachability.
+        let dependents: Vec<DomainId> = self
+            .domains
+            .values()
+            .filter(|d| d.spec.backend == Some(id.0))
+            .map(|d| d.id)
+            .collect();
+        for dep in dependents {
+            self.refresh_one(sched, dep);
+        }
+        self.refresh_one(sched, id);
+    }
+
+    fn refresh_one(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let up = self.observable_up(id);
+        let was_up = self.meters.get(&id).map(|m| m.is_up()).unwrap_or(false);
+        if let Some(m) = self.meters.get_mut(&id) {
+            if up {
+                m.mark_up(sched.now());
+            } else {
+                m.mark_down(sched.now());
+            }
+        }
+        if up && !was_up {
+            if let Some((dom, _)) = &self.httperf {
+                if *dom == id {
+                    sched.schedule_in(SimDuration::ZERO, HostEvent::HttperfKick);
+                }
+            }
+        }
+        if !up && was_up {
+            self.abort_requests_for(sched, id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bring-up and reboots (public commands)
+    // ------------------------------------------------------------------
+
+    /// Powers the host on: dom0 boots, then every guest is created, booted
+    /// and its service started. Run the simulation until
+    /// [`all_services_up`](Self::all_services_up).
+    pub fn power_on(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(self.run.is_none(), "already powering on or rebooting");
+        self.trace.log(sched.now(), "host", "power on");
+        self.run = Some(RebootRun {
+            strategy: RebootStrategy::Cold,
+            commanded_at: sched.now(),
+            dom0_shutdown_done: true,
+            reset_started: true,
+            pending_stops: BTreeSet::new(),
+            setup_queue: VecDeque::new(),
+            pending_setup: BTreeSet::new(),
+            digests: BTreeMap::new(),
+        });
+        self.metrics.begin(sched.now(), "dom0 boot");
+        self.domains
+            .get_mut(&DomainId::DOM0)
+            .expect("dom0 exists")
+            .kernel
+            .begin_boot()
+            .expect("dom0 off at power on");
+        sched.schedule_in(self.t.dom0_boot, HostEvent::Reboot(RebootStep::Dom0BootDone));
+        if self.cfg.probes {
+            sched.schedule_in(self.t.probe_interval, HostEvent::ProbeTick);
+        }
+    }
+
+    /// Initiates the paper's warm-VM reboot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reboot is already in progress.
+    pub fn warm_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(self.run.is_none(), "reboot already in progress");
+        let now = sched.now();
+        self.trace.log(now, "host", "warm reboot commanded");
+        self.metrics.clear();
+        self.metrics.begin(now, "reboot");
+        // xexec: load the new VMM executable while everything still runs.
+        self.metrics.begin(now, "xexec load");
+        self.metrics.end(now + self.t.xexec_load, "xexec load");
+        let next_version = self.vmm.running_version() + 1;
+        self.vmm
+            .stage_next_image(crate::xexec::XexecImage::build(next_version));
+        self.trace.log(
+            now,
+            "vmm",
+            format!("xexec staged build v{next_version}"),
+        );
+        self.run = Some(RebootRun {
+            strategy: RebootStrategy::Warm,
+            commanded_at: now,
+            dom0_shutdown_done: false,
+            reset_started: false,
+            pending_stops: BTreeSet::new(),
+            setup_queue: VecDeque::new(),
+            pending_setup: BTreeSet::new(),
+            digests: BTreeMap::new(),
+        });
+        self.metrics.begin(now, "dom0 shutdown");
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.begin_shutdown().expect("dom0 running");
+        sched.schedule_in(
+            self.t.dom0_shutdown,
+            HostEvent::Reboot(RebootStep::Dom0ShutdownDone),
+        );
+        if self.cfg.suspend_order == SuspendOrder::Dom0DuringShutdown {
+            // Original-Xen ordering ablation: guests suspend while dom0 is
+            // still shutting down.
+            sched.schedule_in(
+                self.t.cold_guest_stop_delay,
+                HostEvent::Reboot(RebootStep::GuestsStop),
+            );
+        }
+    }
+
+    /// Initiates a cold-VM reboot (ordinary reboot with hardware reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reboot is already in progress.
+    pub fn cold_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(self.run.is_none(), "reboot already in progress");
+        let now = sched.now();
+        self.trace.log(now, "host", "cold reboot commanded");
+        self.metrics.clear();
+        self.metrics.begin(now, "reboot");
+        self.run = Some(RebootRun {
+            strategy: RebootStrategy::Cold,
+            commanded_at: now,
+            dom0_shutdown_done: false,
+            reset_started: false,
+            pending_stops: BTreeSet::new(),
+            setup_queue: VecDeque::new(),
+            pending_setup: BTreeSet::new(),
+            digests: BTreeMap::new(),
+        });
+        self.metrics.begin(now, "dom0 shutdown");
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.begin_shutdown().expect("dom0 running");
+        sched.schedule_in(
+            self.t.dom0_shutdown,
+            HostEvent::Reboot(RebootStep::Dom0ShutdownDone),
+        );
+        sched.schedule_in(
+            self.t.cold_guest_stop_delay,
+            HostEvent::Reboot(RebootStep::GuestsStop),
+        );
+    }
+
+    /// Initiates a saved-VM reboot (Xen's suspend-to-disk baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reboot is already in progress.
+    pub fn saved_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(self.run.is_none(), "reboot already in progress");
+        let now = sched.now();
+        self.trace.log(now, "host", "saved reboot commanded");
+        self.metrics.clear();
+        self.metrics.begin(now, "reboot");
+        self.run = Some(RebootRun {
+            strategy: RebootStrategy::Saved,
+            commanded_at: now,
+            dom0_shutdown_done: false,
+            reset_started: false,
+            pending_stops: BTreeSet::new(),
+            setup_queue: VecDeque::new(),
+            pending_setup: BTreeSet::new(),
+            digests: BTreeMap::new(),
+        });
+        self.metrics.begin(now, "save");
+        // Original Xen: dom0 suspends and saves every guest while it is
+        // still up; its own shutdown comes after the saves.
+        self.begin_guest_stops(sched);
+    }
+
+    /// Crashes the VMM — the aging failure the paper's proactive
+    /// rejuvenation exists to preempt (§2: out-of-memory errors "can lead
+    /// \[to\] performance degradation or crash failure of the VMM. Such
+    /// problems of the VMM directly affect all the VMs").
+    ///
+    /// Every guest dies with it; recovery is reactive: a hardware reset
+    /// followed by a full cold boot, driven automatically. A
+    /// [`RebootReport`] with `strategy == Cold` is pushed when the host is
+    /// back up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reboot is already in progress.
+    pub fn crash_vmm(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(self.run.is_none(), "cannot crash mid-reboot");
+        let now = sched.now();
+        self.trace.log(now, "host", "VMM CRASHED");
+        self.metrics.clear();
+        self.metrics.begin(now, "reboot");
+        // Everything running dies instantly: no clean shutdowns, no
+        // suspend handlers, no flushed caches.
+        self.vmm.set_down();
+        let ids: Vec<DomainId> = self.domains.keys().copied().collect();
+        for id in &ids {
+            let dom = self.domains.get_mut(id).expect("exists");
+            if let Some(svc) = dom.service.as_mut() {
+                svc.kill();
+            }
+            dom.kernel.crash();
+        }
+        // Tear down in-flight work and I/O.
+        self.work.clear();
+        self.disk.cancel_all(now);
+        self.disk_jobs.clear();
+        self.cpu.cancel_all(now);
+        self.cpu_jobs.clear();
+        self.net.cancel_all(now);
+        self.net_jobs.clear();
+        self.rearm_disk(sched);
+        self.rearm_cpu(sched);
+        self.rearm_net(sched);
+        // Free httperf workers whose requests evaporated with the host.
+        let stale: Vec<u64> = self.requests.keys().copied().collect();
+        for rid in stale {
+            self.requests.remove(&rid);
+            if let Some((_, client)) = self.httperf.as_mut() {
+                client.abort();
+            }
+        }
+        self.file_reads.clear();
+        // Any half-done single-domain rejuvenations died with the host.
+        self.single_rejuvs.clear();
+        for id in &ids {
+            self.refresh(sched, *id);
+        }
+        // Reactive recovery: watchdog-initiated hardware reset, then the
+        // ordinary cold bring-up. The reset wipes the crashed domains'
+        // memory wholesale.
+        self.run = Some(RebootRun {
+            strategy: RebootStrategy::Cold,
+            commanded_at: now,
+            dom0_shutdown_done: true,
+            reset_started: false,
+            pending_stops: BTreeSet::new(),
+            setup_queue: VecDeque::new(),
+            pending_setup: BTreeSet::new(),
+            digests: BTreeMap::new(),
+        });
+        self.maybe_start_reset(sched);
+    }
+
+    /// Rejuvenates a single guest OS (time-based OS rejuvenation, §3.2/§5.3)
+    /// without touching the VMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is unknown, is dom0, or a VMM reboot is in
+    /// progress.
+    pub fn os_reboot(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        assert!(!id.is_dom0(), "dom0 rejuvenation implies a VMM reboot");
+        assert!(self.run.is_none(), "VMM reboot in progress");
+        assert!(self.domains.contains_key(&id), "unknown domain {id}");
+        let running = self
+            .domains
+            .get(&id)
+            .map(|d| d.kernel.is_running())
+            .unwrap_or(false);
+        if !running {
+            // Nothing to rejuvenate: the guest is already down (e.g. wedged
+            // by heap exhaustion). Leave it to crash recovery.
+            self.trace
+                .log(sched.now(), "host", format!("OS rejuvenation of {id} skipped (down)"));
+            return;
+        }
+        self.trace.log(sched.now(), "host", format!("OS rejuvenation of {id}"));
+        self.single_rejuvs.insert(id);
+        self.begin_guest_shutdown(sched, id);
+    }
+
+    /// Starts the Fig. 8(a) workload: the guest reads `file` from its
+    /// corpus; the result lands in [`file_read_results`](Self::file_read_results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has no filesystem, is not running, or already
+    /// has a read in flight.
+    pub fn file_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId, file: u32) {
+        let now = sched.now();
+        let dom = self.domains.get_mut(&id).expect("unknown domain");
+        assert!(dom.kernel.is_running(), "{id} is not running");
+        assert!(!self.file_reads.contains_key(&id), "{id} already reading");
+        let fs = dom.fs.as_ref().expect("domain has no filesystem").clone();
+        let plan = fs.plan_read(&mut dom.cache, file);
+        let bytes = plan.total_bytes();
+        self.file_reads.insert(id, (now, bytes));
+        if plan.miss_bytes == 0 {
+            // Pure memory read: finishes after bytes / memcpy bandwidth.
+            // Completion is routed through a timer event; handle() matches
+            // the pending entry in `file_reads` before the work table.
+            let dur = SimDuration::from_secs_f64(bytes as f64 / self.t.mem_bandwidth_bps);
+            sched.schedule_in(dur, HostEvent::WorkFixedDone(id, WorkTag::ResumeHandler));
+        } else {
+            fs.commit_read(&mut dom.cache, file);
+            self.account_read(id, plan.miss_bytes as f64);
+            let slow = self.vmm.xenstored().io_slowdown();
+            let work = plan.miss_bytes as f64 / self.t.file_read_efficiency * slow;
+            let job = self.disk.submit(now, IoKind::Read, work);
+            self.disk_jobs.insert(job, DiskPurpose::FileRead(id));
+            self.rearm_disk(sched);
+        }
+    }
+
+    /// Attaches an httperf fleet to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fleet is already attached.
+    pub fn attach_httperf(
+        &mut self,
+        sched: &mut Scheduler<HostEvent>,
+        target: DomainId,
+        client: HttperfClient,
+    ) {
+        assert!(self.httperf.is_none(), "httperf already attached");
+        self.httperf = Some((target, client));
+        sched.schedule_in(SimDuration::ZERO, HostEvent::HttperfKick);
+    }
+
+    /// Detaches the httperf fleet, aborting its in-flight requests, and
+    /// returns the client with its completion log for analysis.
+    pub fn detach_httperf(
+        &mut self,
+        sched: &mut Scheduler<HostEvent>,
+    ) -> Option<HttperfClient> {
+        let target = self.httperf.as_ref().map(|(d, _)| *d)?;
+        self.abort_requests_for(sched, target);
+        self.httperf.take().map(|(_, c)| c)
+    }
+
+    /// Runtime ballooning: adjusts a domain's resident memory by
+    /// `delta_pages` (positive = balloon in / grow, negative = balloon
+    /// out / shrink). Instantaneous in simulated time — ballooning is a
+    /// background activity whose cost the paper does not model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VMM allocator/P2M failures; the domain is unchanged on
+    /// error.
+    pub fn balloon(&mut self, id: DomainId, delta_pages: i64) -> Result<(), VmmError> {
+        let mut dom = self
+            .domains
+            .remove(&id)
+            .ok_or(VmmError::BadDomainState(id, "balloon unknown domain"))?;
+        let result = if delta_pages >= 0 {
+            self.vmm
+                .balloon_in(&mut dom, &mut self.contents, delta_pages as u64)
+        } else {
+            self.vmm
+                .balloon_out(&mut dom, &mut self.contents, (-delta_pages) as u64)
+        };
+        self.domains.insert(id, dom);
+        result
+    }
+
+    /// Pre-warms a domain's page cache with the first `files` files of its
+    /// corpus (experiment setup; costs no simulated time, standing in for a
+    /// long-running service's history).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has no filesystem.
+    pub fn warm_cache(&mut self, id: DomainId, files: u32) {
+        let dom = self.domains.get_mut(&id).expect("unknown domain");
+        let fs = dom.fs.as_ref().expect("domain has no filesystem").clone();
+        fs.warm(&mut dom.cache, files);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: work pipeline
+    // ------------------------------------------------------------------
+
+    fn begin_work(
+        &mut self,
+        sched: &mut Scheduler<HostEvent>,
+        id: DomainId,
+        tag: WorkTag,
+        profile: WorkProfile,
+    ) {
+        let prev = self.work.insert(id, WorkState { tag, profile });
+        debug_assert!(prev.is_none(), "{id} already has {:?} in flight", prev);
+        sched.schedule_in(profile.fixed, HostEvent::WorkFixedDone(id, tag));
+    }
+
+    fn work_fixed_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId, tag: WorkTag) {
+        let Some(state) = self.work.get(&id).copied() else {
+            return; // stale event (work aborted)
+        };
+        if state.tag != tag {
+            return; // stale event from a previous op
+        }
+        let now = sched.now();
+        if state.profile.disk_bytes() > 0.0 {
+            let kind = if state.profile.disk_read_bytes > 0.0 {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            };
+            let job = self.disk.submit(now, kind, state.profile.disk_bytes());
+            self.disk_jobs.insert(job, DiskPurpose::Work(id));
+            self.rearm_disk(sched);
+        } else if state.profile.cpu_work > 0.0 {
+            let job = self.cpu.submit(now, state.profile.cpu_work);
+            self.cpu_jobs.insert(job, id);
+            self.rearm_cpu(sched);
+        } else {
+            self.work_done(sched, id, tag);
+        }
+    }
+
+    fn work_shared_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId, was_disk: bool) {
+        let Some(state) = self.work.get(&id).copied() else {
+            return;
+        };
+        if was_disk && state.profile.cpu_work > 0.0 {
+            let job = self.cpu.submit(sched.now(), state.profile.cpu_work);
+            self.cpu_jobs.insert(job, id);
+            self.rearm_cpu(sched);
+        } else {
+            self.work_done(sched, id, state.tag);
+        }
+    }
+
+    fn work_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId, tag: WorkTag) {
+        self.work.remove(&id);
+        match tag {
+            WorkTag::ShutdownOs => self.on_guest_shutdown_done(sched, id),
+            WorkTag::BootOs => self.on_guest_boot_done(sched, id),
+            WorkTag::SuspendHandler => self.on_suspend_handler_done(sched, id),
+            WorkTag::ResumeHandler => self.on_resume_handler_done(sched, id),
+            WorkTag::StartService => self.on_service_started(sched, id),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: resource wake-ups
+    // ------------------------------------------------------------------
+
+    fn rearm_disk(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let at = self.disk.next_completion(sched.now());
+        self.disk_wake.reschedule(sched, at, || HostEvent::DiskWake);
+    }
+
+    fn rearm_cpu(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let at = self.cpu.next_completion(sched.now());
+        self.cpu_wake.reschedule(sched, at, || HostEvent::CpuWake);
+    }
+
+    fn rearm_net(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let at = self.net.next_completion(sched.now());
+        self.net_wake.reschedule(sched, at, || HostEvent::NetWake);
+    }
+
+    fn on_disk_wake(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let done = self.disk.take_completed(sched.now());
+        for job in done {
+            match self.disk_jobs.remove(&job) {
+                Some(DiskPurpose::Work(id)) => self.work_shared_done(sched, id, true),
+                Some(DiskPurpose::SaveImage(id)) => self.on_save_written(sched, id),
+                Some(DiskPurpose::RestoreImage(id)) => self.on_restore_read(sched, id),
+                Some(DiskPurpose::RequestMiss(rid)) => self.on_request_disk_done(sched, rid),
+                Some(DiskPurpose::FileRead(id)) => self.finish_file_read(sched, id),
+                None => {}
+            }
+        }
+        self.rearm_disk(sched);
+    }
+
+    fn on_cpu_wake(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let done = self.cpu.take_completed(sched.now());
+        for job in done {
+            if let Some(id) = self.cpu_jobs.remove(&job) {
+                self.work_shared_done(sched, id, false);
+            }
+        }
+        self.rearm_cpu(sched);
+    }
+
+    fn on_net_wake(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let done = self.net.take_completed(sched.now());
+        for job in done {
+            if let Some(rid) = self.net_jobs.remove(&job) {
+                self.on_request_net_done(sched, rid);
+            }
+        }
+        self.rearm_net(sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: guest lifecycle steps
+    // ------------------------------------------------------------------
+
+    fn begin_guest_shutdown(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let dom = self.domains.get_mut(&id).expect("domain exists");
+        if !dom.kernel.is_running() {
+            return;
+        }
+        dom.kernel.begin_shutdown().expect("running checked");
+        let mut profile = linux_guest_shutdown();
+        if let Some(svc) = dom.service.as_mut() {
+            if svc.is_running() {
+                // The clean service stop is part of the shutdown scripts.
+                profile.fixed += svc.spec().stop.fixed;
+                svc.begin_stop().expect("running service");
+            }
+        }
+        self.trace.log(sched.now(), "guest", format!("{id} shutting down"));
+        self.refresh(sched, id);
+        self.begin_work(sched, id, WorkTag::ShutdownOs, profile);
+    }
+
+    fn on_guest_shutdown_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let dom = self.domains.get_mut(&id).expect("domain exists");
+        dom.kernel.finish_shutdown().expect("was shutting down");
+        if let Some(svc) = dom.service.as_mut() {
+            if svc.status() == rh_guest::services::ServiceStatus::Stopping {
+                svc.finish_stop().expect("was stopping");
+            }
+        }
+        dom.cache.clear();
+        self.trace.log(sched.now(), "guest", format!("{id} off"));
+        // Release its memory.
+        let mut dom = self.domains.remove(&id).expect("just accessed");
+        if let Err(e) = self.vmm.destroy_domain(&mut dom, &mut self.contents) {
+            self.errors.push(e);
+        }
+        self.domains.insert(id, dom);
+        if self.single_rejuvs.contains(&id) {
+            // Single-domain OS rejuvenation: bring it right back.
+            sched.schedule_in(
+                self.t.domain_create,
+                HostEvent::Reboot(RebootStep::SingleSetup(id)),
+            );
+            return;
+        }
+        if let Some(run) = self.run.as_mut() {
+            run.pending_stops.remove(&id);
+            if run.pending_stops.is_empty() {
+                self.metrics.end_if_open(sched.now(), "guest shutdown");
+                match self.run.as_ref().expect("still active").strategy {
+                    RebootStrategy::Warm => self.begin_quick_reload(sched),
+                    RebootStrategy::Saved => self.after_saves(sched),
+                    RebootStrategy::Cold => self.maybe_start_reset(sched),
+                }
+            }
+        }
+    }
+
+    fn setup_cold_boot(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let mut dom = self.domains.remove(&id).expect("domain exists");
+        match self.vmm.create_domain(&mut dom, &mut self.contents) {
+            Ok(()) => {
+                dom.kernel.begin_boot().expect("domain off");
+                dom.cache.clear();
+                dom.channels = crate::events::EventChannelTable::standard_domu();
+                self.domains.insert(id, dom);
+                self.trace.log(sched.now(), "guest", format!("{id} created, booting"));
+                self.begin_work(sched, id, WorkTag::BootOs, linux_guest_boot());
+            }
+            Err(e) => {
+                self.trace
+                    .log(sched.now(), "vmm", format!("create {id} failed: {e}"));
+                self.errors.push(e);
+                self.domains.insert(id, dom);
+                self.single_rejuvs.remove(&id);
+                if let Some(run) = self.run.as_mut() {
+                    run.pending_setup.remove(&id);
+                }
+                self.maybe_finish_reboot(sched);
+            }
+        }
+    }
+
+    fn on_guest_boot_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let dom = self.domains.get_mut(&id).expect("domain exists");
+        dom.kernel.finish_boot().expect("was booting");
+        // A fresh kernel has no aged state; a resume keeps it (Fig. 2).
+        if let Some(aging) = dom.aging.as_mut() {
+            aging.rejuvenate();
+        }
+        self.aging_clock.insert(id, sched.now());
+        self.trace.log(sched.now(), "guest", format!("{id} booted"));
+        let start = dom.service.as_ref().map(|s| *s.spec());
+        match start {
+            Some(spec) => {
+                let svc = dom.service.as_mut().expect("present");
+                svc.begin_start().expect("service stopped after boot");
+                self.begin_work(sched, id, WorkTag::StartService, spec.start);
+            }
+            None => self.on_domain_ready(sched, id),
+        }
+    }
+
+    fn on_service_started(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let dom = self.domains.get_mut(&id).expect("domain exists");
+        if let Some(svc) = dom.service.as_mut() {
+            svc.finish_start().expect("was starting");
+        }
+        self.trace.log(sched.now(), "service", format!("{id} service up"));
+        self.on_domain_ready(sched, id);
+    }
+
+    fn on_domain_ready(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        self.refresh(sched, id);
+        if self.single_rejuvs.remove(&id) {
+            return;
+        }
+        if let Some(run) = self.run.as_mut() {
+            run.pending_setup.remove(&id);
+        }
+        self.maybe_finish_reboot(sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: suspend/resume (warm) and save/restore (saved)
+    // ------------------------------------------------------------------
+
+    fn begin_guest_stops(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let ids = self.domu_ids();
+        let strategy = self.run.as_ref().expect("run active").strategy;
+        for id in ids {
+            let running = self
+                .domains
+                .get(&id)
+                .map(|d| d.kernel.is_running())
+                .unwrap_or(false);
+            if !running {
+                continue;
+            }
+            self.run.as_mut().expect("run active").pending_stops.insert(id);
+            let is_driver = self
+                .domains
+                .get(&id)
+                .map(|d| d.spec.driver_domain)
+                .unwrap_or(false);
+            match strategy {
+                RebootStrategy::Cold => self.begin_guest_shutdown(sched, id),
+                // Driver domains "cannot be suspended" (paper §7): even the
+                // warm and saved paths must shut them down like the cold
+                // path, losing their memory images.
+                RebootStrategy::Warm | RebootStrategy::Saved if is_driver => {
+                    self.begin_guest_shutdown(sched, id)
+                }
+                RebootStrategy::Warm | RebootStrategy::Saved => {
+                    let dom = self.domains.get_mut(&id).expect("exists");
+                    // The suspend request travels over the domain's suspend
+                    // event channel (§4.2).
+                    if let Some(port) = dom.channels.suspend_port() {
+                        let _ = dom.channels.notify(port);
+                        let _ = dom.channels.take_pending(port);
+                    }
+                    dom.kernel.begin_suspend().expect("running checked");
+                    self.trace.log(sched.now(), "guest", format!("{id} suspending"));
+                    self.refresh(sched, id);
+                    let mut profile = suspend_handler();
+                    profile.fixed += self.t.suspend_hypercall;
+                    self.begin_work(sched, id, WorkTag::SuspendHandler, profile);
+                }
+            }
+        }
+        // No running guests at all: proceed straight on.
+        let run = self.run.as_ref().expect("run active");
+        if run.pending_stops.is_empty() {
+            let strategy = run.strategy;
+            match strategy {
+                RebootStrategy::Warm => self.begin_quick_reload(sched),
+                RebootStrategy::Saved => self.after_saves(sched),
+                RebootStrategy::Cold => {
+                    self.metrics.end_if_open(sched.now(), "guest shutdown");
+                    self.maybe_start_reset(sched);
+                }
+            }
+        }
+    }
+
+    fn on_suspend_handler_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let strategy = self.run.as_ref().map(|r| r.strategy);
+        let mut dom = self.domains.remove(&id).expect("domain exists");
+        // The suspend handler detaches the device frontends before the
+        // hypercall freezes the image (§4.2).
+        dom.channels.detach_for_suspend();
+        let result = self.vmm.on_memory_suspend(&mut dom, self.t.exec_state_bytes);
+        if let Err(e) = result {
+            self.errors.push(e);
+            self.domains.insert(id, dom);
+            return;
+        }
+        dom.kernel.finish_suspend().expect("was suspending");
+        let digest = self.vmm.domain_digest(&dom, &self.contents);
+        self.trace
+            .log(sched.now(), "vmm", format!("{id} frozen on memory"));
+        if let Some(run) = self.run.as_mut() {
+            run.digests.insert(id, digest);
+        }
+        match strategy {
+            Some(RebootStrategy::Warm) => {
+                self.domains.insert(id, dom);
+                let run = self.run.as_mut().expect("run active");
+                run.pending_stops.remove(&id);
+                if run.pending_stops.is_empty() {
+                    self.begin_quick_reload(sched);
+                }
+            }
+            Some(RebootStrategy::Saved) => {
+                // Capture the logical image and stream it to disk.
+                let image = MemoryImage::capture(&dom.p2m, &self.contents);
+                let bytes = image.size_bytes() as f64;
+                let exec = dom.exec_state.expect("suspend saved it");
+                self.saved.insert(
+                    id,
+                    SavedDomain {
+                        image,
+                        exec,
+                        snapshot: dom.clone(),
+                    },
+                );
+                self.domains.insert(id, dom);
+                let job = self.disk.submit(sched.now(), IoKind::Write, bytes);
+                self.disk_jobs.insert(job, DiskPurpose::SaveImage(id));
+                self.rearm_disk(sched);
+                self.trace
+                    .log(sched.now(), "vmm", format!("{id} image save started"));
+            }
+            _ => {
+                self.domains.insert(id, dom);
+            }
+        }
+    }
+
+    fn on_save_written(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        // The image is on disk; discard the resident copy (keeping the
+        // snapshot for restore).
+        let mut dom = self.domains.remove(&id).expect("domain exists");
+        // Update the snapshot to the final frozen state (post-suspend).
+        if let Some(s) = self.saved.get_mut(&id) {
+            let mut snap = dom.clone();
+            snap.p2m.clear();
+            s.snapshot = snap;
+        }
+        if let Err(e) = self.vmm.release_domain_memory(&mut dom, &mut self.contents) {
+            self.errors.push(e);
+        }
+        self.domains.insert(id, dom);
+        self.trace.log(sched.now(), "vmm", format!("{id} image saved"));
+        let run = self.run.as_mut().expect("run active");
+        run.pending_stops.remove(&id);
+        if run.pending_stops.is_empty() {
+            self.after_saves(sched);
+        }
+    }
+
+    fn after_saves(&mut self, sched: &mut Scheduler<HostEvent>) {
+        self.metrics.end(sched.now(), "save");
+        self.metrics.begin(sched.now(), "dom0 shutdown");
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.begin_shutdown().expect("dom0 running");
+        sched.schedule_in(
+            self.t.dom0_shutdown,
+            HostEvent::Reboot(RebootStep::Dom0ShutdownDone),
+        );
+    }
+
+    fn begin_quick_reload(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let run = self.run.as_ref().expect("run active");
+        if !run.dom0_shutdown_done || !run.pending_stops.is_empty() {
+            return; // the other precondition will trigger us again
+        }
+        self.metrics.end_if_open(sched.now(), "suspend");
+        self.metrics.begin(sched.now(), "quick reload");
+        self.vmm.set_down();
+        let preserved_gib: f64 = self
+            .domains
+            .values()
+            .filter(|d| !d.id.is_dom0() && d.exec_state.is_some())
+            .map(|d| d.mem_gib())
+            .sum();
+        // Account the preserved metadata exactly (P2M tables at 2 MB/GB +
+        // 16 KB exec slots), via the machine layout model.
+        let frozen: Vec<(u32, u64)> = self
+            .domains
+            .values()
+            .filter(|d| !d.id.is_dom0() && d.exec_state.is_some())
+            .map(|d| (d.id.0, d.spec.mem_bytes))
+            .collect();
+        let layout = rh_memory::layout::MemoryLayout::plan(
+            64 << 20,
+            &frozen,
+            self.t.exec_state_bytes,
+        );
+        self.trace.log(
+            sched.now(),
+            "vmm",
+            format!(
+                "quick reload ({preserved_gib:.0} GiB frozen; {} KiB of P2M tables + {} KiB exec state preserved)",
+                layout.p2m_bytes() / 1024,
+                layout.exec_state_bytes() / 1024
+            ),
+        );
+        // Free memory (from the allocator's live view) gets scrubbed by
+        // the new instance's init; frozen memory is skipped.
+        let free_gib = self.vmm.ram().free_frames() as f64
+            * rh_memory::frame::PAGE_SIZE as f64
+            / (1u64 << 30) as f64;
+        sched.schedule_in(
+            self.t.quick_reload(preserved_gib, free_gib),
+            HostEvent::Reboot(RebootStep::QuickReloadDone),
+        );
+    }
+
+    fn on_quick_reload_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let suspended: Vec<DomainId> = self
+            .domains
+            .values()
+            .filter(|d| !d.id.is_dom0() && d.exec_state.is_some())
+            .map(|d| d.id)
+            .collect();
+        let result = self.vmm.quick_reload(&mut self.domains, &suspended);
+        if let Err(e) = result {
+            self.errors.push(e);
+        }
+        self.metrics.end(sched.now(), "quick reload");
+        self.trace.log(
+            sched.now(),
+            "vmm",
+            format!("new VMM instance up (generation {})", self.vmm.generation()),
+        );
+        self.metrics.begin(sched.now(), "dom0 boot");
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.begin_boot().expect("dom0 off");
+        sched.schedule_in(self.t.dom0_boot, HostEvent::Reboot(RebootStep::Dom0BootDone));
+    }
+
+    fn maybe_start_reset(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let Some(run) = self.run.as_mut() else { return };
+        if run.strategy == RebootStrategy::Warm {
+            return;
+        }
+        if !run.dom0_shutdown_done || !run.pending_stops.is_empty() || run.reset_started {
+            return;
+        }
+        run.reset_started = true;
+        self.metrics.begin(sched.now(), "hardware reset");
+        self.vmm.set_down();
+        self.trace.log(sched.now(), "hw", "hardware reset");
+        let reset = self.t.hw_reset(self.cfg.ram_gib());
+        sched.schedule_in(reset, HostEvent::Reboot(RebootStep::HwResetDone));
+    }
+
+    fn on_hw_reset_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        self.vmm.hardware_reset(&mut self.domains, &mut self.contents);
+        self.metrics.end(sched.now(), "hardware reset");
+        self.metrics.begin(sched.now(), "vmm boot");
+        self.trace.log(
+            sched.now(),
+            "vmm",
+            format!("VMM booting after reset (generation {})", self.vmm.generation()),
+        );
+        sched.schedule_in(self.t.vmm_boot_hw, HostEvent::Reboot(RebootStep::VmmBootDone));
+    }
+
+    fn on_vmm_boot_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        self.metrics.end(sched.now(), "vmm boot");
+        self.metrics.begin(sched.now(), "dom0 boot");
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.begin_boot().expect("dom0 off after reset");
+        sched.schedule_in(self.t.dom0_boot, HostEvent::Reboot(RebootStep::Dom0BootDone));
+    }
+
+    fn on_dom0_boot_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.finish_boot().expect("was booting");
+        self.metrics.end(sched.now(), "dom0 boot");
+        self.trace.log(sched.now(), "host", "dom0 up");
+        let run = self.run.as_mut().expect("run active");
+        run.setup_queue = self
+            .domains
+            .keys()
+            .copied()
+            .filter(|d| !d.is_dom0())
+            .collect();
+        run.pending_setup = run.setup_queue.iter().copied().collect();
+        let phase = match run.strategy {
+            RebootStrategy::Warm => "resume",
+            RebootStrategy::Saved => "restore",
+            RebootStrategy::Cold => "guest boot",
+        };
+        self.metrics.begin(sched.now(), phase);
+        if self.run.as_ref().expect("run active").setup_queue.is_empty() {
+            self.maybe_finish_reboot(sched);
+        } else {
+            sched.schedule_in(
+                self.t.domain_create,
+                HostEvent::Reboot(RebootStep::NextDomainSetup),
+            );
+        }
+    }
+
+    fn on_next_domain_setup(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let Some(run) = self.run.as_mut() else { return };
+        let Some(id) = run.setup_queue.pop_front() else {
+            return;
+        };
+        let strategy = run.strategy;
+        // Warm resumes and cold creates are dom0-serialized but their
+        // in-guest work overlaps; saved restores are fully serial — Xen's
+        // `xm restore` streams one whole image back at a time, so the next
+        // restore starts only after this one's disk read completes.
+        if !run.setup_queue.is_empty() && strategy != RebootStrategy::Saved {
+            sched.schedule_in(
+                self.t.domain_create,
+                HostEvent::Reboot(RebootStep::NextDomainSetup),
+            );
+        }
+        let is_driver = self
+            .domains
+            .get(&id)
+            .map(|d| d.spec.driver_domain)
+            .unwrap_or(false);
+        match strategy {
+            RebootStrategy::Cold => self.setup_cold_boot(sched, id),
+            RebootStrategy::Warm | RebootStrategy::Saved if is_driver => {
+                // The driver domain lost its image; rebuild it cold.
+                self.setup_cold_boot(sched, id)
+            }
+            RebootStrategy::Warm => {
+                let suspended = self
+                    .domains
+                    .get(&id)
+                    .map(|d| d.exec_state.is_some())
+                    .unwrap_or(false);
+                if suspended {
+                    let dom = self.domains.get_mut(&id).expect("domain exists");
+                    dom.kernel.begin_resume().expect("was suspended");
+                    self.trace.log(sched.now(), "guest", format!("{id} resuming"));
+                    self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
+                } else {
+                    // The guest was already dead before the reboot (e.g.
+                    // wedged by VMM aging): bring it back cold.
+                    self.setup_cold_boot(sched, id);
+                }
+            }
+            RebootStrategy::Saved => {
+                if !self.saved.contains_key(&id) {
+                    // No image on disk (the guest was dead before the
+                    // reboot): bring it back cold and keep the serial
+                    // restore chain moving.
+                    self.setup_cold_boot(sched, id);
+                    if let Some(run) = self.run.as_ref() {
+                        if !run.setup_queue.is_empty() {
+                            sched.schedule_in(
+                                self.t.domain_create,
+                                HostEvent::Reboot(RebootStep::NextDomainSetup),
+                            );
+                        }
+                    }
+                    return;
+                }
+                // Recreate the domain shell from its snapshot and stream
+                // the image back from disk.
+                let saved = self.saved.get(&id).expect("image saved");
+                let mut dom = saved.snapshot.clone();
+                match self.vmm.create_domain_empty(&mut dom) {
+                    Ok(()) => {
+                        let bytes = saved.image.size_bytes() as f64;
+                        self.domains.insert(id, dom);
+                        let job = self.disk.submit(sched.now(), IoKind::Read, bytes);
+                        self.disk_jobs.insert(job, DiskPurpose::RestoreImage(id));
+                        self.rearm_disk(sched);
+                        self.trace
+                            .log(sched.now(), "vmm", format!("{id} image restore started"));
+                    }
+                    Err(e) => {
+                        self.errors.push(e);
+                        self.domains.insert(id, dom);
+                        let run = self.run.as_mut().expect("run active");
+                        run.pending_setup.remove(&id);
+                        let more = !run.setup_queue.is_empty();
+                        if more {
+                            sched.schedule_in(
+                                self.t.domain_create,
+                                HostEvent::Reboot(RebootStep::NextDomainSetup),
+                            );
+                        }
+                        self.maybe_finish_reboot(sched);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_restore_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let saved = self.saved.remove(&id).expect("image saved");
+        let dom = self.domains.get_mut(&id).expect("domain exists");
+        saved
+            .image
+            .restore(&dom.p2m, &mut self.contents)
+            .expect("restore geometry matches");
+        dom.exec_state = Some(saved.exec);
+        dom.kernel.begin_resume().expect("snapshot was suspended");
+        self.trace.log(sched.now(), "vmm", format!("{id} image restored"));
+        self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
+        // Serial restore: kick the next domain's restore now that this
+        // image is fully read back.
+        if let Some(run) = self.run.as_ref() {
+            if !run.setup_queue.is_empty() {
+                sched.schedule_in(
+                    self.t.domain_create,
+                    HostEvent::Reboot(RebootStep::NextDomainSetup),
+                );
+            }
+        }
+    }
+
+    fn on_resume_handler_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        // A cached file read completes through the same event; check first.
+        if self.file_reads.contains_key(&id) && !self.work.contains_key(&id) {
+            self.finish_file_read(sched, id);
+            return;
+        }
+        let mut dom = self.domains.remove(&id).expect("domain exists");
+        match self.vmm.on_memory_resume(&mut dom) {
+            Ok(_exec) => {
+                dom.kernel.finish_resume().expect("was resuming");
+                // Re-establish the communication channels to the VMM and
+                // re-attach the detached devices (§4.2).
+                dom.channels.reestablish_after_resume();
+                self.trace.log(sched.now(), "guest", format!("{id} resumed"));
+            }
+            Err(e) => {
+                self.errors.push(e);
+                dom.kernel.crash();
+            }
+        }
+        self.domains.insert(id, dom);
+        // Verify preservation: digest after resume must equal the digest
+        // frozen at suspend.
+        let expected = self.run.as_ref().and_then(|r| r.digests.get(&id)).copied();
+        let actual = self.domain_digest(id);
+        let corrupted = matches!((expected, actual), (Some(e), Some(a)) if e != a);
+        if corrupted {
+            self.trace
+                .log(sched.now(), "vmm", format!("{id} MEMORY IMAGE CORRUPTED"));
+        }
+        if let Some(run) = self.run.as_mut() {
+            if corrupted {
+                run.digests.insert(id, u64::MAX); // flag for the report
+            } else {
+                run.digests.remove(&id);
+            }
+            run.pending_setup.remove(&id);
+        }
+        self.refresh(sched, id);
+        self.maybe_finish_reboot(sched);
+    }
+
+    fn on_dom0_shutdown_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        dom0.kernel.finish_shutdown().expect("was shutting down");
+        self.metrics.end(sched.now(), "dom0 shutdown");
+        self.trace.log(sched.now(), "host", "dom0 down");
+        let run = self.run.as_mut().expect("run active");
+        run.dom0_shutdown_done = true;
+        match run.strategy {
+            RebootStrategy::Warm => {
+                // RootHammer ordering: the VMM itself now suspends the
+                // guests (unless the ablation already did).
+                let any_running = self
+                    .domains
+                    .values()
+                    .any(|d| !d.id.is_dom0() && d.kernel.is_running());
+                if any_running {
+                    self.metrics.begin(sched.now(), "suspend");
+                    self.begin_guest_stops(sched);
+                } else {
+                    self.begin_quick_reload(sched);
+                }
+            }
+            RebootStrategy::Saved => self.maybe_start_reset(sched),
+            RebootStrategy::Cold => self.maybe_start_reset(sched),
+        }
+    }
+
+    fn maybe_finish_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let Some(run) = self.run.as_ref() else { return };
+        if !run.pending_setup.is_empty() || !run.setup_queue.is_empty() {
+            return;
+        }
+        let run = self.run.take().expect("just checked");
+        let phase = match run.strategy {
+            RebootStrategy::Warm => "resume",
+            RebootStrategy::Saved => "restore",
+            RebootStrategy::Cold => "guest boot",
+        };
+        self.metrics.end_if_open(sched.now(), phase);
+        // Power-on flows through here too and opens no "reboot" span.
+        self.metrics.end_if_open(sched.now(), "reboot");
+        let mut downtime = BTreeMap::new();
+        for (id, m) in &self.meters {
+            if let Some(outage) = m
+                .outages()
+                .iter()
+                .rev()
+                .find(|o| o.end >= run.commanded_at)
+            {
+                downtime.insert(*id, outage.duration());
+            }
+        }
+        let corrupted: Vec<DomainId> = run
+            .digests
+            .iter()
+            .filter(|(_, &d)| d == u64::MAX)
+            .map(|(&id, _)| id)
+            .collect();
+        self.trace.log(
+            sched.now(),
+            "host",
+            format!("{} reboot complete", run.strategy),
+        );
+        self.reports.push(RebootReport {
+            strategy: run.strategy,
+            commanded_at: run.commanded_at,
+            completed_at: sched.now(),
+            downtime,
+            corrupted,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: httperf requests and file reads
+    // ------------------------------------------------------------------
+
+    fn on_httperf_kick(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let now = sched.now();
+        let Some((target, _)) = self.httperf.as_ref().map(|(d, _)| (*d, ())) else {
+            return;
+        };
+        if !self.observable_up(target) {
+            return;
+        }
+        loop {
+            let Some((_, client)) = self.httperf.as_mut() else { return };
+            let Some(file) = client.next_request(now) else { break };
+            let rid = self.next_req;
+            self.next_req += 1;
+            let os_slow = self.aging_slowdown(target, now);
+            let dom = self.domains.get_mut(&target).expect("target exists");
+            let fs = dom.fs.as_ref().expect("web domain has files").clone();
+            let plan = fs.plan_read(&mut dom.cache, file);
+            let bytes = plan.total_bytes();
+            self.requests.insert(rid, Request { dom: target, bytes, issued: now });
+            if plan.miss_bytes > 0 {
+                fs.commit_read(&mut dom.cache, file);
+                self.account_read(target, plan.miss_bytes as f64);
+                let slow = self.vmm.xenstored().io_slowdown();
+                let work =
+                    plan.miss_bytes as f64 / self.t.file_read_efficiency * slow * os_slow;
+                let job = self.disk.submit(now, IoKind::Read, work);
+                self.disk_jobs.insert(job, DiskPurpose::RequestMiss(rid));
+            } else {
+                let job = self.net.submit(now, bytes as f64 * os_slow);
+                self.net_jobs.insert(job, rid);
+            }
+        }
+        self.rearm_disk(sched);
+        self.rearm_net(sched);
+    }
+
+    fn on_request_disk_done(&mut self, sched: &mut Scheduler<HostEvent>, rid: u64) {
+        let Some(req) = self.requests.get(&rid).copied() else { return };
+        let job = self.net.submit(sched.now(), req.bytes as f64);
+        self.net_jobs.insert(job, rid);
+        self.rearm_net(sched);
+    }
+
+    fn on_request_net_done(&mut self, sched: &mut Scheduler<HostEvent>, rid: u64) {
+        let now = sched.now();
+        let overhead = self.t.request_overhead;
+        if let Some(req) = self.requests.remove(&rid) {
+            self.latencies.record(now + overhead - req.issued);
+            if let Some((_, client)) = self.httperf.as_mut() {
+                client.complete(now + overhead);
+            }
+            sched.schedule_in(overhead, HostEvent::HttperfKick);
+        }
+    }
+
+    fn abort_requests_for(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let now = sched.now();
+        let stale: Vec<u64> = self
+            .requests
+            .iter()
+            .filter(|(_, r)| r.dom == id)
+            .map(|(&rid, _)| rid)
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        let disk_jobs: Vec<JobId> = self
+            .disk_jobs
+            .iter()
+            .filter(|(_, p)| matches!(p, DiskPurpose::RequestMiss(rid) if stale.contains(rid)))
+            .map(|(&j, _)| j)
+            .collect();
+        for j in disk_jobs {
+            self.disk.cancel(now, j);
+            self.disk_jobs.remove(&j);
+        }
+        let net_jobs: Vec<JobId> = self
+            .net_jobs
+            .iter()
+            .filter(|(_, rid)| stale.contains(rid))
+            .map(|(&j, _)| j)
+            .collect();
+        for j in net_jobs {
+            self.net.cancel(now, j);
+            self.net_jobs.remove(&j);
+        }
+        for rid in stale {
+            self.requests.remove(&rid);
+            if let Some((_, client)) = self.httperf.as_mut() {
+                client.abort();
+            }
+        }
+        self.rearm_disk(sched);
+        self.rearm_net(sched);
+    }
+
+    fn finish_file_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let Some((start, bytes)) = self.file_reads.remove(&id) else {
+            return;
+        };
+        self.file_read_results.push(FileReadResult {
+            dom: id,
+            start,
+            end: sched.now(),
+            bytes,
+        });
+    }
+
+    fn on_probe_tick(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let now = sched.now();
+        let ids: Vec<DomainId> = self.probes.keys().copied().collect();
+        for id in ids {
+            let up = self.observable_up(id);
+            if let Some(log) = self.probes.get_mut(&id) {
+                log.record(now, up);
+            }
+        }
+        sched.schedule_in(self.t.probe_interval, HostEvent::ProbeTick);
+    }
+
+    fn on_single_setup(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        self.setup_cold_boot(sched, id);
+    }
+}
+
+impl World for Host {
+    type Event = HostEvent;
+
+    fn handle(&mut self, sched: &mut Scheduler<HostEvent>, event: HostEvent) {
+        match event {
+            HostEvent::DiskWake => self.on_disk_wake(sched),
+            HostEvent::CpuWake => self.on_cpu_wake(sched),
+            HostEvent::NetWake => self.on_net_wake(sched),
+            HostEvent::WorkFixedDone(id, tag) => {
+                // Cached file reads complete through a ResumeHandler-tagged
+                // timer without a work-table entry; route them first.
+                if tag == WorkTag::ResumeHandler
+                    && self.file_reads.contains_key(&id)
+                    && !self.work.contains_key(&id)
+                {
+                    self.finish_file_read(sched, id);
+                } else {
+                    self.work_fixed_done(sched, id, tag);
+                }
+            }
+            HostEvent::Reboot(step) => match step {
+                RebootStep::GuestsStop => {
+                    if self.run.as_ref().map(|r| r.strategy) == Some(RebootStrategy::Cold) {
+                        self.metrics.begin(sched.now(), "guest shutdown");
+                    } else {
+                        self.metrics.begin(sched.now(), "suspend");
+                    }
+                    self.begin_guest_stops(sched);
+                }
+                RebootStep::Dom0ShutdownDone => self.on_dom0_shutdown_done(sched),
+                RebootStep::QuickReloadDone => self.on_quick_reload_done(sched),
+                RebootStep::HwResetDone => self.on_hw_reset_done(sched),
+                RebootStep::VmmBootDone => self.on_vmm_boot_done(sched),
+                RebootStep::Dom0BootDone => self.on_dom0_boot_done(sched),
+                RebootStep::NextDomainSetup => self.on_next_domain_setup(sched),
+                RebootStep::SingleSetup(id) => self.on_single_setup(sched, id),
+            },
+            HostEvent::HttperfKick => self.on_httperf_kick(sched),
+            HostEvent::ProbeTick => self.on_probe_tick(sched),
+            HostEvent::DirtyTick(id) => self.on_dirty_tick(sched, id),
+        }
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Host(gen {}, {} domUs, vmm {:?})",
+            self.vmm.generation(),
+            self.domains.len() - 1,
+            self.vmm.state()
+        )
+    }
+}

@@ -1,0 +1,318 @@
+//! The hypercall interface.
+//!
+//! Guests and domain 0 talk to the VMM "like a system call to the
+//! operating system" (paper §4.2). This module gives RootHammer-RS the
+//! same typed boundary: a [`Hypercall`] value enters
+//! [`dispatch`], which validates the caller's privilege, routes to the
+//! VMM's mechanism, and returns a [`HypercallResult`].
+//!
+//! The paper's two additions to Xen's hypercall table are here —
+//! `suspend` (§4.2, issued by a guest after its suspend handler ran) and
+//! `xexec` (§4.3, issued by domain 0 to stage the next VMM image) — plus
+//! the standard memory-management calls the mechanisms depend on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rh_memory::contents::FrameContents;
+
+use crate::domain::{Domain, DomainId, ExecState};
+use crate::vmm::{Vmm, VmmError};
+use crate::xexec::XexecImage;
+
+/// A request into the VMM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Hypercall {
+    /// §4.2: freeze the calling domain's memory in place and save its
+    /// execution state (`exec_state_bytes` long) into preserved memory.
+    Suspend {
+        /// Size of the execution-state record to save.
+        exec_state_bytes: u64,
+    },
+    /// §4.3: stage the next VMM executable image (domain 0 only).
+    Xexec {
+        /// The image to stage.
+        image: XexecImage,
+    },
+    /// Balloon pages out of the calling domain (release to the VMM).
+    BalloonOut {
+        /// Pages to surrender.
+        pages: u64,
+    },
+    /// Balloon pages into the calling domain (claim from the VMM).
+    BalloonIn {
+        /// Pages to claim.
+        pages: u64,
+    },
+    /// Query the VMM's heap pressure (a management/monitoring call,
+    /// domain 0 only).
+    HeapInfo,
+}
+
+/// What a hypercall returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HypercallResult {
+    /// Completed with nothing to report.
+    Ok,
+    /// `Suspend`: the saved execution state.
+    Suspended(ExecState),
+    /// `HeapInfo`: free bytes and pressure of the VMM heap.
+    HeapInfo {
+        /// Bytes available.
+        free_bytes: u64,
+        /// Fraction of the heap unavailable, in `[0, 1]`.
+        pressure: f64,
+    },
+}
+
+/// Errors crossing the hypercall boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HypercallError {
+    /// The call is restricted to domain 0.
+    PrivilegeViolation {
+        /// Who called.
+        caller: DomainId,
+        /// Which call.
+        call: &'static str,
+    },
+    /// The caller does not exist.
+    NoSuchDomain(DomainId),
+    /// The VMM rejected the operation.
+    Vmm(VmmError),
+}
+
+impl fmt::Display for HypercallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypercallError::PrivilegeViolation { caller, call } => {
+                write!(f, "hypercall {call} denied: {caller} is not privileged")
+            }
+            HypercallError::NoSuchDomain(id) => write!(f, "hypercall from unknown domain {id}"),
+            HypercallError::Vmm(e) => write!(f, "hypercall failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HypercallError {}
+
+impl From<VmmError> for HypercallError {
+    fn from(e: VmmError) -> Self {
+        HypercallError::Vmm(e)
+    }
+}
+
+/// Dispatches `call` issued by `caller` into the VMM.
+///
+/// # Errors
+///
+/// [`HypercallError::PrivilegeViolation`] for domain-0-only calls from
+/// guests, [`HypercallError::NoSuchDomain`] for unknown callers, and
+/// [`HypercallError::Vmm`] for mechanism-level failures.
+pub fn dispatch(
+    vmm: &mut Vmm,
+    domains: &mut BTreeMap<DomainId, Domain>,
+    contents: &mut FrameContents,
+    caller: DomainId,
+    call: Hypercall,
+) -> Result<HypercallResult, HypercallError> {
+    if !domains.contains_key(&caller) {
+        return Err(HypercallError::NoSuchDomain(caller));
+    }
+    match call {
+        Hypercall::Suspend { exec_state_bytes } => {
+            let dom = domains.get_mut(&caller).expect("checked above");
+            vmm.on_memory_suspend(dom, exec_state_bytes)?;
+            let exec = dom.exec_state.expect("suspend saved it");
+            Ok(HypercallResult::Suspended(exec))
+        }
+        Hypercall::Xexec { image } => {
+            if !caller.is_dom0() {
+                return Err(HypercallError::PrivilegeViolation {
+                    caller,
+                    call: "xexec",
+                });
+            }
+            vmm.stage_next_image(image);
+            Ok(HypercallResult::Ok)
+        }
+        Hypercall::BalloonOut { pages } => {
+            let dom = domains.get_mut(&caller).expect("checked above");
+            vmm.balloon_out(dom, contents, pages)?;
+            Ok(HypercallResult::Ok)
+        }
+        Hypercall::BalloonIn { pages } => {
+            let dom = domains.get_mut(&caller).expect("checked above");
+            vmm.balloon_in(dom, contents, pages)?;
+            Ok(HypercallResult::Ok)
+        }
+        Hypercall::HeapInfo => {
+            if !caller.is_dom0() {
+                return Err(HypercallError::PrivilegeViolation {
+                    caller,
+                    call: "heap_info",
+                });
+            }
+            Ok(HypercallResult::HeapInfo {
+                free_bytes: vmm.heap().free_bytes(),
+                pressure: vmm.heap().pressure(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainSpec;
+    use rh_guest::services::ServiceKind;
+    use rh_memory::frame::FRAMES_PER_GIB;
+
+    fn setup() -> (Vmm, BTreeMap<DomainId, Domain>, FrameContents) {
+        let mut vmm = Vmm::new(4 * FRAMES_PER_GIB);
+        let mut contents = FrameContents::new();
+        let mut domains = BTreeMap::new();
+        let dom0_spec = DomainSpec {
+            name: "dom0".into(),
+            mem_bytes: 512 << 20,
+            service: None,
+            files: None,
+            driver_domain: false,
+            backend: None,
+        };
+        domains.insert(DomainId::DOM0, Domain::new(DomainId::DOM0, dom0_spec, 0));
+        let mut guest = Domain::new(
+            DomainId(1),
+            DomainSpec::standard("vm1", ServiceKind::Ssh),
+            0,
+        );
+        vmm.create_domain(&mut guest, &mut contents).unwrap();
+        domains.insert(DomainId(1), guest);
+        (vmm, domains, contents)
+    }
+
+    #[test]
+    fn suspend_hypercall_returns_exec_state() {
+        let (mut vmm, mut domains, mut contents) = setup();
+        let result = dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(1),
+            Hypercall::Suspend { exec_state_bytes: 16 * 1024 },
+        )
+        .unwrap();
+        match result {
+            HypercallResult::Suspended(exec) => assert_eq!(exec.bytes, 16 * 1024),
+            other => panic!("unexpected result {other:?}"),
+        }
+        assert!(domains[&DomainId(1)].exec_state.is_some());
+    }
+
+    #[test]
+    fn xexec_is_dom0_only() {
+        let (mut vmm, mut domains, mut contents) = setup();
+        let image = XexecImage::build(2);
+        let err = dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(1),
+            Hypercall::Xexec { image },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HypercallError::PrivilegeViolation { .. }));
+        assert!(!vmm.xexec().is_staged());
+        dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId::DOM0,
+            Hypercall::Xexec { image },
+        )
+        .unwrap();
+        assert!(vmm.xexec().is_staged());
+    }
+
+    #[test]
+    fn heap_info_reports_pressure() {
+        let (mut vmm, mut domains, mut contents) = setup();
+        vmm.heap_mut().leak(8 * 1024 * 1024);
+        let result = dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId::DOM0,
+            Hypercall::HeapInfo,
+        )
+        .unwrap();
+        match result {
+            HypercallResult::HeapInfo { free_bytes, pressure } => {
+                assert!(free_bytes < 8 * 1024 * 1024);
+                assert!(pressure > 0.5);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        // Guests may not peek at the VMM heap.
+        assert!(dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(1),
+            Hypercall::HeapInfo,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn balloon_hypercalls_round_trip() {
+        let (mut vmm, mut domains, mut contents) = setup();
+        let pages_before = domains[&DomainId(1)].p2m.total_pages();
+        dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(1),
+            Hypercall::BalloonOut { pages: 1000 },
+        )
+        .unwrap();
+        assert_eq!(domains[&DomainId(1)].p2m.total_pages(), pages_before - 1000);
+        dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(1),
+            Hypercall::BalloonIn { pages: 1000 },
+        )
+        .unwrap();
+        assert_eq!(domains[&DomainId(1)].p2m.total_pages(), pages_before);
+    }
+
+    #[test]
+    fn unknown_caller_rejected() {
+        let (mut vmm, mut domains, mut contents) = setup();
+        let err = dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(99),
+            Hypercall::HeapInfo,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HypercallError::NoSuchDomain(_)));
+        assert!(err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn vmm_errors_propagate() {
+        let (mut vmm, mut domains, mut contents) = setup();
+        let err = dispatch(
+            &mut vmm,
+            &mut domains,
+            &mut contents,
+            DomainId(1),
+            Hypercall::BalloonOut { pages: u64::MAX / 8 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HypercallError::Vmm(_)));
+    }
+}

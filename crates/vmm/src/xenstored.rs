@@ -1,0 +1,214 @@
+//! The xenstored daemon of domain 0 — and its famous leak.
+//!
+//! Paper §2: "Xen had a bug of memory leaks in its daemon named xenstored
+//! running on a privileged VM" (changeset 8640), and "since xenstored is
+//! not restartable, restoring from such memory leaks needs to reboot the
+//! privileged VM" — which in turn forces a VMM reboot. This is one of the
+//! concrete aging vectors that motivates the warm-VM reboot.
+//!
+//! [`XenStored`] models the daemon's resident memory: every watch/transact
+//! operation may leak a few bytes; when memory pressure passes a threshold
+//! the privileged VM's I/O slows down (degrading every guest), and at
+//! exhaustion the daemon wedges.
+
+use std::fmt;
+
+/// Health of the xenstored daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XenStoredHealth {
+    /// Operating normally.
+    Healthy,
+    /// Memory pressure is degrading I/O processing for all guests.
+    Degraded,
+    /// Out of memory; the daemon is wedged and unrestartable.
+    Wedged,
+}
+
+impl fmt::Display for XenStoredHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XenStoredHealth::Healthy => write!(f, "healthy"),
+            XenStoredHealth::Degraded => write!(f, "degraded"),
+            XenStoredHealth::Wedged => write!(f, "wedged"),
+        }
+    }
+}
+
+/// The xenstored daemon's memory accounting.
+///
+/// # Examples
+///
+/// ```
+/// use rh_vmm::xenstored::{XenStored, XenStoredHealth};
+///
+/// let mut xs = XenStored::new(1024, 16); // tiny, for demonstration
+/// assert_eq!(xs.health(), XenStoredHealth::Healthy);
+/// for _ in 0..40 { xs.transact(); }
+/// assert_ne!(xs.health(), XenStoredHealth::Healthy);
+/// xs.reboot(); // only a privileged-VM (hence VMM) reboot clears it
+/// assert_eq!(xs.health(), XenStoredHealth::Healthy);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XenStored {
+    capacity_bytes: u64,
+    leaked_bytes: u64,
+    leak_per_op: u64,
+    ops: u64,
+}
+
+/// Fraction of capacity above which I/O degrades.
+pub const DEGRADE_THRESHOLD: f64 = 0.5;
+
+impl XenStored {
+    /// Creates a daemon with `capacity_bytes` of memory budget and a leak
+    /// of `leak_per_op` bytes per transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(capacity_bytes: u64, leak_per_op: u64) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        XenStored {
+            capacity_bytes,
+            leaked_bytes: 0,
+            leak_per_op,
+            ops: 0,
+        }
+    }
+
+    /// A realistically sized daemon: 64 MB budget (privileged VMs "do not
+    /// need a large amount of memory", §2), leaking 512 bytes per
+    /// transaction — aging over days, not seconds.
+    pub fn realistic() -> Self {
+        XenStored::new(64 * 1024 * 1024, 512)
+    }
+
+    /// Memory budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes leaked so far.
+    pub fn leaked_bytes(&self) -> u64 {
+        self.leaked_bytes
+    }
+
+    /// Transactions processed since the last reboot.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Memory pressure in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        self.leaked_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Current health.
+    pub fn health(&self) -> XenStoredHealth {
+        if self.leaked_bytes >= self.capacity_bytes {
+            XenStoredHealth::Wedged
+        } else if self.pressure() >= DEGRADE_THRESHOLD {
+            XenStoredHealth::Degraded
+        } else {
+            XenStoredHealth::Healthy
+        }
+    }
+
+    /// The I/O slow-down factor the daemon currently imposes on all guests:
+    /// 1.0 healthy, rising linearly to 2.0 at exhaustion.
+    pub fn io_slowdown(&self) -> f64 {
+        let p = self.pressure().min(1.0);
+        if p < DEGRADE_THRESHOLD {
+            1.0
+        } else {
+            1.0 + (p - DEGRADE_THRESHOLD) / (1.0 - DEGRADE_THRESHOLD)
+        }
+    }
+
+    /// Processes one transaction (a domain create/destroy, a device watch,
+    /// ...), leaking `leak_per_op` bytes.
+    pub fn transact(&mut self) {
+        self.ops += 1;
+        self.leaked_bytes = (self.leaked_bytes + self.leak_per_op).min(self.capacity_bytes);
+    }
+
+    /// Rejuvenation: the privileged VM rebooted (with the VMM); the daemon
+    /// starts fresh.
+    pub fn reboot(&mut self) {
+        self.leaked_bytes = 0;
+        self.ops = 0;
+    }
+}
+
+impl Default for XenStored {
+    fn default() -> Self {
+        XenStored::realistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_initially() {
+        let xs = XenStored::realistic();
+        assert_eq!(xs.health(), XenStoredHealth::Healthy);
+        assert_eq!(xs.io_slowdown(), 1.0);
+        assert_eq!(xs.pressure(), 0.0);
+    }
+
+    #[test]
+    fn leaks_accumulate_to_degradation_then_wedge() {
+        let mut xs = XenStored::new(1000, 100);
+        for _ in 0..4 {
+            xs.transact();
+        }
+        assert_eq!(xs.health(), XenStoredHealth::Healthy);
+        xs.transact(); // 500 bytes = 50 %
+        assert_eq!(xs.health(), XenStoredHealth::Degraded);
+        assert_eq!(xs.io_slowdown(), 1.0, "slowdown starts rising past the threshold");
+        xs.transact(); // 60 %
+        assert!(xs.io_slowdown() > 1.0);
+        for _ in 0..5 {
+            xs.transact();
+        }
+        assert_eq!(xs.health(), XenStoredHealth::Wedged);
+        assert_eq!(xs.leaked_bytes(), 1000, "leak clamps at capacity");
+        assert!((xs.io_slowdown() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_grows_monotonically() {
+        let mut xs = XenStored::new(1000, 50);
+        let mut last = 1.0;
+        for _ in 0..20 {
+            xs.transact();
+            let s = xs.io_slowdown();
+            assert!(s >= last, "slowdown must not decrease");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn reboot_rejuvenates() {
+        let mut xs = XenStored::new(1000, 500);
+        xs.transact();
+        xs.transact();
+        assert_eq!(xs.health(), XenStoredHealth::Wedged);
+        xs.reboot();
+        assert_eq!(xs.health(), XenStoredHealth::Healthy);
+        assert_eq!(xs.ops(), 0);
+        assert_eq!(xs.leaked_bytes(), 0);
+    }
+
+    #[test]
+    fn op_counter_tracks() {
+        let mut xs = XenStored::new(1 << 20, 1);
+        for _ in 0..7 {
+            xs.transact();
+        }
+        assert_eq!(xs.ops(), 7);
+        assert_eq!(xs.leaked_bytes(), 7);
+    }
+}

@@ -1,0 +1,316 @@
+//! Property-based tests over the core invariants listed in DESIGN.md §7.
+
+use proptest::prelude::*;
+use roothammer::memory::contents::FrameContents;
+use roothammer::memory::frame::{FrameRange, Mfn, Pfn, FRAMES_PER_GIB};
+use roothammer::memory::machine::MachineMemory;
+use roothammer::memory::p2m::P2mTable;
+use roothammer::prelude::*;
+use roothammer::sim::resource::PsResource;
+use roothammer::sim::time::SimTime;
+use roothammer::storage::image::{logical_digest, MemoryImage};
+use roothammer::vmm::vmm::Vmm;
+use roothammer::vmm::domain::Domain;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The allocator never hands out overlapping ranges and conserves
+    /// frames across arbitrary allocate/release interleavings.
+    #[test]
+    fn allocator_conserves_frames(ops in prop::collection::vec(0u64..400, 1..40)) {
+        let total = 4096;
+        let mut ram = MachineMemory::new(total);
+        let mut live: Vec<Vec<FrameRange>> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i % 3 == 2 && !live.is_empty() {
+                let victim = live.remove((*op as usize) % live.len());
+                ram.release(&victim).unwrap();
+            } else if let Ok(ranges) = ram.allocate(*op) {
+                // No overlap with anything live.
+                for r in &ranges {
+                    for group in &live {
+                        for l in group {
+                            prop_assert!(!r.overlaps(l), "{r} overlaps {l}");
+                        }
+                    }
+                }
+                live.push(ranges);
+            }
+        }
+        let live_frames: u64 = live.iter().flatten().map(|r| r.count).sum();
+        prop_assert_eq!(ram.allocated_frames(), live_frames);
+        prop_assert!(ram.check_invariants().is_ok());
+    }
+
+    /// P2M lookup agrees with a naive model under random map/unmap.
+    #[test]
+    fn p2m_matches_naive_model(segments in prop::collection::vec((0u64..64, 1u64..16), 1..12)) {
+        let mut table = P2mTable::new();
+        let mut model = std::collections::BTreeMap::new();
+        let mut next_mfn = 1000u64;
+        for (slot, count) in segments {
+            let pfn_start = slot * 16;
+            let range = FrameRange::new(Mfn(next_mfn), count);
+            if table.map(Pfn(pfn_start), range).is_ok() {
+                for i in 0..count {
+                    model.insert(pfn_start + i, next_mfn + i);
+                }
+                next_mfn += count;
+            }
+        }
+        for pfn in 0..1200u64 {
+            prop_assert_eq!(
+                table.lookup(Pfn(pfn)),
+                model.get(&pfn).map(|&m| Mfn(m)),
+                "pfn {}", pfn
+            );
+        }
+        prop_assert_eq!(table.total_pages(), model.len() as u64);
+    }
+
+    /// Memory images restore bit-identically onto arbitrary new layouts.
+    #[test]
+    fn memory_image_round_trips(
+        pages in 16u64..256,
+        writes in prop::collection::vec((0u64..256, any::<u64>()), 0..20),
+        hole in 1u64..64,
+    ) {
+        let mut ram = MachineMemory::new(1 << 14);
+        let mut mem = FrameContents::new();
+        let frames = ram.allocate(pages).unwrap();
+        let mut p2m = P2mTable::new();
+        p2m.map_contiguous(Pfn(0), &frames).unwrap();
+        for r in &frames {
+            mem.fill_pattern(*r, 0xAB);
+        }
+        for (pfn, value) in &writes {
+            if *pfn < pages {
+                let mfn = p2m.lookup(Pfn(*pfn)).unwrap();
+                mem.write(mfn, *value);
+            }
+        }
+        let before = logical_digest(&p2m, &mem);
+        let image = MemoryImage::capture(&p2m, &mem);
+        // Fragment the free space so the new allocation lands elsewhere.
+        let shim = ram.allocate(hole).unwrap();
+        let frames2 = ram.allocate(pages).unwrap();
+        ram.release(&shim).unwrap();
+        let mut p2m2 = P2mTable::new();
+        p2m2.map_contiguous(Pfn(0), &frames2).unwrap();
+        image.restore(&p2m2, &mut mem).unwrap();
+        prop_assert_eq!(logical_digest(&p2m2, &mem), before);
+    }
+
+    /// Processor sharing conserves work for arbitrary job mixes.
+    #[test]
+    fn ps_resource_conserves_work(jobs in prop::collection::vec(1.0f64..1000.0, 1..20)) {
+        let mut r = PsResource::new(100.0).with_contention_penalty(0.1);
+        let mut now = SimTime::ZERO;
+        for w in &jobs {
+            r.submit(now, *w);
+        }
+        let mut drained = 0;
+        while let Some(next) = r.next_completion(now) {
+            now = next;
+            drained += r.take_completed(now).len();
+        }
+        prop_assert_eq!(drained, jobs.len());
+        let total: f64 = jobs.iter().sum();
+        prop_assert!((r.total_completed_work() - total).abs() < total * 1e-6 + 1e-3);
+    }
+
+    /// Quick reload preserves digests for arbitrary multi-domain layouts.
+    #[test]
+    fn quick_reload_preserves_arbitrary_layouts(
+        sizes in prop::collection::vec(32u64..512, 1..6)
+    ) {
+        let mut vmm = Vmm::new(2 * FRAMES_PER_GIB);
+        let mut contents = FrameContents::new();
+        let mut domains = std::collections::BTreeMap::new();
+        for (i, pages) in sizes.iter().enumerate() {
+            let id = DomainId(i as u32 + 1);
+            let spec = DomainSpec::standard(format!("vm{i}"), ServiceKind::Ssh)
+                .with_mem_bytes(pages * 4096);
+            let mut dom = Domain::new(id, spec, 0);
+            vmm.create_domain(&mut dom, &mut contents).unwrap();
+            vmm.on_memory_suspend(&mut dom, 16 * 1024).unwrap();
+            domains.insert(id, dom);
+        }
+        let before: Vec<u64> = domains
+            .values()
+            .map(|d| vmm.domain_digest(d, &contents))
+            .collect();
+        let ids: Vec<DomainId> = domains.keys().copied().collect();
+        vmm.stage_next_image(roothammer::vmm::xexec::XexecImage::build(2));
+        vmm.quick_reload(&mut domains, &ids).unwrap();
+        let after: Vec<u64> = domains
+            .values()
+            .map(|d| vmm.domain_digest(d, &contents))
+            .collect();
+        prop_assert_eq!(before, after);
+        prop_assert!(Vmm::check_domain_isolation(&domains).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cluster rejuvenation planner always satisfies its own
+    /// constraints, covers every host exactly once, and its makespan
+    /// scales with downtime.
+    #[test]
+    fn rejuvenation_plans_satisfy_constraints(
+        hosts in 1u32..40,
+        downtime_secs in 5u64..600,
+        max_down in 1u32..6,
+        floor_pct in 0u32..80,
+    ) {
+        use roothammer::cluster::schedule::{plan_uniform, verify, ScheduleConstraints};
+        let constraints = ScheduleConstraints {
+            max_down,
+            capacity_floor: floor_pct as f64 / 100.0,
+            slack: SimDuration::from_secs(5),
+        };
+        match plan_uniform(hosts, SimDuration::from_secs(downtime_secs), &constraints) {
+            Ok(plan) => {
+                prop_assert!(verify(&plan, hosts, &constraints).is_ok());
+                prop_assert!(plan.peak_down <= max_down);
+                prop_assert!(plan.makespan >= SimDuration::from_secs(downtime_secs));
+            }
+            Err(_) => {
+                // Only tight floors may make planning impossible.
+                let allowed = ((1.0 - floor_pct as f64 / 100.0) * hosts as f64).floor();
+                prop_assert!(allowed < 1.0, "spurious planning failure");
+            }
+        }
+    }
+
+    /// The LRU page cache agrees with a naive reference model under
+    /// arbitrary access/insert interleavings.
+    #[test]
+    fn page_cache_matches_reference_lru(
+        ops in prop::collection::vec((0u32..6, 0u32..12, any::<bool>()), 1..200)
+    ) {
+        use roothammer::guest::pagecache::{ChunkKey, PageCache};
+        let capacity_chunks = 8usize;
+        let mut cache = PageCache::with_chunk_size(capacity_chunks as u64 * 1024, 1024);
+        // Reference: Vec kept in LRU order (front = oldest).
+        let mut model: Vec<ChunkKey> = Vec::new();
+        for (file, chunk, is_insert) in ops {
+            let key = ChunkKey { file, chunk };
+            if is_insert {
+                cache.insert(key);
+                model.retain(|k| *k != key);
+                model.push(key);
+                if model.len() > capacity_chunks {
+                    model.remove(0);
+                }
+            } else {
+                let hit = cache.access(key);
+                let model_hit = model.contains(&key);
+                prop_assert_eq!(hit, model_hit, "access {:?}", key);
+                if model_hit {
+                    model.retain(|k| *k != key);
+                    model.push(key);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+            for k in &model {
+                prop_assert!(cache.contains(*k), "model has {:?} but cache lost it", k);
+            }
+        }
+    }
+
+    /// Latency histograms bracket exact percentiles from above by at most
+    /// one power-of-two bucket.
+    #[test]
+    fn histogram_percentiles_bracket_exact(
+        samples in prop::collection::vec(1u64..10_000_000, 1..300)
+    ) {
+        use roothammer::sim::histogram::LatencyHistogram;
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_micros(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [10.0, 50.0, 90.0, 99.0, 100.0] {
+            let rank = (((p / 100.0) * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let bucketed = h.percentile(p).unwrap().as_micros();
+            prop_assert!(bucketed >= exact, "p{p}: bucketed {bucketed} < exact {exact}");
+            prop_assert!(bucketed <= exact.next_power_of_two().max(1), "p{p}: over-wide bracket");
+        }
+    }
+}
+
+proptest! {
+    // Whole-host simulations are heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The paper's ordering warm < cold < saved holds for arbitrary small
+    /// configurations, and warm/saved never corrupt memory.
+    #[test]
+    fn downtime_ordering_holds_for_arbitrary_configs(
+        n in 1u32..6,
+        jboss in any::<bool>(),
+    ) {
+        let service = if jboss { ServiceKind::Jboss } else { ServiceKind::Ssh };
+        let warm = booted_host(n, service).reboot_and_wait(RebootStrategy::Warm);
+        let cold = booted_host(n, service).reboot_and_wait(RebootStrategy::Cold);
+        let saved = booted_host(n, service).reboot_and_wait(RebootStrategy::Saved);
+        prop_assert!(warm.mean_downtime() < cold.mean_downtime());
+        prop_assert!(cold.mean_downtime() < saved.mean_downtime());
+        prop_assert!(warm.corrupted.is_empty());
+        prop_assert!(saved.corrupted.is_empty());
+    }
+
+    /// r(n) > 0: the analytic saving derived from any measured sweep of
+    /// this simulator stays positive (the paper's §5.6 conclusion).
+    #[test]
+    fn measured_saving_is_positive(alpha in 0.05f64..1.0) {
+        let model = roothammer::rejuv::model::DowntimeModel::paper();
+        for n in 1..=16 {
+            prop_assert!(model.saving(n as f64, alpha) > 0.0);
+        }
+    }
+
+    /// Arbitrary reboot sequences leave the host consistent: memory
+    /// digests unchanged across every warm/saved segment, guests rebooted
+    /// exactly once per cold segment, generation = power-on + reboots.
+    #[test]
+    fn arbitrary_reboot_sequences_stay_consistent(
+        seq in prop::collection::vec(0u8..3, 1..5)
+    ) {
+        let mut sim = booted_host(2, ServiceKind::Ssh);
+        let mut expected_boots = 1u64;
+        for s in &seq {
+            let strategy = match s {
+                0 => RebootStrategy::Warm,
+                1 => RebootStrategy::Saved,
+                _ => RebootStrategy::Cold,
+            };
+            let digest_before = sim.host().domain_digest(DomainId(1)).unwrap();
+            let report = sim.reboot_and_wait(strategy);
+            prop_assert!(report.corrupted.is_empty());
+            prop_assert!(sim.host().all_services_up());
+            let digest_after = sim.host().domain_digest(DomainId(1)).unwrap();
+            match strategy {
+                RebootStrategy::Cold => {
+                    expected_boots += 1;
+                    prop_assert_ne!(digest_before, digest_after);
+                }
+                _ => prop_assert_eq!(digest_before, digest_after),
+            }
+        }
+        prop_assert_eq!(
+            sim.host().vmm().generation(),
+            1 + seq.len() as u64
+        );
+        prop_assert_eq!(
+            sim.host().domain(DomainId(1)).unwrap().kernel.boots(),
+            expected_boots
+        );
+    }
+}
