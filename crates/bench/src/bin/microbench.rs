@@ -1,0 +1,157 @@
+//! Micro-benchmarks, run with the in-repo [`rh_bench::runner`]
+//! (`cargo run --release -p rh-bench --bin microbench`).
+//!
+//! Two groups, ported from the former Criterion benches:
+//!
+//! * `engine/*` — throughput of the simulation substrate itself: event
+//!   chains, schedule/cancel churn, and the DESIGN.md disk-model ablation
+//!   (processor-sharing vs FIFO contention).
+//! * `figures/*` — each paper table/figure's underlying experiment at
+//!   reduced scale, doubling as a regression harness for both the
+//!   *results* (shape assertions fire every iteration) and the
+//!   *performance* of the simulator.
+//!
+//! Flags: `--iters N` (default 20), `--warmup N` (default 3),
+//! `--filter SUBSTR`. Prints an aligned table and a JSON array to stdout.
+
+use rh_bench::runner::{BenchOptions, Runner};
+use rh_guest::services::ServiceKind;
+use rh_sim::engine::{Scheduler, Simulation, World};
+use rh_sim::queue::FifoResource;
+use rh_sim::resource::PsResource;
+use rh_sim::time::{SimDuration, SimTime};
+use rh_vmm::config::RebootStrategy;
+use rh_vmm::harness::booted_host;
+
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, sched: &mut Scheduler<()>, _ev: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+fn engine_benches(r: &mut Runner) {
+    r.bench("engine/event_chain_100k", || {
+        let mut sim = Simulation::new(Chain { remaining: 100_000 });
+        sim.scheduler_mut().schedule_in(SimDuration::ZERO, ());
+        sim.run_until_idle();
+        assert_eq!(sim.world().remaining, 0);
+        sim.now()
+    });
+    r.bench("engine/schedule_cancel_10k", || {
+        let mut sim = Simulation::new(Chain { remaining: 0 });
+        let handles: Vec<_> = (0..10_000)
+            .map(|i| sim.scheduler_mut().schedule_at(SimTime::from_micros(i + 1), ()))
+            .collect();
+        for h in handles {
+            sim.scheduler_mut().cancel(h);
+        }
+        sim.run_until_idle();
+        sim.now()
+    });
+
+    // The disk-model ablation: drain 11 × 1 GiB transfers through the
+    // processor-sharing model (the paper-calibrated disk) vs a FIFO queue.
+    const GIB: f64 = (1u64 << 30) as f64;
+    r.bench("engine/processor_sharing_11_streams", || {
+        let mut disk = PsResource::new(85.0e6).with_contention_penalty(0.0518);
+        let mut now = SimTime::ZERO;
+        for _ in 0..11 {
+            disk.submit(now, GIB);
+        }
+        while let Some(next) = disk.next_completion(now) {
+            now = next;
+            disk.take_completed(now);
+        }
+        now
+    });
+    r.bench("engine/fifo_11_streams", || {
+        let mut disk = FifoResource::new(1);
+        let service = SimDuration::from_secs_f64(GIB / 85.0e6);
+        for _ in 0..11 {
+            disk.submit(SimTime::ZERO, service);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(next) = disk.next_completion() {
+            last = next;
+            disk.take_completed(next);
+        }
+        last
+    });
+}
+
+fn figure_benches(r: &mut Runner) {
+    r.bench("figures/fig45_measure_tasks_3gib_vm", || {
+        let t = rh_bench::fig45::measure_tasks(|| {
+            rh_bench::util::booted_single_vm(3, ServiceKind::Ssh)
+        });
+        assert!(t.onmem_suspend < 0.2);
+        assert!(t.save > 3.0 * t.onmem_resume);
+        t
+    });
+    r.bench("figures/fig45_measure_tasks_4_vms", || {
+        let t = rh_bench::fig45::measure_tasks(|| rh_bench::util::booted_n_vms(4, ServiceKind::Ssh));
+        assert!(t.boot > 10.0);
+        t
+    });
+    for strategy in [RebootStrategy::Warm, RebootStrategy::Cold, RebootStrategy::Saved] {
+        r.bench(&format!("figures/fig6_reboot_{strategy}_5vms"), || {
+            let mut sim = booted_host(5, ServiceKind::Ssh);
+            let report = sim.reboot_and_wait(strategy);
+            assert!(report.corrupted.is_empty());
+            report.mean_downtime()
+        });
+    }
+    r.bench("figures/sec52_quick_vs_reset", || {
+        let res = rh_bench::sec52::run();
+        assert!(res.saving() > 40.0);
+        res
+    });
+    r.bench("figures/sec53_os_rejuvenation", || {
+        let mut sim = booted_host(3, ServiceKind::Jboss);
+        sim.os_reboot_and_wait(rh_vmm::domain::DomainId(1))
+    });
+    r.bench("figures/fig7_warm_throughput_trace", || {
+        let t = rh_bench::fig7::run(RebootStrategy::Warm);
+        assert!(t.after_ratio() > 0.9);
+        t.steady_before
+    });
+    r.bench("figures/fig8_file_read_cold", || {
+        let res = rh_bench::fig8::file_read(RebootStrategy::Cold);
+        assert!(res.degradation() > 0.8);
+        res
+    });
+    r.bench("figures/fig8_web_cold_500_files", || {
+        let res = rh_bench::fig8::web(RebootStrategy::Cold, 500);
+        assert!(res.degradation() > 0.4);
+        res
+    });
+    r.bench("figures/sec56_three_point_sweep", || {
+        let res = rh_bench::sec56::run([1u32, 5, 9].into_iter());
+        assert!(res.fitted.saving(11.0, 0.5) > 0.0);
+        res.fitted
+    });
+    r.bench("figures/fig9_analytic_plus_rolling", || {
+        let res = rh_bench::fig9::run(4, 215.0, 3);
+        assert!(res.warm_loss < res.cold_loss);
+        res.warm_loss
+    });
+}
+
+fn main() {
+    let opts = BenchOptions::from_args(std::env::args().skip(1));
+    let mut runner = Runner::new(opts);
+    eprintln!("running microbench groups: engine, figures");
+    engine_benches(&mut runner);
+    figure_benches(&mut runner);
+    let report = runner.finish();
+    print!("{}", report.render_table());
+    println!("{}", report.to_json());
+}

@@ -16,6 +16,11 @@
 //! | [`fig9`]  | Fig. 9 / §6 — cluster total throughput |
 //! | [`ablations`] | DESIGN.md ablations (suspend ordering, reservation order, driver domains) |
 //! | [`reliability`] | proactive vs adaptive vs reactive rejuvenation under injected aging |
+//!
+//! The [`runner`] module is the in-repo micro-benchmark harness (warmup +
+//! timed iterations, median/p95, table + JSON output) driving the
+//! `microbench` binary — the hermetic replacement for the former Criterion
+//! benches (README §"Hermetic build").
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +32,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod reliability;
+pub mod runner;
 pub mod sec52;
 pub mod sec53;
 pub mod sec56;

@@ -1,0 +1,346 @@
+//! A lightweight, zero-dependency micro-benchmark runner.
+//!
+//! Replaces the Criterion dev-dependency (unfetchable in the offline build
+//! environment — README §"Hermetic build") with the subset the project
+//! needs: per-benchmark **warmup** iterations, **N timed** iterations, and
+//! **median / p95 / mean / min / max** summaries printed as an aligned
+//! table and as machine-readable JSON. It is wired as a normal binary
+//! (`cargo run --release -p rh-bench --bin microbench`), so it builds with
+//! the workspace and needs no custom test harness.
+//!
+//! Unlike Criterion this runner does no outlier rejection or statistical
+//! resampling — with a deterministic simulated workload, iteration-time
+//! spread comes only from the OS scheduler, and median/p95 over a fixed
+//! iteration count is enough to spot regressions.
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_bench::runner::{BenchOptions, Runner};
+//!
+//! let mut runner = Runner::new(BenchOptions { iters: 5, warmup: 1, ..BenchOptions::default() });
+//! runner.bench("sum_1k", || (0..1000u64).sum::<u64>());
+//! let report = runner.finish();
+//! assert_eq!(report.results.len(), 1);
+//! assert!(report.results[0].median_ns > 0);
+//! println!("{}", report.render_table());
+//! println!("{}", report.to_json());
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Options controlling every benchmark in a [`Runner`].
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Timed iterations per benchmark.
+    pub iters: u32,
+    /// Untimed warmup iterations per benchmark (cache/branch-predictor
+    /// settling).
+    pub warmup: u32,
+    /// Only run benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { iters: 20, warmup: 3, filter: None }
+    }
+}
+
+impl BenchOptions {
+    /// Parses options from command-line arguments:
+    /// `--iters N`, `--warmup N`, `--filter SUBSTR`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown flag or a malformed value.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = BenchOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--iters" => {
+                    opts.iters = value("--iters").parse().expect("--iters: not a number")
+                }
+                "--warmup" => {
+                    opts.warmup = value("--warmup").parse().expect("--warmup: not a number")
+                }
+                "--filter" => opts.filter = Some(value("--filter")),
+                other => panic!(
+                    "unknown argument {other:?}; usage: microbench [--iters N] [--warmup N] [--filter SUBSTR]"
+                ),
+            }
+        }
+        assert!(opts.iters > 0, "--iters must be at least 1");
+        opts
+    }
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (`group/case` by convention).
+    pub name: String,
+    /// Timed iterations actually run.
+    pub iters: u32,
+    /// Median iteration time in nanoseconds.
+    pub median_ns: u128,
+    /// 95th-percentile iteration time in nanoseconds (nearest-rank).
+    pub p95_ns: u128,
+    /// Mean iteration time in nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest iteration in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, mut samples: Vec<u128>) -> Self {
+        assert!(!samples.is_empty(), "no samples for {name}");
+        samples.sort_unstable();
+        let n = samples.len();
+        // Nearest-rank percentiles over the sorted samples.
+        let rank = |p: f64| samples[(((p / 100.0) * n as f64).ceil() as usize).clamp(1, n) - 1];
+        BenchResult {
+            name: name.to_string(),
+            iters: n as u32,
+            median_ns: rank(50.0),
+            p95_ns: rank(95.0),
+            mean_ns: samples.iter().sum::<u128>() / n as u128,
+            min_ns: samples[0],
+            max_ns: samples[n - 1],
+        }
+    }
+}
+
+/// A completed benchmark run: results in execution order.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// One entry per executed (non-filtered) benchmark.
+    pub results: Vec<BenchResult>,
+}
+
+impl Report {
+    /// Renders the aligned human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("## microbench (times per iteration)\n");
+        let name_w = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .chain(["benchmark".len()])
+            .max()
+            .unwrap();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>6}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+            "benchmark", "iters", "median", "p95", "mean", "min", "max"
+        ));
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>6}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+                r.name,
+                r.iters,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+            ));
+        }
+        out
+    }
+
+    /// Serializes the results as a JSON array (hand-rolled: benchmark
+    /// names are the only strings, and the standard control/quote escapes
+    /// are applied).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"p95_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                    json_escape(&r.name), r.iters, r.median_ns, r.p95_ns, r.mean_ns, r.min_ns, r.max_ns
+                )
+            })
+            .collect();
+        format!("[{}]", entries.join(","))
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Collects benchmarks and times them as they are registered.
+///
+/// Each [`bench`](Self::bench) call runs immediately (warmup + timed
+/// iterations) and prints a one-line progress note to stderr; call
+/// [`finish`](Self::finish) to obtain the [`Report`].
+#[derive(Debug)]
+pub struct Runner {
+    opts: BenchOptions,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Creates a runner with the given options.
+    pub fn new(opts: BenchOptions) -> Self {
+        Runner { opts, results: Vec::new() }
+    }
+
+    /// Runs one benchmark: `warmup` untimed then `iters` timed calls of
+    /// `f`. The return value is passed through [`black_box`] so the
+    /// optimizer cannot elide the work. Skipped (silently) when a
+    /// `--filter` is set and `name` does not contain it.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.opts.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..self.opts.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.opts.iters as usize);
+        for _ in 0..self.opts.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_nanos());
+        }
+        let result = BenchResult::from_samples(name, samples);
+        eprintln!(
+            "  {:<40} median {:>10}  p95 {:>10}",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns)
+        );
+        self.results.push(result);
+    }
+
+    /// Consumes the runner and returns the collected [`Report`].
+    pub fn finish(self) -> Report {
+        Report { results: self.results }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_summarizes() {
+        let mut r = Runner::new(BenchOptions { iters: 8, warmup: 1, filter: None });
+        r.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let report = r.finish();
+        assert_eq!(report.results.len(), 1);
+        let b = &report.results[0];
+        assert_eq!(b.iters, 8);
+        assert!(b.min_ns <= b.median_ns);
+        assert!(b.median_ns <= b.p95_ns);
+        assert!(b.p95_ns <= b.max_ns);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner::new(BenchOptions {
+            iters: 2,
+            warmup: 0,
+            filter: Some("engine".into()),
+        });
+        r.bench("engine/chain", || 1);
+        r.bench("figures/fig6", || 2);
+        let report = r.finish();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].name, "engine/chain");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut r = Runner::new(BenchOptions { iters: 2, warmup: 0, filter: None });
+        r.bench("a", || 0);
+        r.bench("b", || 0);
+        let json = r.finish().to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert_eq!(json.matches("\"median_ns\"").count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let mut r = Runner::new(BenchOptions { iters: 2, warmup: 0, filter: None });
+        r.bench("one", || 0);
+        r.bench("two", || 0);
+        let table = r.finish().render_table();
+        assert!(table.contains("one") && table.contains("two"));
+        assert!(table.contains("median") && table.contains("p95"));
+    }
+
+    #[test]
+    fn from_args_parses_flags() {
+        let opts = BenchOptions::from_args(
+            ["--iters", "7", "--warmup", "2", "--filter", "fig"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(opts.iters, 7);
+        assert_eq!(opts.warmup, 2);
+        assert_eq!(opts.filter.as_deref(), Some("fig"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn from_args_rejects_unknown() {
+        BenchOptions::from_args(["--bogus"].into_iter().map(String::from));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -16,9 +16,10 @@
 //!   the [`resource::Retick`] wake-up helper,
 //! * [`queue`] — a FIFO multi-server resource (ablation counterpart),
 //! * [`histogram`] — log-bucketed latency histograms,
-//! * [`rng`] — seeded deterministic randomness,
+//! * [`rng`] — seeded deterministic randomness (in-repo xoshiro256++),
 //! * [`series`] — time-series and completion-log recorders,
 //! * [`stats`] — summary statistics and least-squares fitting,
+//! * [`testkit`] — a zero-dependency property-testing harness,
 //! * [`trace`] — structured, timestamped event tracing.
 //!
 //! ## Example
@@ -73,6 +74,7 @@ pub mod resource;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod testkit;
 pub mod time;
 pub mod trace;
 

@@ -1,0 +1,374 @@
+//! A minimal, zero-dependency property-testing harness.
+//!
+//! Replaces the `proptest` dev-dependency (which cannot be fetched in the
+//! offline build environment — see README §"Hermetic build") with the three
+//! features the test suite actually uses:
+//!
+//! 1. **Seeded case generation** — every case draws its inputs from a
+//!    [`Gen`] whose [`SimRng`] is derived deterministically from the run
+//!    seed and the case index, so a failure is always reproducible.
+//! 2. **Shrinking by halving** — generators scale their spans by the
+//!    generation *scale* in `(0, 1]`. On failure the harness replays the
+//!    same case seed at scale ½, ¼, … and reports the smallest scale that
+//!    still fails, which shrinks collection lengths and magnitudes
+//!    together (coarser than proptest's per-value shrinking, but
+//!    deterministic and dependency-free).
+//! 3. **Failure-seed reporting** — the panic message names the property,
+//!    the case seed and the failing scale, and the `TESTKIT_SEED` /
+//!    `TESTKIT_CASES` environment variables replay a single case or widen
+//!    the search without recompiling.
+//!
+//! Properties are closures `Fn(&mut Gen) -> Result<(), String>`; the
+//! [`prop_ensure!`](crate::prop_ensure) and
+//! [`prop_ensure_eq!`](crate::prop_ensure_eq) macros mirror `prop_assert!`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_sim::testkit::{check, Config, Gen};
+//! use rh_sim::{prop_ensure, prop_ensure_eq};
+//!
+//! // Reversing a vector twice is the identity.
+//! check("reverse_involutive", &Config::default(), |g: &mut Gen| {
+//!     let xs = g.vec_of(0, 32, |g| g.u64_in(0, 1000));
+//!     let mut twice = xs.clone();
+//!     twice.reverse();
+//!     twice.reverse();
+//!     prop_ensure_eq!(twice, xs, "double reverse changed the vector");
+//!     prop_ensure!(twice.len() <= 32, "generator exceeded its bound");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{splitmix64, SimRng};
+
+/// Configuration for a [`check`] run.
+///
+/// `Default` gives 64 cases (matching the old `ProptestConfig::with_cases`
+/// setting used throughout the suite), a fixed run seed, and up to 10
+/// halving rounds of shrinking.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Run seed: case `i` uses seed `splitmix64(seed ^ splitmix64(i))`.
+    pub seed: u64,
+    /// Maximum halving rounds when shrinking a failure.
+    pub max_shrink_rounds: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, seed: 0x5EED_CAFE, max_shrink_rounds: 10 }
+    }
+}
+
+impl Config {
+    /// A config with the given case count (shorthand for struct update).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// A per-case input generator: a seeded [`SimRng`] plus a shrink *scale*.
+///
+/// All span-taking generators (`u64_in`, `f64_in`, `vec_of`, …) multiply
+/// their span by the scale, so replaying the same seed at a smaller scale
+/// yields a structurally similar but smaller case — the harness's shrinking
+/// mechanism.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+    scale: f64,
+}
+
+impl Gen {
+    /// Creates a generator from a case seed at full scale.
+    ///
+    /// [`check`] constructs these internally; tests only need `Gen::new`
+    /// to replay a specific reported failure by hand.
+    pub fn new(case_seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        Gen { rng: SimRng::from_seed(case_seed), scale }
+    }
+
+    /// The current shrink scale in `(0, 1]` (1.0 = unshrunk).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Direct access to the underlying RNG for distributions the helpers
+    /// don't cover (exponential draws, Bernoulli trials, …).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Uniform `u64` in `[lo, hi)`, span scaled by the shrink scale
+    /// (always at least 1, so the result stays in-range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = ((hi - lo) as f64 * self.scale).ceil() as u64;
+        lo + self.rng.below(span.max(1))
+    }
+
+    /// Uniform `u32` in `[lo, hi)` (scaled like [`u64_in`](Self::u64_in)).
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (scaled like [`u64_in`](Self::u64_in)).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`, span scaled by the shrink scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        let hi_eff = lo + (hi - lo) * self.scale;
+        self.rng.range_f64(lo, hi_eff.max(lo + (hi - lo) * 1e-9))
+    }
+
+    /// A full-range `u64` (unscaled — used for content values, not sizes).
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A fair coin flip (unscaled).
+    pub fn any_bool(&mut self) -> bool {
+        self.rng.chance(0.5)
+    }
+
+    /// A vector with length uniform in `[min_len, max_len)` (length span
+    /// scaled, so shrinking shortens collections), each element produced by
+    /// `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_len >= max_len`.
+    pub fn vec_of<T>(&mut self, min_len: usize, max_len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `prop` over `cfg.cases` generated cases, shrinking and panicking
+/// on the first failure.
+///
+/// Each case gets an independent [`Gen`] seeded from the run seed and case
+/// index. On failure the harness replays the same case seed at halved
+/// scales (½, ¼, …) and keeps descending while the property still fails; the
+/// panic reports the smallest failing scale, the case seed, and the exact
+/// environment variables that replay it:
+///
+/// ```text
+/// property 'allocator_conserves_frames' failed (case 17/64, seed 0x8C3A…, scale 0.25):
+///   range 3..7 overlaps 5..9
+/// replay just this case with: TESTKIT_SEED=0x8C3A… cargo test -q <test name>
+/// ```
+///
+/// Environment overrides:
+///
+/// * `TESTKIT_SEED=<u64, decimal or 0x-hex>` — run exactly one case with
+///   this case seed (at full scale) instead of the sweep,
+/// * `TESTKIT_CASES=<u32>` — override the case count.
+pub fn check<F>(name: &str, cfg: &Config, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    if let Some(seed) = env_u64("TESTKIT_SEED") {
+        if let Err(msg) = prop(&mut Gen::new(seed, 1.0)) {
+            panic!("property '{name}' failed (replay seed {seed:#x}, scale 1): {msg}");
+        }
+        return;
+    }
+    let cases = env_u64("TESTKIT_CASES").map(|c| c as u32).unwrap_or(cfg.cases);
+    for i in 0..cases {
+        let case_seed = splitmix64(cfg.seed ^ splitmix64(i as u64));
+        if let Err(msg) = prop(&mut Gen::new(case_seed, 1.0)) {
+            let (scale, msg) = shrink(&prop, case_seed, msg, cfg.max_shrink_rounds);
+            panic!(
+                "property '{name}' failed (case {}/{cases}, seed {case_seed:#x}, scale {scale}): {msg}\n\
+                 replay just this case with: TESTKIT_SEED={case_seed:#x} cargo test -q",
+                i + 1,
+            );
+        }
+    }
+}
+
+/// Halve the scale while the property keeps failing; return the smallest
+/// failing scale and its message.
+fn shrink<F>(prop: &F, case_seed: u64, full_msg: String, max_rounds: u32) -> (f64, String)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    let mut best = (1.0, full_msg);
+    let mut scale = 0.5;
+    for _ in 0..max_rounds {
+        match prop(&mut Gen::new(case_seed, scale)) {
+            Err(msg) => {
+                best = (scale, msg);
+                scale /= 2.0;
+            }
+            // The smaller case passes: the previous scale is minimal.
+            Ok(()) => break,
+        }
+    }
+    best
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var} must be a u64 (decimal or 0x-hex), got {raw:?}"),
+    }
+}
+
+/// Property-test assertion: returns `Err(format!(...))` from the enclosing
+/// property closure when the condition is false (the testkit analogue of
+/// `prop_assert!`).
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Property-test equality assertion: returns `Err` naming both values when
+/// they differ (the testkit analogue of `prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_ensure_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: {:?} vs {:?}",
+                format!($($arg)+), l, r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("count_cases", &Config::with_cases(16), |g| {
+            counter.set(counter.get() + 1);
+            let v = g.u64_in(0, 100);
+            prop_ensure!(v < 100, "out of range: {v}");
+            Ok(())
+        });
+        seen += counter.get();
+        assert_eq!(seen, 16);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let out = std::cell::RefCell::new(Vec::new());
+            check("collect", &Config::default(), |g| {
+                out.borrow_mut().push((g.u64_in(0, 1000), g.any_u64()));
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failing_property_reports_name_and_seed() {
+        check("always_fails", &Config::with_cases(4), |_g| {
+            Err("nope".to_string())
+        });
+    }
+
+    #[test]
+    fn shrinking_halves_to_smaller_failing_case() {
+        // Fails whenever the generated vector is non-empty; the shrinker
+        // must descend to a scale where the vector is still non-empty but
+        // the scale is < 1 (halving reduces the length span).
+        let prop = |g: &mut Gen| {
+            let xs = g.vec_of(1, 64, |g| g.u64_in(0, 10));
+            if xs.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("len {}", xs.len()))
+            }
+        };
+        let seed = splitmix64(1234);
+        let (scale, msg) = shrink(&prop, seed, "len big".into(), 10);
+        assert!(scale < 1.0, "shrinker never descended");
+        // At the reported scale the case must actually fail.
+        assert!(prop(&mut Gen::new(seed, scale)).is_err(), "reported scale passes: {msg}");
+    }
+
+    #[test]
+    fn generators_respect_bounds_at_all_scales() {
+        for scale in [1.0, 0.5, 0.25, 0.001] {
+            let mut g = Gen::new(99, scale);
+            for _ in 0..200 {
+                let v = g.u64_in(10, 20);
+                assert!((10..20).contains(&v), "u64_in broke at scale {scale}: {v}");
+                let f = g.f64_in(-1.0, 1.0);
+                assert!((-1.0..1.0).contains(&f), "f64_in broke at scale {scale}: {f}");
+                let xs = g.vec_of(2, 5, |g| g.any_bool());
+                assert!((2..5).contains(&xs.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn vec_of_scales_length_down() {
+        let mut full = Gen::new(7, 1.0);
+        let mut tiny = Gen::new(7, 0.01);
+        let long: usize = (0..100).map(|_| full.vec_of(0, 50, |g| g.any_u64()).len()).sum();
+        let short: usize = (0..100).map(|_| tiny.vec_of(0, 50, |g| g.any_u64()).len()).sum();
+        assert!(short < long / 4, "shrink scale did not shorten vectors: {short} vs {long}");
+    }
+
+    #[test]
+    fn prop_ensure_macros_format() {
+        let inner = || -> Result<(), String> {
+            prop_ensure_eq!(1 + 1, 3, "arithmetic");
+            Ok(())
+        };
+        let err = inner().unwrap_err();
+        assert!(err.contains("arithmetic"), "got {err}");
+        let inner2 = || -> Result<(), String> {
+            prop_ensure!(false, "val {}", 42);
+            Ok(())
+        };
+        assert_eq!(inner2().unwrap_err(), "val 42");
+    }
+}

@@ -8,7 +8,7 @@
 //!   channel, triggering the in-guest suspend handler;
 //! * the suspend hypercall saves "shared information such as the status of
 //!   event channels" into the preserved execution state, and the resume
-//!   handler "re-establish[es] the communication channels to the VMM".
+//!   handler "re-establish\[es\] the communication channels to the VMM".
 //!
 //! [`EventChannelTable`] models one domain's channel table: binding,
 //! notification, masking, the suspend-time detach and the resume-time

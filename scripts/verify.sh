@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (README §"Hermetic build").
+#
+# Runs entirely offline: the workspace has zero registry dependencies by
+# policy, so --offline both enforces that policy (any reintroduced
+# external crate fails resolution immediately) and makes the gate usable
+# in air-gapped CI.
+#
+# Usage: scripts/verify.sh  (from anywhere; cd's to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q --workspace (offline)"
+cargo test -q --workspace --offline
+
+echo "==> cargo doc --workspace --no-deps (offline, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> verify OK"

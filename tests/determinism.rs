@@ -48,6 +48,43 @@ fn different_seeds_still_produce_equal_timing() {
     assert_eq!(a.1, b.1);
 }
 
+/// Cross-crate determinism: two identical `HostSim` runs must render
+/// byte-identical reports — not just equal downtime vectors, but the same
+/// bytes through every layer (rh-sim RNG → rh-memory digests → rh-vmm
+/// reboot report → rh-net probe logs). This is the guarantee the in-repo
+/// xoshiro256++ substitution preserves (DESIGN.md §"RNG substitution").
+#[test]
+fn identical_runs_render_byte_identical_reports() {
+    let render = || {
+        let cfg = HostConfig::paper_testbed()
+            .with_vms(4, ServiceKind::Jboss)
+            .with_seed(0xD5A7)
+            .with_probes(true);
+        let mut sim = HostSim::new(cfg);
+        sim.power_on_and_wait();
+        let report = sim.reboot_and_wait(RebootStrategy::Warm);
+        sim.run_for(SimDuration::from_secs(5));
+        let digests: Vec<String> = sim
+            .host()
+            .domu_ids()
+            .iter()
+            .map(|id| format!("{id:?}={:#018x}", sim.host().domain_digest(*id).unwrap()))
+            .collect();
+        format!(
+            "{report:?}\n{digests:?}\ntrace_len={}\nspans={:?}",
+            sim.host().trace.len(),
+            sim.host()
+                .metrics
+                .spans()
+                .iter()
+                .map(|s| (s.name.clone(), s.start, s.end))
+                .collect::<Vec<_>>()
+        )
+        .into_bytes()
+    };
+    assert_eq!(render(), render(), "byte-level report divergence");
+}
+
 #[test]
 fn replaying_a_trace_reproduces_phase_timings() {
     let measure = || {

@@ -1,6 +1,12 @@
 //! Property-based tests over the core invariants listed in DESIGN.md §7.
+//!
+//! Ported from `proptest` to the in-repo [`rh_sim::testkit`] harness
+//! (README §"Hermetic build"): each property is a closure over a seeded
+//! [`Gen`], failures report the case seed and shrink by halving the
+//! generation scale, and `TESTKIT_SEED=0x…` replays a single case.
 
-use proptest::prelude::*;
+use rh_sim::testkit::{check, Config, Gen};
+use rh_sim::{prop_ensure, prop_ensure_eq};
 use roothammer::memory::contents::FrameContents;
 use roothammer::memory::frame::{FrameRange, Mfn, Pfn, FRAMES_PER_GIB};
 use roothammer::memory::machine::MachineMemory;
@@ -9,16 +15,15 @@ use roothammer::prelude::*;
 use roothammer::sim::resource::PsResource;
 use roothammer::sim::time::SimTime;
 use roothammer::storage::image::{logical_digest, MemoryImage};
-use roothammer::vmm::vmm::Vmm;
 use roothammer::vmm::domain::Domain;
+use roothammer::vmm::vmm::Vmm;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The allocator never hands out overlapping ranges and conserves
-    /// frames across arbitrary allocate/release interleavings.
-    #[test]
-    fn allocator_conserves_frames(ops in prop::collection::vec(0u64..400, 1..40)) {
+/// The allocator never hands out overlapping ranges and conserves
+/// frames across arbitrary allocate/release interleavings.
+#[test]
+fn allocator_conserves_frames() {
+    check("allocator_conserves_frames", &Config::default(), |g: &mut Gen| {
+        let ops = g.vec_of(1, 40, |g| g.u64_in(0, 400));
         let total = 4096;
         let mut ram = MachineMemory::new(total);
         let mut live: Vec<Vec<FrameRange>> = Vec::new();
@@ -31,7 +36,7 @@ proptest! {
                 for r in &ranges {
                     for group in &live {
                         for l in group {
-                            prop_assert!(!r.overlaps(l), "{r} overlaps {l}");
+                            prop_ensure!(!r.overlaps(l), "{r} overlaps {l}");
                         }
                     }
                 }
@@ -39,13 +44,17 @@ proptest! {
             }
         }
         let live_frames: u64 = live.iter().flatten().map(|r| r.count).sum();
-        prop_assert_eq!(ram.allocated_frames(), live_frames);
-        prop_assert!(ram.check_invariants().is_ok());
-    }
+        prop_ensure_eq!(ram.allocated_frames(), live_frames);
+        prop_ensure!(ram.check_invariants().is_ok(), "allocator invariants violated");
+        Ok(())
+    });
+}
 
-    /// P2M lookup agrees with a naive model under random map/unmap.
-    #[test]
-    fn p2m_matches_naive_model(segments in prop::collection::vec((0u64..64, 1u64..16), 1..12)) {
+/// P2M lookup agrees with a naive model under random map/unmap.
+#[test]
+fn p2m_matches_naive_model() {
+    check("p2m_matches_naive_model", &Config::default(), |g: &mut Gen| {
+        let segments = g.vec_of(1, 12, |g| (g.u64_in(0, 64), g.u64_in(1, 16)));
         let mut table = P2mTable::new();
         let mut model = std::collections::BTreeMap::new();
         let mut next_mfn = 1000u64;
@@ -60,22 +69,25 @@ proptest! {
             }
         }
         for pfn in 0..1200u64 {
-            prop_assert_eq!(
+            prop_ensure_eq!(
                 table.lookup(Pfn(pfn)),
                 model.get(&pfn).map(|&m| Mfn(m)),
-                "pfn {}", pfn
+                "pfn {}",
+                pfn
             );
         }
-        prop_assert_eq!(table.total_pages(), model.len() as u64);
-    }
+        prop_ensure_eq!(table.total_pages(), model.len() as u64);
+        Ok(())
+    });
+}
 
-    /// Memory images restore bit-identically onto arbitrary new layouts.
-    #[test]
-    fn memory_image_round_trips(
-        pages in 16u64..256,
-        writes in prop::collection::vec((0u64..256, any::<u64>()), 0..20),
-        hole in 1u64..64,
-    ) {
+/// Memory images restore bit-identically onto arbitrary new layouts.
+#[test]
+fn memory_image_round_trips() {
+    check("memory_image_round_trips", &Config::default(), |g: &mut Gen| {
+        let pages = g.u64_in(16, 256);
+        let writes = g.vec_of(0, 20, |g| (g.u64_in(0, 256), g.any_u64()));
+        let hole = g.u64_in(1, 64);
         let mut ram = MachineMemory::new(1 << 14);
         let mut mem = FrameContents::new();
         let frames = ram.allocate(pages).unwrap();
@@ -99,12 +111,16 @@ proptest! {
         let mut p2m2 = P2mTable::new();
         p2m2.map_contiguous(Pfn(0), &frames2).unwrap();
         image.restore(&p2m2, &mut mem).unwrap();
-        prop_assert_eq!(logical_digest(&p2m2, &mem), before);
-    }
+        prop_ensure_eq!(logical_digest(&p2m2, &mem), before);
+        Ok(())
+    });
+}
 
-    /// Processor sharing conserves work for arbitrary job mixes.
-    #[test]
-    fn ps_resource_conserves_work(jobs in prop::collection::vec(1.0f64..1000.0, 1..20)) {
+/// Processor sharing conserves work for arbitrary job mixes.
+#[test]
+fn ps_resource_conserves_work() {
+    check("ps_resource_conserves_work", &Config::default(), |g: &mut Gen| {
+        let jobs = g.vec_of(1, 20, |g| g.f64_in(1.0, 1000.0));
         let mut r = PsResource::new(100.0).with_contention_penalty(0.1);
         let mut now = SimTime::ZERO;
         for w in &jobs {
@@ -115,16 +131,23 @@ proptest! {
             now = next;
             drained += r.take_completed(now).len();
         }
-        prop_assert_eq!(drained, jobs.len());
+        prop_ensure_eq!(drained, jobs.len());
         let total: f64 = jobs.iter().sum();
-        prop_assert!((r.total_completed_work() - total).abs() < total * 1e-6 + 1e-3);
-    }
+        prop_ensure!(
+            (r.total_completed_work() - total).abs() < total * 1e-6 + 1e-3,
+            "work not conserved: completed {} vs submitted {}",
+            r.total_completed_work(),
+            total
+        );
+        Ok(())
+    });
+}
 
-    /// Quick reload preserves digests for arbitrary multi-domain layouts.
-    #[test]
-    fn quick_reload_preserves_arbitrary_layouts(
-        sizes in prop::collection::vec(32u64..512, 1..6)
-    ) {
+/// Quick reload preserves digests for arbitrary multi-domain layouts.
+#[test]
+fn quick_reload_preserves_arbitrary_layouts() {
+    check("quick_reload_preserves_arbitrary_layouts", &Config::default(), |g: &mut Gen| {
+        let sizes = g.vec_of(1, 6, |g| g.u64_in(32, 512));
         let mut vmm = Vmm::new(2 * FRAMES_PER_GIB);
         let mut contents = FrameContents::new();
         let mut domains = std::collections::BTreeMap::new();
@@ -148,24 +171,25 @@ proptest! {
             .values()
             .map(|d| vmm.domain_digest(d, &contents))
             .collect();
-        prop_assert_eq!(before, after);
-        prop_assert!(Vmm::check_domain_isolation(&domains).is_ok());
-    }
+        prop_ensure_eq!(before, after);
+        prop_ensure!(
+            Vmm::check_domain_isolation(&domains).is_ok(),
+            "domain isolation violated after quick reload"
+        );
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The cluster rejuvenation planner always satisfies its own
-    /// constraints, covers every host exactly once, and its makespan
-    /// scales with downtime.
-    #[test]
-    fn rejuvenation_plans_satisfy_constraints(
-        hosts in 1u32..40,
-        downtime_secs in 5u64..600,
-        max_down in 1u32..6,
-        floor_pct in 0u32..80,
-    ) {
+/// The cluster rejuvenation planner always satisfies its own
+/// constraints, covers every host exactly once, and its makespan
+/// scales with downtime.
+#[test]
+fn rejuvenation_plans_satisfy_constraints() {
+    check("rejuvenation_plans_satisfy_constraints", &Config::default(), |g: &mut Gen| {
+        let hosts = g.u32_in(1, 40);
+        let downtime_secs = g.u64_in(5, 600);
+        let max_down = g.u32_in(1, 6);
+        let floor_pct = g.u32_in(0, 80);
         use roothammer::cluster::schedule::{plan_uniform, verify, ScheduleConstraints};
         let constraints = ScheduleConstraints {
             max_down,
@@ -174,24 +198,29 @@ proptest! {
         };
         match plan_uniform(hosts, SimDuration::from_secs(downtime_secs), &constraints) {
             Ok(plan) => {
-                prop_assert!(verify(&plan, hosts, &constraints).is_ok());
-                prop_assert!(plan.peak_down <= max_down);
-                prop_assert!(plan.makespan >= SimDuration::from_secs(downtime_secs));
+                prop_ensure!(verify(&plan, hosts, &constraints).is_ok(), "plan fails its own verify");
+                prop_ensure!(plan.peak_down <= max_down, "peak {} > max {max_down}", plan.peak_down);
+                prop_ensure!(
+                    plan.makespan >= SimDuration::from_secs(downtime_secs),
+                    "makespan shorter than a single downtime"
+                );
             }
             Err(_) => {
                 // Only tight floors may make planning impossible.
                 let allowed = ((1.0 - floor_pct as f64 / 100.0) * hosts as f64).floor();
-                prop_assert!(allowed < 1.0, "spurious planning failure");
+                prop_ensure!(allowed < 1.0, "spurious planning failure");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The LRU page cache agrees with a naive reference model under
-    /// arbitrary access/insert interleavings.
-    #[test]
-    fn page_cache_matches_reference_lru(
-        ops in prop::collection::vec((0u32..6, 0u32..12, any::<bool>()), 1..200)
-    ) {
+/// The LRU page cache agrees with a naive reference model under
+/// arbitrary access/insert interleavings.
+#[test]
+fn page_cache_matches_reference_lru() {
+    check("page_cache_matches_reference_lru", &Config::default(), |g: &mut Gen| {
+        let ops = g.vec_of(1, 200, |g| (g.u32_in(0, 6), g.u32_in(0, 12), g.any_bool()));
         use roothammer::guest::pagecache::{ChunkKey, PageCache};
         let capacity_chunks = 8usize;
         let mut cache = PageCache::with_chunk_size(capacity_chunks as u64 * 1024, 1024);
@@ -209,25 +238,27 @@ proptest! {
             } else {
                 let hit = cache.access(key);
                 let model_hit = model.contains(&key);
-                prop_assert_eq!(hit, model_hit, "access {:?}", key);
+                prop_ensure_eq!(hit, model_hit, "access {:?}", key);
                 if model_hit {
                     model.retain(|k| *k != key);
                     model.push(key);
                 }
             }
-            prop_assert_eq!(cache.len(), model.len());
+            prop_ensure_eq!(cache.len(), model.len());
             for k in &model {
-                prop_assert!(cache.contains(*k), "model has {:?} but cache lost it", k);
+                prop_ensure!(cache.contains(*k), "model has {:?} but cache lost it", k);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Latency histograms bracket exact percentiles from above by at most
-    /// one power-of-two bucket.
-    #[test]
-    fn histogram_percentiles_bracket_exact(
-        samples in prop::collection::vec(1u64..10_000_000, 1..300)
-    ) {
+/// Latency histograms bracket exact percentiles from above by at most
+/// one power-of-two bucket.
+#[test]
+fn histogram_percentiles_bracket_exact() {
+    check("histogram_percentiles_bracket_exact", &Config::default(), |g: &mut Gen| {
+        let samples = g.vec_of(1, 300, |g| g.u64_in(1, 10_000_000));
         use roothammer::sim::histogram::LatencyHistogram;
         let mut h = LatencyHistogram::new();
         for &s in &samples {
@@ -239,50 +270,63 @@ proptest! {
             let rank = (((p / 100.0) * sorted.len() as f64).ceil() as usize).max(1);
             let exact = sorted[rank - 1];
             let bucketed = h.percentile(p).unwrap().as_micros();
-            prop_assert!(bucketed >= exact, "p{p}: bucketed {bucketed} < exact {exact}");
-            prop_assert!(bucketed <= exact.next_power_of_two().max(1), "p{p}: over-wide bracket");
+            prop_ensure!(bucketed >= exact, "p{p}: bucketed {bucketed} < exact {exact}");
+            prop_ensure!(
+                bucketed <= exact.next_power_of_two().max(1),
+                "p{p}: over-wide bracket ({bucketed} > {})",
+                exact.next_power_of_two().max(1)
+            );
         }
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    // Whole-host simulations are heavier; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+// Whole-host simulations are heavier; fewer cases (the old
+// `ProptestConfig::with_cases(8)` group).
 
-    /// The paper's ordering warm < cold < saved holds for arbitrary small
-    /// configurations, and warm/saved never corrupt memory.
-    #[test]
-    fn downtime_ordering_holds_for_arbitrary_configs(
-        n in 1u32..6,
-        jboss in any::<bool>(),
-    ) {
+/// The paper's ordering warm < cold < saved holds for arbitrary small
+/// configurations, and warm/saved never corrupt memory.
+#[test]
+fn downtime_ordering_holds_for_arbitrary_configs() {
+    check("downtime_ordering_holds_for_arbitrary_configs", &Config::with_cases(8), |g: &mut Gen| {
+        let n = g.u32_in(1, 6);
+        let jboss = g.any_bool();
         let service = if jboss { ServiceKind::Jboss } else { ServiceKind::Ssh };
         let warm = booted_host(n, service).reboot_and_wait(RebootStrategy::Warm);
         let cold = booted_host(n, service).reboot_and_wait(RebootStrategy::Cold);
         let saved = booted_host(n, service).reboot_and_wait(RebootStrategy::Saved);
-        prop_assert!(warm.mean_downtime() < cold.mean_downtime());
-        prop_assert!(cold.mean_downtime() < saved.mean_downtime());
-        prop_assert!(warm.corrupted.is_empty());
-        prop_assert!(saved.corrupted.is_empty());
-    }
+        prop_ensure!(warm.mean_downtime() < cold.mean_downtime(), "warm !< cold at n={n}");
+        prop_ensure!(cold.mean_downtime() < saved.mean_downtime(), "cold !< saved at n={n}");
+        prop_ensure!(warm.corrupted.is_empty(), "warm reboot corrupted memory");
+        prop_ensure!(saved.corrupted.is_empty(), "saved reboot corrupted memory");
+        Ok(())
+    });
+}
 
-    /// r(n) > 0: the analytic saving derived from any measured sweep of
-    /// this simulator stays positive (the paper's §5.6 conclusion).
-    #[test]
-    fn measured_saving_is_positive(alpha in 0.05f64..1.0) {
+/// r(n) > 0: the analytic saving derived from any measured sweep of
+/// this simulator stays positive (the paper's §5.6 conclusion).
+#[test]
+fn measured_saving_is_positive() {
+    check("measured_saving_is_positive", &Config::with_cases(8), |g: &mut Gen| {
+        let alpha = g.f64_in(0.05, 1.0);
         let model = roothammer::rejuv::model::DowntimeModel::paper();
         for n in 1..=16 {
-            prop_assert!(model.saving(n as f64, alpha) > 0.0);
+            prop_ensure!(
+                model.saving(n as f64, alpha) > 0.0,
+                "r({n}) <= 0 at alpha {alpha}"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Arbitrary reboot sequences leave the host consistent: memory
-    /// digests unchanged across every warm/saved segment, guests rebooted
-    /// exactly once per cold segment, generation = power-on + reboots.
-    #[test]
-    fn arbitrary_reboot_sequences_stay_consistent(
-        seq in prop::collection::vec(0u8..3, 1..5)
-    ) {
+/// Arbitrary reboot sequences leave the host consistent: memory
+/// digests unchanged across every warm/saved segment, guests rebooted
+/// exactly once per cold segment, generation = power-on + reboots.
+#[test]
+fn arbitrary_reboot_sequences_stay_consistent() {
+    check("arbitrary_reboot_sequences_stay_consistent", &Config::with_cases(8), |g: &mut Gen| {
+        let seq = g.vec_of(1, 5, |g| g.u32_in(0, 3) as u8);
         let mut sim = booted_host(2, ServiceKind::Ssh);
         let mut expected_boots = 1u64;
         for s in &seq {
@@ -293,24 +337,25 @@ proptest! {
             };
             let digest_before = sim.host().domain_digest(DomainId(1)).unwrap();
             let report = sim.reboot_and_wait(strategy);
-            prop_assert!(report.corrupted.is_empty());
-            prop_assert!(sim.host().all_services_up());
+            prop_ensure!(report.corrupted.is_empty(), "{strategy} corrupted memory");
+            prop_ensure!(sim.host().all_services_up(), "services down after {strategy}");
             let digest_after = sim.host().domain_digest(DomainId(1)).unwrap();
             match strategy {
                 RebootStrategy::Cold => {
                     expected_boots += 1;
-                    prop_assert_ne!(digest_before, digest_after);
+                    prop_ensure!(
+                        digest_before != digest_after,
+                        "cold reboot left the digest unchanged"
+                    );
                 }
-                _ => prop_assert_eq!(digest_before, digest_after),
+                _ => prop_ensure_eq!(digest_before, digest_after, "{} changed the digest", strategy),
             }
         }
-        prop_assert_eq!(
-            sim.host().vmm().generation(),
-            1 + seq.len() as u64
-        );
-        prop_assert_eq!(
+        prop_ensure_eq!(sim.host().vmm().generation(), 1 + seq.len() as u64);
+        prop_ensure_eq!(
             sim.host().domain(DomainId(1)).unwrap().kernel.boots(),
             expected_boots
         );
-    }
+        Ok(())
+    });
 }
