@@ -171,7 +171,11 @@ pub fn render_driver_domains(r: &DriverDomainResult) -> String {
          drivers  ordinary-guest downtime  driver-domain downtime\n",
     );
     for ((k, ord), (_, drv)) in r.ordinary_downtime.iter().zip(&r.driver_downtime) {
-        let drv_s = if drv.is_nan() { "-".to_string() } else { format!("{drv:.1} s") };
+        let drv_s = if drv.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{drv:.1} s")
+        };
         out.push_str(&format!("{k:>7}  {ord:>22.1} s  {drv_s:>21}\n"));
     }
     out
@@ -201,14 +205,28 @@ mod tests {
         let base = r.ordinary_downtime[0].1;
         assert!(base < 45.0, "pure-warm baseline {base:.1}");
         for (k, dt) in r.ordinary_downtime.iter().skip(1) {
-            assert!(*dt > base, "k={k}: ordinary downtime {dt:.1} vs baseline {base:.1}");
-            assert!(*dt < 80.0, "k={k}: ordinary downtime {dt:.1} should stay warm-scale");
+            assert!(
+                *dt > base,
+                "k={k}: ordinary downtime {dt:.1} vs baseline {base:.1}"
+            );
+            assert!(
+                *dt < 80.0,
+                "k={k}: ordinary downtime {dt:.1} should stay warm-scale"
+            );
         }
         // Driver domains themselves pay shutdown + boot on top (though no
         // hardware reset — the warm path still spares them that).
-        for ((k, dt), (_, ord)) in r.driver_downtime.iter().skip(1).zip(r.ordinary_downtime.iter().skip(1)) {
+        for ((k, dt), (_, ord)) in r
+            .driver_downtime
+            .iter()
+            .skip(1)
+            .zip(r.ordinary_downtime.iter().skip(1))
+        {
             assert!(*dt > 50.0, "k={k}: driver downtime {dt:.1}");
-            assert!(dt > ord, "k={k}: driver {dt:.1} must exceed ordinary {ord:.1}");
+            assert!(
+                dt > ord,
+                "k={k}: driver {dt:.1} must exceed ordinary {ord:.1}"
+            );
         }
         assert!(r.driver_downtime[0].1.is_nan(), "no drivers at k=0");
     }
@@ -219,7 +237,10 @@ mod tests {
         assert!(r.correct_order_preserved);
         assert!(r.wrong_order_corrupted);
         let s = render(
-            &SuspendOrderResult { paper_order: 41.0, xen_order: 48.0 },
+            &SuspendOrderResult {
+                paper_order: 41.0,
+                xen_order: 48.0,
+            },
             &r,
         );
         assert!(s.contains("penalty"));

@@ -5,26 +5,49 @@ use rh_vmm::config::RebootStrategy;
 fn main() {
     println!("RootHammer-RS: full reproduction run\n=====================================\n");
     let rows = rh_bench::fig45::fig4(1..=11);
-    println!("{}", rh_bench::fig45::render("fig4: task times vs memory size (1 VM, GiB)", "GiB", &rows));
+    println!(
+        "{}",
+        rh_bench::fig45::render("fig4: task times vs memory size (1 VM, GiB)", "GiB", &rows)
+    );
     let rows = rh_bench::fig45::fig5(1..=11);
-    println!("{}", rh_bench::fig45::render("fig5: task times vs number of VMs (1 GiB each)", "n", &rows));
+    println!(
+        "{}",
+        rh_bench::fig45::render("fig5: task times vs number of VMs (1 GiB each)", "n", &rows)
+    );
     println!("{}", rh_bench::sec52::render(&rh_bench::sec52::run()));
     let ssh = rh_bench::fig6::sweep(ServiceKind::Ssh, 1..=11);
-    println!("{}", rh_bench::fig6::render("fig6a: ssh downtime (s)", &ssh));
+    println!(
+        "{}",
+        rh_bench::fig6::render("fig6a: ssh downtime (s)", &ssh)
+    );
     let fates = rh_bench::fig6::session_fates(ssh.last().unwrap(), 60);
-    println!("ssh session with 60 s client timeout at n=11: warm {}, saved {}, cold {}\n",
-        fates.warm, fates.saved, fates.cold);
+    println!(
+        "ssh session with 60 s client timeout at n=11: warm {}, saved {}, cold {}\n",
+        fates.warm, fates.saved, fates.cold
+    );
     let jboss = rh_bench::fig6::sweep(ServiceKind::Jboss, 1..=11);
-    println!("{}", rh_bench::fig6::render("fig6b: JBoss downtime (s)", &jboss));
+    println!(
+        "{}",
+        rh_bench::fig6::render("fig6b: JBoss downtime (s)", &jboss)
+    );
     println!("{}", rh_bench::sec53::render(&rh_bench::sec53::run()));
     for strategy in [RebootStrategy::Warm, RebootStrategy::Cold] {
-        println!("{}", rh_bench::fig7::render_phases(&rh_bench::fig7::run(strategy)));
+        println!(
+            "{}",
+            rh_bench::fig7::render_phases(&rh_bench::fig7::run(strategy))
+        );
     }
     for strategy in [RebootStrategy::Warm, RebootStrategy::Cold] {
-        println!("{}", rh_bench::fig8::render(&rh_bench::fig8::run(strategy, 10_000)));
+        println!(
+            "{}",
+            rh_bench::fig8::render(&rh_bench::fig8::run(strategy, 10_000))
+        );
     }
     println!("{}", rh_bench::sec56::render(&rh_bench::sec56::run(1..=11)));
-    println!("{}", rh_bench::fig9::render(&rh_bench::fig9::run(4, 215.0, 11)));
+    println!(
+        "{}",
+        rh_bench::fig9::render(&rh_bench::fig9::run(4, 215.0, 11))
+    );
     let s = rh_bench::ablations::suspend_order(11);
     let r = rh_bench::ablations::reservation_order();
     println!("{}", rh_bench::ablations::render(&s, &r));

@@ -1,5 +1,8 @@
 //! Regenerates Figure 4: pre/post-reboot task times vs VM memory size.
 fn main() {
     let rows = rh_bench::fig45::fig4(1..=11);
-    println!("{}", rh_bench::fig45::render("fig4: task times vs memory size (1 VM, GiB)", "GiB", &rows));
+    println!(
+        "{}",
+        rh_bench::fig45::render("fig4: task times vs memory size (1 VM, GiB)", "GiB", &rows)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 5: pre/post-reboot task times vs number of VMs.
 fn main() {
     let rows = rh_bench::fig45::fig5(1..=11);
-    println!("{}", rh_bench::fig45::render("fig5: task times vs number of VMs (1 GiB each)", "n", &rows));
+    println!(
+        "{}",
+        rh_bench::fig45::render("fig5: task times vs number of VMs (1 GiB each)", "n", &rows)
+    );
 }

@@ -2,10 +2,18 @@
 use rh_guest::services::ServiceKind;
 fn main() {
     let ssh = rh_bench::fig6::sweep(ServiceKind::Ssh, 1..=11);
-    println!("{}", rh_bench::fig6::render("fig6a: ssh downtime (s)", &ssh));
+    println!(
+        "{}",
+        rh_bench::fig6::render("fig6a: ssh downtime (s)", &ssh)
+    );
     let fates = rh_bench::fig6::session_fates(ssh.last().unwrap(), 60);
-    println!("ssh session with 60 s client timeout at n=11: warm {}, saved {}, cold {}\n",
-        fates.warm, fates.saved, fates.cold);
+    println!(
+        "ssh session with 60 s client timeout at n=11: warm {}, saved {}, cold {}\n",
+        fates.warm, fates.saved, fates.cold
+    );
     let jboss = rh_bench::fig6::sweep(ServiceKind::Jboss, 1..=11);
-    println!("{}", rh_bench::fig6::render("fig6b: JBoss downtime (s)", &jboss));
+    println!(
+        "{}",
+        rh_bench::fig6::render("fig6b: JBoss downtime (s)", &jboss)
+    );
 }

@@ -5,7 +5,16 @@ fn main() {
     let horizon = rh_sim::time::SimDuration::from_secs(3600);
     let at = rh_sim::time::SimTime::from_secs(600);
     let m = rh_cluster::migration::MigrationModel::paper();
-    println!("warm series CSV:\n{}", r.scenario.warm_series(at, horizon).to_csv());
-    println!("cold series CSV:\n{}", r.scenario.cold_series(at, horizon).to_csv());
-    println!("migration series CSV:\n{}", r.scenario.migration_series(&m, at, horizon).to_csv());
+    println!(
+        "warm series CSV:\n{}",
+        r.scenario.warm_series(at, horizon).to_csv()
+    );
+    println!(
+        "cold series CSV:\n{}",
+        r.scenario.cold_series(at, horizon).to_csv()
+    );
+    println!(
+        "migration series CSV:\n{}",
+        r.scenario.migration_series(&m, at, horizon).to_csv()
+    );
 }

@@ -48,7 +48,10 @@ fn engine_benches(r: &mut Runner) {
     r.bench("engine/schedule_cancel_10k", || {
         let mut sim = Simulation::new(Chain { remaining: 0 });
         let handles: Vec<_> = (0..10_000)
-            .map(|i| sim.scheduler_mut().schedule_at(SimTime::from_micros(i + 1), ()))
+            .map(|i| {
+                sim.scheduler_mut()
+                    .schedule_at(SimTime::from_micros(i + 1), ())
+            })
             .collect();
         for h in handles {
             sim.scheduler_mut().cancel(h);
@@ -97,11 +100,16 @@ fn figure_benches(r: &mut Runner) {
         t
     });
     r.bench("figures/fig45_measure_tasks_4_vms", || {
-        let t = rh_bench::fig45::measure_tasks(|| rh_bench::util::booted_n_vms(4, ServiceKind::Ssh));
+        let t =
+            rh_bench::fig45::measure_tasks(|| rh_bench::util::booted_n_vms(4, ServiceKind::Ssh));
         assert!(t.boot > 10.0);
         t
     });
-    for strategy in [RebootStrategy::Warm, RebootStrategy::Cold, RebootStrategy::Saved] {
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Cold,
+        RebootStrategy::Saved,
+    ] {
         r.bench(&format!("figures/fig6_reboot_{strategy}_5vms"), || {
             let mut sim = booted_host(5, ServiceKind::Ssh);
             let report = sim.reboot_and_wait(strategy);

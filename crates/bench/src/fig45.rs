@@ -120,7 +120,11 @@ mod tests {
         assert!((t11.onmem_resume - t1.onmem_resume).abs() < 1.0);
         // Xen's save/restore is memory-proportional: ~12.6 s/GiB.
         assert!(t11.save / t1.save > 8.0, "save {} -> {}", t1.save, t11.save);
-        assert!((t11.save - 139.0).abs() < 10.0, "save(11GiB) = {}", t11.save);
+        assert!(
+            (t11.save - 139.0).abs() < 10.0,
+            "save(11GiB) = {}",
+            t11.save
+        );
         assert!((t11.restore - 139.0).abs() < 10.0);
         // Shutdown/boot do not depend on memory size.
         assert!((t11.shutdown - t1.shutdown).abs() < 1.0);
@@ -133,13 +137,30 @@ mod tests {
         let (_, t1) = rows[0];
         let (_, t11) = rows[1];
         // Paper: at 11 VMs suspend 0.04 s, resume 4.2 s.
-        assert!(t11.onmem_suspend < 0.2, "suspend(11) = {}", t11.onmem_suspend);
-        assert!((t11.onmem_resume - 4.2).abs() < 1.0, "resume(11) = {}", t11.onmem_resume);
+        assert!(
+            t11.onmem_suspend < 0.2,
+            "suspend(11) = {}",
+            t11.onmem_suspend
+        );
+        assert!(
+            (t11.onmem_resume - 4.2).abs() < 1.0,
+            "resume(11) = {}",
+            t11.onmem_resume
+        );
         // Save ≈ 200 s and restore ≈ 156 s at 11 VMs (paper Fig. 5).
         assert!((t11.save - 200.0).abs() < 30.0, "save(11) = {}", t11.save);
-        assert!((t11.restore - 156.0).abs() < 30.0, "restore(11) = {}", t11.restore);
+        assert!(
+            (t11.restore - 156.0).abs() < 30.0,
+            "restore(11) = {}",
+            t11.restore
+        );
         // Boot grows largely with n.
-        assert!(t11.boot > t1.boot + 20.0, "boot {} -> {}", t1.boot, t11.boot);
+        assert!(
+            t11.boot > t1.boot + 20.0,
+            "boot {} -> {}",
+            t1.boot,
+            t11.boot
+        );
         // On-memory resume is ~2.7 % of Xen's restore (paper: 2.7 %).
         let ratio = t11.onmem_resume / t11.restore;
         assert!(ratio < 0.05, "resume/restore ratio {ratio:.3}");

@@ -96,7 +96,10 @@ mod tests {
         assert!((row.saved - 429.0).abs() < 60.0, "saved {}", row.saved);
         assert!((row.cold - 157.0).abs() < 20.0, "cold {}", row.cold);
         let warm_vs_saved = row.warm / row.saved;
-        assert!((warm_vs_saved - 0.098).abs() < 0.03, "ratio {warm_vs_saved:.3}");
+        assert!(
+            (warm_vs_saved - 0.098).abs() < 0.03,
+            "ratio {warm_vs_saved:.3}"
+        );
         let cold_vs_warm = row.cold / row.warm;
         assert!((cold_vs_warm - 3.7).abs() < 0.6, "ratio {cold_vs_warm:.2}");
     }
@@ -117,7 +120,12 @@ mod tests {
     fn session_fates_match_section_5_3() {
         // With the paper's 11-VM downtimes and a 60 s client timeout:
         // warm survives, saved times out, cold resets.
-        let row = DowntimeRow { n: 11, warm: 42.0, saved: 429.0, cold: 157.0 };
+        let row = DowntimeRow {
+            n: 11,
+            warm: 42.0,
+            saved: 429.0,
+            cold: 157.0,
+        };
         let fates = session_fates(&row, 60);
         assert_eq!(fates.warm, SessionFate::Survived);
         assert_eq!(fates.saved, SessionFate::TimedOut);
@@ -132,7 +140,12 @@ mod tests {
 
     #[test]
     fn render_shape() {
-        let rows = vec![DowntimeRow { n: 11, warm: 41.1, saved: 392.7, cold: 141.8 }];
+        let rows = vec![DowntimeRow {
+            n: 11,
+            warm: 41.1,
+            saved: 392.7,
+            cold: 141.8,
+        }];
         let t = render("fig6a", &rows);
         assert!(t.render().contains("392.7"));
     }

@@ -68,7 +68,10 @@ pub fn run(strategy: RebootStrategy) -> Fig7Trace {
     sim.power_on_and_wait();
     let target = DomainId(1);
     sim.host_mut().warm_cache(target, fig7_corpus().files);
-    sim.attach_httperf(target, HttperfClient::new(10, fig7_corpus().files, AccessPattern::Cyclic));
+    sim.attach_httperf(
+        target,
+        HttperfClient::new(10, fig7_corpus().files, AccessPattern::Cyclic),
+    );
 
     // Steady state before the reboot.
     sim.run_for(SimDuration::from_secs(30));
@@ -191,7 +194,13 @@ mod tests {
     fn phase_render_mentions_key_phases() {
         let warm = run(RebootStrategy::Warm);
         let rendered = render_phases(&warm);
-        for phase in ["dom0 shutdown", "suspend", "quick reload", "dom0 boot", "resume"] {
+        for phase in [
+            "dom0 shutdown",
+            "suspend",
+            "quick reload",
+            "dom0 boot",
+            "resume",
+        ] {
             assert!(rendered.contains(phase), "missing {phase} in:\n{rendered}");
         }
     }

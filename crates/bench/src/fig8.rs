@@ -47,7 +47,9 @@ fn big_vm_host(files: FileSet) -> HostSim {
     let spec = DomainSpec::standard("big", ServiceKind::ApacheWeb)
         .with_mem_bytes(11 << 30)
         .with_files(files);
-    let cfg = HostConfig::paper_testbed().with_domain(spec).with_trace(false);
+    let cfg = HostConfig::paper_testbed()
+        .with_domain(spec)
+        .with_trace(false);
     let mut sim = HostSim::new(cfg);
     sim.power_on_and_wait();
     sim
@@ -174,8 +176,14 @@ mod tests {
     fn render_shape() {
         let r = Fig8Result {
             strategy: RebootStrategy::Cold,
-            file_read: BeforeAfter { before: 640e6, after: 57e6 },
-            web: BeforeAfter { before: 215.0, after: 66.0 },
+            file_read: BeforeAfter {
+                before: 640e6,
+                after: 57e6,
+            },
+            web: BeforeAfter {
+                before: 215.0,
+                after: 66.0,
+            },
         };
         let s = render(&r);
         assert!(s.contains("-91 %"));

@@ -106,7 +106,12 @@ mod tests {
     fn cluster_ordering_matches_section_6() {
         // A small configuration for test speed; the bin uses 11 VMs.
         let r = run(4, 215.0, 4);
-        assert!(r.warm_loss < r.cold_loss, "warm {} !< cold {}", r.warm_loss, r.cold_loss);
+        assert!(
+            r.warm_loss < r.cold_loss,
+            "warm {} !< cold {}",
+            r.warm_loss,
+            r.cold_loss
+        );
         assert!(
             r.cold_loss < r.migration_loss,
             "cold {} !< migration {}",

@@ -22,7 +22,8 @@
 //! `microbench` binary — the hermetic replacement for the former Criterion
 //! benches (README §"Hermetic build").
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;

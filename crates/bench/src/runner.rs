@@ -44,7 +44,11 @@ pub struct BenchOptions {
 
 impl Default for BenchOptions {
     fn default() -> Self {
-        BenchOptions { iters: 20, warmup: 3, filter: None }
+        BenchOptions {
+            iters: 20,
+            warmup: 3,
+            filter: None,
+        }
     }
 }
 
@@ -217,7 +221,10 @@ pub struct Runner {
 impl Runner {
     /// Creates a runner with the given options.
     pub fn new(opts: BenchOptions) -> Self {
-        Runner { opts, results: Vec::new() }
+        Runner {
+            opts,
+            results: Vec::new(),
+        }
     }
 
     /// Runs one benchmark: `warmup` untimed then `iters` timed calls of
@@ -251,7 +258,9 @@ impl Runner {
 
     /// Consumes the runner and returns the collected [`Report`].
     pub fn finish(self) -> Report {
-        Report { results: self.results }
+        Report {
+            results: self.results,
+        }
     }
 }
 
@@ -261,7 +270,11 @@ mod tests {
 
     #[test]
     fn runs_and_summarizes() {
-        let mut r = Runner::new(BenchOptions { iters: 8, warmup: 1, filter: None });
+        let mut r = Runner::new(BenchOptions {
+            iters: 8,
+            warmup: 1,
+            filter: None,
+        });
         r.bench("spin", || {
             let mut acc = 0u64;
             for i in 0..1000u64 {
@@ -294,7 +307,11 @@ mod tests {
 
     #[test]
     fn json_is_well_formed() {
-        let mut r = Runner::new(BenchOptions { iters: 2, warmup: 0, filter: None });
+        let mut r = Runner::new(BenchOptions {
+            iters: 2,
+            warmup: 0,
+            filter: None,
+        });
         r.bench("a", || 0);
         r.bench("b", || 0);
         let json = r.finish().to_json();
@@ -310,7 +327,11 @@ mod tests {
 
     #[test]
     fn table_renders_every_row() {
-        let mut r = Runner::new(BenchOptions { iters: 2, warmup: 0, filter: None });
+        let mut r = Runner::new(BenchOptions {
+            iters: 2,
+            warmup: 0,
+            filter: None,
+        });
         r.bench("one", || 0);
         r.bench("two", || 0);
         let table = r.finish().render_table();

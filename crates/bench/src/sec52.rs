@@ -76,8 +76,16 @@ mod tests {
     #[test]
     fn matches_paper_numbers() {
         let r = run();
-        assert!((r.quick_reload - 11.0).abs() < 1.0, "quick {:.1}", r.quick_reload);
-        assert!((r.hardware_reset - 59.0).abs() < 6.0, "hw {:.1}", r.hardware_reset);
+        assert!(
+            (r.quick_reload - 11.0).abs() < 1.0,
+            "quick {:.1}",
+            r.quick_reload
+        );
+        assert!(
+            (r.hardware_reset - 59.0).abs() < 6.0,
+            "hw {:.1}",
+            r.hardware_reset
+        );
         assert!((r.saving() - 48.0).abs() < 7.0, "saving {:.1}", r.saving());
         assert!(render(&r).contains("quick reload"));
     }

@@ -31,12 +31,8 @@ pub fn run() -> AvailabilityResult {
         os_downtime_secs: os_downtime,
         ..AvailabilityModel::paper()
     };
-    let comparison = AvailabilityComparison::compute(
-        &model,
-        downtimes.warm,
-        downtimes.cold,
-        downtimes.saved,
-    );
+    let comparison =
+        AvailabilityComparison::compute(&model, downtimes.warm, downtimes.cold, downtimes.saved);
     AvailabilityResult {
         downtimes,
         os_downtime,
@@ -73,7 +69,11 @@ mod tests {
     #[test]
     fn warm_achieves_four_nines_the_rest_three() {
         let r = run();
-        assert!((r.os_downtime - 33.6).abs() < 6.0, "OS downtime {:.1}", r.os_downtime);
+        assert!(
+            (r.os_downtime - 33.6).abs() < 6.0,
+            "OS downtime {:.1}",
+            r.os_downtime
+        );
         assert_eq!(nines(r.comparison.warm), 4, "warm {}", r.comparison.warm);
         assert_eq!(nines(r.comparison.cold), 3, "cold {}", r.comparison.cold);
         assert_eq!(nines(r.comparison.saved), 3, "saved {}", r.comparison.saved);

@@ -115,11 +115,23 @@ mod tests {
         let r = run([1u32, 4, 8, 11].into_iter());
         let f = &r.fitted;
         // resume(n): paper slope 0.43 — ours is domain_create + handler.
-        assert!((f.resume.slope - 0.43).abs() < 0.1, "resume slope {:.2}", f.resume.slope);
+        assert!(
+            (f.resume.slope - 0.43).abs() < 0.1,
+            "resume slope {:.2}",
+            f.resume.slope
+        );
         // boot(n): paper 3.4n + 2.8 — shape must match within ~25 %.
-        assert!((f.boot.slope - 3.4).abs() < 0.9, "boot slope {:.2}", f.boot.slope);
+        assert!(
+            (f.boot.slope - 3.4).abs() < 0.9,
+            "boot slope {:.2}",
+            f.boot.slope
+        );
         // reboot_os(n) = 3.8n + 13.
-        assert!((f.reboot_os.slope - 3.8).abs() < 1.0, "os slope {:.2}", f.reboot_os.slope);
+        assert!(
+            (f.reboot_os.slope - 3.8).abs() < 1.0,
+            "os slope {:.2}",
+            f.reboot_os.slope
+        );
         assert!(
             (f.reboot_os.intercept - 13.0).abs() < 6.0,
             "os intercept {:.1}",
@@ -159,7 +171,14 @@ mod tests {
     fn render_is_complete() {
         let r = run([1u32, 11].into_iter());
         let s = render(&r);
-        for key in ["reboot_vmm", "resume", "reboot_os", "boot", "reset_hw", "r(n)"] {
+        for key in [
+            "reboot_vmm",
+            "resume",
+            "reboot_os",
+            "boot",
+            "reset_hw",
+            "r(n)",
+        ] {
             assert!(s.contains(key), "missing {key}");
         }
     }

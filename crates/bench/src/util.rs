@@ -9,7 +9,9 @@ use rh_vmm::harness::HostSim;
 /// (the Fig. 4 configuration).
 pub fn booted_single_vm(mem_gib: u64, service: ServiceKind) -> HostSim {
     let spec = DomainSpec::standard("vm1", service).with_mem_bytes(mem_gib << 30);
-    let cfg = HostConfig::paper_testbed().with_domain(spec).with_trace(false);
+    let cfg = HostConfig::paper_testbed()
+        .with_domain(spec)
+        .with_trace(false);
     let mut sim = HostSim::new(cfg);
     sim.power_on_and_wait();
     sim

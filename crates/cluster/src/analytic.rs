@@ -65,7 +65,10 @@ impl ClusterScenario {
         let p = self.per_host_throughput;
         s.push(SimTime::ZERO, self.mp());
         s.push(at, self.mp() - p);
-        s.push(at + SimDuration::from_secs_f64(self.warm_downtime_secs), self.mp());
+        s.push(
+            at + SimDuration::from_secs_f64(self.warm_downtime_secs),
+            self.mp(),
+        );
         s.push(SimTime::ZERO + horizon, self.mp());
         s
     }

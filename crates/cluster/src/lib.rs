@@ -16,7 +16,8 @@
 //! * [`schedule`] — constraint-based planning of cluster-wide
 //!   rejuvenation passes (max hosts down, capacity floor).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analytic;

@@ -133,7 +133,10 @@ mod tests {
         let m = MigrationModel::paper();
         let est = m.evacuate_host(11, 1 << 30);
         let minutes = est.total.as_secs_f64() / 60.0;
-        assert!((minutes - 17.0).abs() < 1.5, "evacuation = {minutes:.1} min");
+        assert!(
+            (minutes - 17.0).abs() < 1.5,
+            "evacuation = {minutes:.1} min"
+        );
     }
 
     #[test]
@@ -141,7 +144,11 @@ mod tests {
         // Live migration's selling point: negligible service downtime.
         let m = MigrationModel::paper();
         let est = m.migrate_vm(1 << 30);
-        assert!(est.downtime.as_secs_f64() < 1.5, "downtime {}", est.downtime);
+        assert!(
+            est.downtime.as_secs_f64() < 1.5,
+            "downtime {}",
+            est.downtime
+        );
         assert!(est.downtime.as_secs_f64() * 20.0 < est.total.as_secs_f64());
     }
 

@@ -129,7 +129,9 @@ pub fn rolling_rejuvenation(
         });
     }
     let horizon = stagger * hosts as u64 + SimDuration::from_secs(600);
-    let lb = LoadBalancer { per_host_throughput };
+    let lb = LoadBalancer {
+        per_host_throughput,
+    };
     let series = lb.throughput_series(hosts, &outages, horizon);
     let ideal = hosts as f64 * per_host_throughput * horizon.as_secs_f64();
     let capacity_loss = ideal - series.integral(SimTime::ZERO, SimTime::ZERO + horizon);
@@ -153,10 +155,20 @@ mod tests {
 
     #[test]
     fn balancer_series_counts_down_hosts() {
-        let lb = LoadBalancer { per_host_throughput: 10.0 };
+        let lb = LoadBalancer {
+            per_host_throughput: 10.0,
+        };
         let outages = [
-            HostOutage { host: 0, start: SimTime::from_secs(10), end: SimTime::from_secs(20) },
-            HostOutage { host: 1, start: SimTime::from_secs(15), end: SimTime::from_secs(25) },
+            HostOutage {
+                host: 0,
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(20),
+            },
+            HostOutage {
+                host: 1,
+                start: SimTime::from_secs(15),
+                end: SimTime::from_secs(25),
+            },
         ];
         let s = lb.throughput_series(3, &outages, secs(100));
         assert_eq!(s.value_at(SimTime::from_secs(5)), Some(30.0));
@@ -168,16 +180,34 @@ mod tests {
 
     #[test]
     fn service_up_detection() {
-        let lb = LoadBalancer { per_host_throughput: 1.0 };
+        let lb = LoadBalancer {
+            per_host_throughput: 1.0,
+        };
         let overlapping = [
-            HostOutage { host: 0, start: SimTime::from_secs(0), end: SimTime::from_secs(10) },
-            HostOutage { host: 1, start: SimTime::from_secs(5), end: SimTime::from_secs(15) },
+            HostOutage {
+                host: 0,
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(10),
+            },
+            HostOutage {
+                host: 1,
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(15),
+            },
         ];
         assert!(!lb.service_always_up(2, &overlapping), "both down at t=5");
         assert!(lb.service_always_up(3, &overlapping));
         let disjoint = [
-            HostOutage { host: 0, start: SimTime::from_secs(0), end: SimTime::from_secs(10) },
-            HostOutage { host: 1, start: SimTime::from_secs(20), end: SimTime::from_secs(30) },
+            HostOutage {
+                host: 0,
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(10),
+            },
+            HostOutage {
+                host: 1,
+                start: SimTime::from_secs(20),
+                end: SimTime::from_secs(30),
+            },
         ];
         assert!(lb.service_always_up(2, &disjoint));
     }

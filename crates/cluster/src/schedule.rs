@@ -52,7 +52,10 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::NothingAllowedDown => {
-                write!(f, "schedule allows zero hosts down; nothing can be rejuvenated")
+                write!(
+                    f,
+                    "schedule allows zero hosts down; nothing can be rejuvenated"
+                )
             }
             ScheduleError::FloorUnsatisfiable => {
                 write!(f, "capacity floor cannot be met with any host down")
@@ -149,7 +152,10 @@ pub fn verify(
             .filter(|p| p.start <= o.start && o.start < p.end)
             .count() as u32;
         if down > constraints.max_down {
-            return Err(format!("{down} hosts down at {} (max {})", o.start, constraints.max_down));
+            return Err(format!(
+                "{down} hosts down at {} (max {})",
+                o.start, constraints.max_down
+            ));
         }
         let up_fraction = (hosts - down) as f64 / hosts as f64;
         if up_fraction < constraints.capacity_floor {
@@ -225,12 +231,27 @@ mod tests {
     #[test]
     fn impossible_constraints_are_rejected() {
         assert_eq!(
-            plan_uniform(4, secs(10), &ScheduleConstraints { max_down: 0, capacity_floor: 0.0, slack: secs(0) }),
+            plan_uniform(
+                4,
+                secs(10),
+                &ScheduleConstraints {
+                    max_down: 0,
+                    capacity_floor: 0.0,
+                    slack: secs(0)
+                }
+            ),
             Err(ScheduleError::NothingAllowedDown)
         );
         // Floor of 100 % up: nothing may ever be down.
-        let c = ScheduleConstraints { max_down: 1, capacity_floor: 1.0, slack: secs(0) };
-        assert_eq!(plan_uniform(4, secs(10), &c), Err(ScheduleError::FloorUnsatisfiable));
+        let c = ScheduleConstraints {
+            max_down: 1,
+            capacity_floor: 1.0,
+            slack: secs(0),
+        };
+        assert_eq!(
+            plan_uniform(4, secs(10), &c),
+            Err(ScheduleError::FloorUnsatisfiable)
+        );
     }
 
     #[test]
@@ -244,7 +265,9 @@ mod tests {
         // Drop a host from a fresh plan.
         let mut plan = plan_uniform(3, secs(30), &c).unwrap();
         plan.starts.pop();
-        assert!(verify(&plan, 3, &c).unwrap_err().contains("never scheduled"));
+        assert!(verify(&plan, 3, &c)
+            .unwrap_err()
+            .contains("never scheduled"));
     }
 
     #[test]

@@ -117,8 +117,7 @@ impl GuestAging {
 
     /// Ages by `count` served requests.
     pub fn on_requests(&mut self, count: u64) {
-        self.kernel_mem_used = (self.kernel_mem_used
-            + self.leak_per_request * count as f64)
+        self.kernel_mem_used = (self.kernel_mem_used + self.leak_per_request * count as f64)
             .min(self.kernel_mem_capacity);
     }
 
@@ -147,7 +146,10 @@ impl GuestAging {
     /// Service-time multiplier from aging: 1.0 healthy, rising linearly to
     /// 3.0 at exhaustion (thrashing).
     pub fn service_slowdown(&self) -> f64 {
-        let worst = self.kernel_mem_pressure().max(self.swap_pressure()).min(1.0);
+        let worst = self
+            .kernel_mem_pressure()
+            .max(self.swap_pressure())
+            .min(1.0);
         if worst < DEGRADE_THRESHOLD {
             1.0
         } else {
@@ -160,15 +162,16 @@ impl GuestAging {
     pub fn uptime_to_exhaustion(&self) -> Option<SimDuration> {
         let mut candidates = Vec::new();
         if self.leak_per_sec > 0.0 {
-            candidates
-                .push((self.kernel_mem_capacity - self.kernel_mem_used) / self.leak_per_sec);
+            candidates.push((self.kernel_mem_capacity - self.kernel_mem_used) / self.leak_per_sec);
         }
         if self.swap_per_sec > 0.0 {
             candidates.push((self.swap_capacity - self.swap_used) / self.swap_per_sec);
         }
         candidates
             .into_iter()
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
             .map(SimDuration::from_secs_f64)
     }
 
@@ -266,7 +269,11 @@ mod tests {
         a.on_requests(700);
         assert_eq!(a.health(), GuestHealth::Degraded);
         a.on_requests(1_000_000);
-        assert_eq!(a.health(), GuestHealth::Exhausted, "wear clamps at capacity");
+        assert_eq!(
+            a.health(),
+            GuestHealth::Exhausted,
+            "wear clamps at capacity"
+        );
     }
 
     #[test]

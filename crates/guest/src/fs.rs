@@ -107,7 +107,11 @@ impl FileSystem {
     ///
     /// Panics if `file` is outside the file set.
     pub fn plan_read(&self, cache: &mut PageCache, file: u32) -> ReadPlan {
-        assert!(file < self.set.files, "file {file} outside set {}", self.set);
+        assert!(
+            file < self.set.files,
+            "file {file} outside set {}",
+            self.set
+        );
         let chunks = self.chunks_per_file();
         let mut plan = ReadPlan::default();
         for chunk in 0..chunks {
@@ -124,7 +128,11 @@ impl FileSystem {
     /// Inserts every chunk of `file` into `cache` — called when the disk
     /// reads of a planned read complete (or to pre-warm the cache).
     pub fn commit_read(&self, cache: &mut PageCache, file: u32) {
-        assert!(file < self.set.files, "file {file} outside set {}", self.set);
+        assert!(
+            file < self.set.files,
+            "file {file} outside set {}",
+            self.set
+        );
         for chunk in 0..self.chunks_per_file() {
             cache.insert(ChunkKey { file, chunk });
         }

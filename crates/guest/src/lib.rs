@@ -21,7 +21,8 @@
 //! lives in `rh-vmm`; this crate is deliberately passive and fully unit
 //! testable.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod aging;

@@ -284,7 +284,10 @@ mod tests {
         let ssh_t1 = ssh.start.fixed.as_secs_f64() + ssh.start.cpu_work / 4.0;
         let jboss_t1 = jboss.start.fixed.as_secs_f64() + jboss.start.cpu_work / 4.0;
         assert!(ssh_t1 < 1.0);
-        assert!((jboss_t1 - 16.8).abs() < 0.3, "jboss start(1) = {jboss_t1:.2}");
+        assert!(
+            (jboss_t1 - 16.8).abs() < 0.3,
+            "jboss start(1) = {jboss_t1:.2}"
+        );
         // At 11 concurrent starts the slope appears.
         let jboss_t11 = jboss.start.fixed.as_secs_f64() + jboss.start.cpu_work * 11.0 / 4.0;
         let slope = (jboss_t11 - jboss_t1) / 10.0;

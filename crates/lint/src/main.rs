@@ -1,0 +1,172 @@
+//! The `rh-lint` command-line entry point.
+//!
+//! ```text
+//! rh-lint [--check] [--json]      lint the workspace against the baseline
+//! rh-lint --update-baseline       ratchet the baseline to current counts
+//! rh-lint protocol [--domains N] [--exec-bytes N] [--buggy] [--json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings/violations, 2 usage or internal error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rh_lint::diagnostics::json_escape;
+use rh_lint::protocol::{explore, ProtocolConfig};
+use rh_lint::walk::find_workspace_root;
+use rh_lint::{lint_workspace, update_baseline};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("protocol") {
+        run_protocol(&args[1..])
+    } else {
+        run_lint(&args)
+    };
+    match result {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("rh-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    find_workspace_root(&cwd).ok_or_else(|| {
+        "no workspace root (Cargo.toml with [workspace]) above the current directory".to_string()
+    })
+}
+
+fn run_lint(args: &[String]) -> Result<bool, String> {
+    let mut json = false;
+    let mut update = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--update-baseline" => update = true,
+            "--check" => {}
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (see crates/lint/src/main.rs)"
+                ))
+            }
+        }
+    }
+    let root = workspace_root()?;
+    let outcome = if update {
+        let o = update_baseline(&root)?;
+        eprintln!(
+            "baseline updated: {} finding(s) across {} file(s)",
+            o.report.diagnostics.len(),
+            o.files_scanned
+        );
+        o
+    } else {
+        lint_workspace(&root)?
+    };
+    if json {
+        println!("{}", outcome.regressed_diagnostics().to_json());
+    } else if outcome.passed() {
+        println!(
+            "rh-lint: clean — {} file(s), {} baseline-covered finding(s), 0 new",
+            outcome.files_scanned,
+            outcome.report.diagnostics.len()
+        );
+        for imp in &outcome.comparison.improvements {
+            println!(
+                "  ratchet hint: {} in {} is down to {} (baseline {}) — run --update-baseline",
+                imp.rule, imp.file, imp.current, imp.baseline
+            );
+        }
+    } else {
+        let regressed = outcome.regressed_diagnostics();
+        print!("{}", regressed.render_table());
+        println!();
+        for r in &outcome.comparison.regressions {
+            println!(
+                "FAIL {} in {}: {} finding(s), baseline {}",
+                r.rule, r.file, r.current, r.baseline
+            );
+        }
+        println!(
+            "\nfix the new violation(s), add a `// lint:allow(rule): reason`, or — for \
+             pre-existing debt only — re-baseline with --update-baseline"
+        );
+    }
+    Ok(outcome.passed())
+}
+
+fn run_protocol(args: &[String]) -> Result<bool, String> {
+    let mut cfg = ProtocolConfig::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--domains" => {
+                let n = parse_num(args.get(i + 1), "--domains")?;
+                cfg.domains = u32::try_from(n).map_err(|_| format!("--domains {n}: too large"))?;
+                i += 1;
+            }
+            "--exec-bytes" => {
+                cfg.exec_bytes = parse_num(args.get(i + 1), "--exec-bytes")?;
+                i += 1;
+            }
+            "--buggy" => cfg.buggy_reload = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown protocol argument `{other}`")),
+        }
+        i += 1;
+    }
+    if cfg.domains == 0 || cfg.domains > 6 {
+        return Err("--domains must be in 1..=6 (state space grows fast)".to_string());
+    }
+    let result = explore(&cfg)?;
+    if json {
+        let violation = match &result.violation {
+            None => "null".to_string(),
+            Some(v) => format!(
+                "{{\"invariant\":\"{}\",\"detail\":\"{}\",\"trace\":[{}]}}",
+                json_escape(&v.invariant),
+                json_escape(&v.detail),
+                v.trace
+                    .iter()
+                    .map(|e| format!("\"{}\"", json_escape(e)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        };
+        println!(
+            "{{\"domains\":{},\"states\":{},\"transitions\":{},\"completed_runs\":{},\"violation\":{violation}}}",
+            cfg.domains, result.states, result.transitions, result.completed_runs
+        );
+    } else {
+        println!(
+            "protocol: {} domain(s), {} state(s), {} transition(s), {} completed run(s)",
+            cfg.domains, result.states, result.transitions, result.completed_runs
+        );
+        match &result.violation {
+            None => println!(
+                "all interleavings satisfy I1 frozen-frames-reserved, \
+                 I2 digest-preservation, I3 exec-state-bounded, I4 p2m-survives"
+            ),
+            Some(v) => print!("{v}"),
+        }
+    }
+    Ok(result.passed())
+}
+
+fn parse_num(arg: Option<&String>, flag: &str) -> Result<u64, String> {
+    let arg = arg.ok_or_else(|| format!("{flag} needs a value"))?;
+    arg.parse().map_err(|e| format!("{flag} {arg}: {e}"))
+}

@@ -1,0 +1,695 @@
+//! A static model checker for the warm-VM reboot protocol.
+//!
+//! The suspend → xexec → resume lifecycle (paper §4.2–4.3) is declared as
+//! an explicit transition table over a small model built from the *real*
+//! `rh-memory` primitives — [`MachineMemory`], [`P2mTable`],
+//! [`FrameContents`] and the order-sensitive digest — so the invariants
+//! checked here are the same objects the simulator trusts at runtime.
+//! `explore` walks **every interleaving** of N domains' events
+//! (breadth-first, with visited-state dedup) and checks four invariants in
+//! every reachable state:
+//!
+//! * **I1 frozen-frames-reserved** — no frame of any domain is ever free in
+//!   the machine allocator; in particular, after a quick reload every
+//!   frozen frame must have been re-reserved via
+//!   [`MachineMemory::count_free_in`] before anything else allocates.
+//! * **I2 digest-preservation** — from the moment a domain is frozen, the
+//!   digest of its memory in pseudo-physical order equals the digest
+//!   captured at suspend, through reload and resume.
+//! * **I3 exec-state-bounded** — every saved execution-state record fits
+//!   the fixed 16 KB preserved slot ([`ExecState::MAX_BYTES`]).
+//! * **I4 p2m-survives** — every P2M table keeps its full page count,
+//!   stays internally consistent, and no machine frame belongs to two
+//!   domains.
+//!
+//! The checker also models the §4.3 hazard: with
+//! [`ProtocolConfig::buggy_reload`] the reload initializes the new VMM
+//! (scribbling scratch memory) *before* replaying the P2M tables, and the
+//! exploration must find the I2 violation and print the offending event
+//! trace.
+//!
+//! The visited set is a `BTreeSet` of canonical state encodings — by this
+//! crate's own `hashmap-iter` rule, nothing here may iterate a hash map.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rh_memory::contents::{DigestBuilder, FrameContents};
+use rh_memory::frame::{FrameRange, Mfn, Pfn};
+use rh_memory::machine::MachineMemory;
+use rh_memory::p2m::P2mTable;
+use rh_vmm::domain::ExecState;
+
+/// Frames the model VMM claims for its own image (the miniature analogue
+/// of `rh_vmm::vmm::VMM_RESERVED_FRAMES`).
+const MODEL_VMM_FRAMES: u64 = 2;
+
+/// Model scale and fault injection.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Number of guest domains whose events are interleaved.
+    pub domains: u32,
+    /// Frames per domain (small: state space, not memory size, is under test).
+    pub frames_per_domain: u64,
+    /// Scratch frames the VMM scribbles during initialization.
+    pub scratch_frames: u64,
+    /// Extra free frames beyond VMM + domains.
+    pub slack_frames: u64,
+    /// Bytes of each saved execution-state record.
+    pub exec_bytes: u64,
+    /// Replay the P2M tables *after* VMM init instead of before — the
+    /// §4.3 corruption hazard the checker must catch.
+    pub buggy_reload: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            domains: 3,
+            frames_per_domain: 4,
+            scratch_frames: 2,
+            slack_frames: 4,
+            exec_bytes: ExecState::MAX_BYTES,
+            buggy_reload: false,
+        }
+    }
+}
+
+/// One protocol event. `u32` payloads are domain indices (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The suspend hypercall starts for a domain.
+    Suspend(u32),
+    /// The domain's memory image is frozen; exec state saved.
+    SuspendDone(u32),
+    /// The next VMM build is staged (xexec load).
+    StageImage,
+    /// Domain 0 shuts down (all guests are frozen).
+    Dom0Shutdown,
+    /// The new VMM instance boots via the staged image.
+    QuickReload,
+    /// Domain 0 boots on the new instance.
+    Dom0Boot,
+    /// A frozen domain begins resuming.
+    Resume(u32),
+    /// The resume handler finishes; digest is verified.
+    ResumeDone(u32),
+    /// Background VMM/dom0 activity: allocate, scribble and release
+    /// scratch frames.
+    VmmScratch,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Suspend(d) => write!(f, "suspend(dom{})", d + 1),
+            Event::SuspendDone(d) => write!(f, "suspend-done(dom{})", d + 1),
+            Event::StageImage => write!(f, "stage-image"),
+            Event::Dom0Shutdown => write!(f, "dom0-shutdown"),
+            Event::QuickReload => write!(f, "quick-reload"),
+            Event::Dom0Boot => write!(f, "dom0-boot"),
+            Event::Resume(d) => write!(f, "resume(dom{})", d + 1),
+            Event::ResumeDone(d) => write!(f, "resume-done(dom{})", d + 1),
+            Event::VmmScratch => write!(f, "vmm-scratch"),
+        }
+    }
+}
+
+/// Lifecycle phase of one model domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Suspending,
+    Frozen,
+    Resuming,
+    Resumed,
+}
+
+#[derive(Debug, Clone)]
+struct DomState {
+    phase: Phase,
+    p2m: P2mTable,
+    /// Digest captured at suspend; the preservation reference.
+    frozen_digest: Option<u64>,
+    /// Size of the saved execution-state record.
+    exec_bytes: Option<u64>,
+}
+
+/// The full model state between events.
+#[derive(Debug, Clone)]
+struct ModelState {
+    ram: MachineMemory,
+    contents: FrameContents,
+    doms: Vec<DomState>,
+    staged: bool,
+    dom0_up: bool,
+    vmm_down: bool,
+    reloaded: bool,
+    generation: u64,
+}
+
+/// A reachable state violating an invariant, with the event path to it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed (`I1 frozen-frames-reserved`, …).
+    pub invariant: String,
+    /// What exactly went wrong.
+    pub detail: String,
+    /// Events from the initial state to the violating state, in order.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invariant {} violated: {}", self.invariant, self.detail)?;
+        writeln!(f, "counterexample trace ({} events):", self.trace.len())?;
+        for (i, e) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {e}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions taken (including ones into already-visited states).
+    pub transitions: u64,
+    /// Distinct reachable states in which every domain is `Resumed` —
+    /// proof the lifecycle can complete.
+    pub completed_runs: u64,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Exploration {
+    /// True when every reachable state satisfied every invariant.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+fn logical_digest(p2m: &P2mTable, contents: &FrameContents) -> u64 {
+    // Mirrors rh_storage::image::logical_digest: pseudo-physical order,
+    // order-sensitive.
+    let mut d = DigestBuilder::new();
+    for (pfn, mfn) in p2m.iter_pages() {
+        d.add(pfn.0, contents.read(mfn));
+    }
+    d.finish()
+}
+
+impl ModelState {
+    fn init(cfg: &ProtocolConfig) -> Result<ModelState, String> {
+        let total =
+            MODEL_VMM_FRAMES + u64::from(cfg.domains) * cfg.frames_per_domain + cfg.slack_frames;
+        let mut ram = MachineMemory::new(total);
+        ram.reserve_exact(FrameRange::new(Mfn(0), MODEL_VMM_FRAMES))
+            .map_err(|e| format!("model init: vmm reserve: {e}"))?;
+        let mut contents = FrameContents::new();
+        let mut doms = Vec::new();
+        for i in 0..cfg.domains {
+            let frames = ram
+                .allocate(cfg.frames_per_domain)
+                .map_err(|e| format!("model init: dom{} alloc: {e}", i + 1))?;
+            let mut p2m = P2mTable::new();
+            p2m.map_contiguous(Pfn(0), &frames)
+                .map_err(|e| format!("model init: dom{} map: {e}", i + 1))?;
+            for (j, r) in frames.iter().enumerate() {
+                contents.fill_pattern(*r, 0x5EED_0000 + u64::from(i) * 64 + j as u64);
+            }
+            doms.push(DomState {
+                phase: Phase::Running,
+                p2m,
+                frozen_digest: None,
+                exec_bytes: None,
+            });
+        }
+        Ok(ModelState {
+            ram,
+            contents,
+            doms,
+            staged: false,
+            dom0_up: true,
+            vmm_down: false,
+            reloaded: false,
+            generation: 1,
+        })
+    }
+
+    fn all_frozen(&self) -> bool {
+        self.doms.iter().all(|d| d.phase == Phase::Frozen)
+    }
+
+    /// Events whose guards pass in this state, in deterministic order.
+    fn enabled_events(&self, cfg: &ProtocolConfig) -> Vec<Event> {
+        let mut out = Vec::new();
+        if !self.staged && !self.vmm_down && !self.reloaded {
+            out.push(Event::StageImage);
+        }
+        // The real host shuts dom0 down as soon as the image is staged and
+        // only then suspends the guests; the checker accepts either order.
+        // What it must NOT accept is a quick reload before every guest is
+        // frozen — the reload scrubs unreserved frames.
+        if self.dom0_up && !self.vmm_down && self.staged {
+            out.push(Event::Dom0Shutdown);
+        }
+        if self.vmm_down && self.staged && self.all_frozen() {
+            out.push(Event::QuickReload);
+        }
+        if self.reloaded && !self.dom0_up {
+            out.push(Event::Dom0Boot);
+        }
+        if self.dom0_up
+            && !self.vmm_down
+            && self.ram.free_frames() >= cfg.scratch_frames
+            && cfg.scratch_frames > 0
+        {
+            out.push(Event::VmmScratch);
+        }
+        for (i, d) in self.doms.iter().enumerate() {
+            let i = i as u32;
+            match d.phase {
+                // Suspend hypercalls are served by the old VMM instance,
+                // which keeps running after dom0 goes down (until the
+                // reload), so `vmm_down` does not gate them.
+                Phase::Running if !self.reloaded => {
+                    out.push(Event::Suspend(i));
+                }
+                Phase::Suspending => out.push(Event::SuspendDone(i)),
+                Phase::Frozen if self.reloaded && self.dom0_up => {
+                    out.push(Event::Resume(i));
+                }
+                Phase::Resuming => out.push(Event::ResumeDone(i)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Applies one event. The caller has checked the guard via
+    /// [`enabled_events`](Self::enabled_events); a guard failure here is a
+    /// checker bug and is reported as an error string.
+    fn apply(&mut self, event: Event, cfg: &ProtocolConfig) -> Result<(), String> {
+        match event {
+            Event::Suspend(i) => {
+                self.dom_mut(i)?.phase = Phase::Suspending;
+            }
+            Event::SuspendDone(i) => {
+                let digest = {
+                    let d = self.dom(i)?;
+                    logical_digest(&d.p2m, &self.contents)
+                };
+                let d = self.dom_mut(i)?;
+                d.phase = Phase::Frozen;
+                d.frozen_digest = Some(digest);
+                d.exec_bytes = Some(cfg.exec_bytes);
+            }
+            Event::StageImage => self.staged = true,
+            Event::Dom0Shutdown => {
+                self.dom0_up = false;
+                self.vmm_down = true;
+            }
+            Event::QuickReload => self.quick_reload(cfg)?,
+            Event::Dom0Boot => self.dom0_up = true,
+            Event::Resume(i) => {
+                self.dom_mut(i)?.phase = Phase::Resuming;
+            }
+            Event::ResumeDone(i) => {
+                self.dom_mut(i)?.phase = Phase::Resumed;
+            }
+            Event::VmmScratch => {
+                let scratch = self
+                    .ram
+                    .allocate(cfg.scratch_frames)
+                    .map_err(|e| format!("scratch alloc: {e}"))?;
+                for r in &scratch {
+                    self.contents
+                        .fill_pattern(*r, 0x5C2A_0000 ^ self.generation);
+                }
+                self.ram
+                    .release(&scratch)
+                    .map_err(|e| format!("scratch release: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The quick reload: a fresh allocator for the new VMM instance. The
+    /// correct order replays the preserved P2M tables through
+    /// `reserve_exact` *first*; the buggy order runs VMM init (scratch
+    /// scribble) before the replay — paper §4.3's corruption scenario.
+    fn quick_reload(&mut self, cfg: &ProtocolConfig) -> Result<(), String> {
+        let mut ram = MachineMemory::new(self.ram.total_frames());
+        let replay = |ram: &mut MachineMemory, doms: &[DomState]| -> Result<(), String> {
+            for (i, d) in doms.iter().enumerate() {
+                for r in d.p2m.machine_ranges() {
+                    ram.reserve_exact(r)
+                        .map_err(|e| format!("reload: dom{} frames not preservable: {e}", i + 1))?;
+                }
+            }
+            Ok(())
+        };
+        let vmm_init = |ram: &mut MachineMemory,
+                        contents: &mut FrameContents,
+                        generation: u64|
+         -> Result<(), String> {
+            ram.reserve_exact(FrameRange::new(Mfn(0), MODEL_VMM_FRAMES))
+                .map_err(|e| format!("reload: vmm reserve: {e}"))?;
+            if cfg.scratch_frames > 0 {
+                let scratch = ram
+                    .allocate(cfg.scratch_frames)
+                    .map_err(|e| format!("reload: scratch: {e}"))?;
+                for r in &scratch {
+                    contents.fill_pattern(*r, 0xDEAD_0000 ^ generation);
+                }
+                ram.release(&scratch)
+                    .map_err(|e| format!("reload: scratch release: {e}"))?;
+            }
+            Ok(())
+        };
+        if cfg.buggy_reload {
+            vmm_init(&mut ram, &mut self.contents, self.generation)?;
+            replay(&mut ram, &self.doms)?;
+        } else {
+            replay(&mut ram, &self.doms)?;
+            vmm_init(&mut ram, &mut self.contents, self.generation)?;
+        }
+        self.ram = ram;
+        self.generation += 1;
+        self.staged = false;
+        self.vmm_down = false;
+        self.reloaded = true;
+        Ok(())
+    }
+
+    fn dom(&self, i: u32) -> Result<&DomState, String> {
+        self.doms
+            .get(i as usize)
+            .ok_or_else(|| format!("no dom{}", i + 1))
+    }
+
+    fn dom_mut(&mut self, i: u32) -> Result<&mut DomState, String> {
+        self.doms
+            .get_mut(i as usize)
+            .ok_or_else(|| format!("no dom{}", i + 1))
+    }
+
+    /// Checks every invariant; returns `(invariant, detail)` on failure.
+    fn check_invariants(&self) -> Result<(), (String, String)> {
+        for (i, d) in self.doms.iter().enumerate() {
+            let name = format!("dom{}", i + 1);
+            // I4: the P2M table survives intact and disjoint.
+            if d.p2m.total_pages() == 0 {
+                return Err((
+                    "I4 p2m-survives".into(),
+                    format!("{name}'s P2M table is empty"),
+                ));
+            }
+            if let Err(e) = d.p2m.check_machine_disjoint() {
+                return Err(("I4 p2m-survives".into(), format!("{name}: {e}")));
+            }
+            for (j, other) in self.doms.iter().enumerate().skip(i + 1) {
+                for a in d.p2m.machine_ranges() {
+                    for b in other.p2m.machine_ranges() {
+                        if a.overlaps(&b) {
+                            return Err((
+                                "I4 p2m-survives".into(),
+                                format!("{name} range {a} overlaps dom{} range {b}", j + 1),
+                            ));
+                        }
+                    }
+                }
+            }
+            // I1: no domain frame may ever be free in the allocator.
+            for r in d.p2m.machine_ranges() {
+                let free = self.ram.count_free_in(&r);
+                if free > 0 {
+                    return Err((
+                        "I1 frozen-frames-reserved".into(),
+                        format!(
+                            "{free} frame(s) of {name}'s range {r} are free — \
+                             reserve_exact replay did not claim them"
+                        ),
+                    ));
+                }
+            }
+            // I2: the frozen digest is preserved until (and through) resume.
+            if let Some(frozen) = d.frozen_digest {
+                let now = logical_digest(&d.p2m, &self.contents);
+                if now != frozen {
+                    return Err((
+                        "I2 digest-preservation".into(),
+                        format!(
+                            "{name}'s memory digest changed while frozen \
+                             ({frozen:#018x} -> {now:#018x})"
+                        ),
+                    ));
+                }
+            }
+            // I3: the saved record fits the fixed preserved slot.
+            if let Some(bytes) = d.exec_bytes {
+                if bytes > ExecState::MAX_BYTES {
+                    return Err((
+                        "I3 exec-state-bounded".into(),
+                        format!(
+                            "{name}'s exec-state record is {bytes} bytes \
+                             (slot is {} bytes)",
+                            ExecState::MAX_BYTES
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical encoding for the visited set. Free-frame *contents* are
+    /// deliberately excluded (scrubbed-or-scribbled free frames are
+    /// behaviorally equivalent: every allocation refills before use), which
+    /// is what makes the scratch-event loop converge.
+    fn encode(&self) -> Vec<u64> {
+        let mut out = vec![
+            u64::from(self.staged),
+            u64::from(self.dom0_up),
+            u64::from(self.vmm_down),
+            u64::from(self.reloaded),
+            self.generation,
+            self.ram.free_frames(),
+        ];
+        for d in &self.doms {
+            out.push(d.phase as u64);
+            out.push(d.frozen_digest.unwrap_or(0));
+            out.push(d.exec_bytes.unwrap_or(0));
+            out.push(logical_digest(&d.p2m, &self.contents));
+            for (pfn, r) in d.p2m.iter_extents() {
+                out.push(pfn.0);
+                out.push(r.start.0);
+                out.push(r.count);
+                out.push(self.ram.count_free_in(&r));
+            }
+        }
+        out
+    }
+
+    fn all_resumed(&self) -> bool {
+        self.doms.iter().all(|d| d.phase == Phase::Resumed)
+    }
+}
+
+/// Exhaustively explores every interleaving of the protocol's events for
+/// `cfg.domains` domains, checking all invariants in every reachable state.
+///
+/// # Errors
+///
+/// Returns an error string only on internal checker failures (model
+/// construction); protocol violations come back inside the
+/// [`Exploration`].
+pub fn explore(cfg: &ProtocolConfig) -> Result<Exploration, String> {
+    let init = ModelState::init(cfg)?;
+    // (state, parent index, event that produced it)
+    let mut nodes: Vec<(ModelState, usize, Option<Event>)> = vec![(init, 0, None)];
+    let mut visited: BTreeSet<Vec<u64>> = BTreeSet::new();
+    visited.insert(nodes[0].0.encode());
+    let mut frontier = vec![0usize];
+    let mut result = Exploration {
+        states: 1,
+        transitions: 0,
+        completed_runs: 0,
+        violation: None,
+    };
+    if let Err((invariant, detail)) = nodes[0].0.check_invariants() {
+        result.violation = Some(Violation {
+            invariant,
+            detail,
+            trace: Vec::new(),
+        });
+        return Ok(result);
+    }
+    while let Some(idx) = frontier.pop() {
+        let enabled = nodes[idx].0.enabled_events(cfg);
+        if nodes[idx].0.all_resumed() {
+            result.completed_runs += 1;
+        }
+        for event in enabled {
+            let mut next = nodes[idx].0.clone();
+            next.apply(event, cfg)?;
+            result.transitions += 1;
+            if let Err((invariant, detail)) = next.check_invariants() {
+                let mut trace = trace_to(&nodes, idx);
+                trace.push(event.to_string());
+                result.violation = Some(Violation {
+                    invariant,
+                    detail,
+                    trace,
+                });
+                return Ok(result);
+            }
+            if visited.insert(next.encode()) {
+                nodes.push((next, idx, Some(event)));
+                frontier.push(nodes.len() - 1);
+                result.states += 1;
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Replays one specific event sequence (e.g. the order the real `Host`
+/// emits) through the same transition table and invariant checks.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] if an event fires while its guard is false, or
+/// any invariant fails afterwards. Internal model failures are folded into
+/// the violation detail.
+pub fn replay(cfg: &ProtocolConfig, events: &[Event]) -> Result<(), Violation> {
+    let fail = |invariant: &str, detail: String, trace: Vec<String>| Violation {
+        invariant: invariant.to_string(),
+        detail,
+        trace,
+    };
+    let mut state = ModelState::init(cfg).map_err(|e| fail("model-init", e, Vec::new()))?;
+    let mut trace: Vec<String> = Vec::new();
+    for event in events {
+        if !state.enabled_events(cfg).contains(event) {
+            trace.push(event.to_string());
+            return Err(fail(
+                "guard",
+                format!("event {event} fired while its guard is false"),
+                trace,
+            ));
+        }
+        trace.push(event.to_string());
+        if let Err(e) = state.apply(*event, cfg) {
+            return Err(fail("model-apply", e, trace));
+        }
+        if let Err((invariant, detail)) = state.check_invariants() {
+            return Err(fail(&invariant, detail, trace));
+        }
+    }
+    Ok(())
+}
+
+fn trace_to(nodes: &[(ModelState, usize, Option<Event>)], mut idx: usize) -> Vec<String> {
+    let mut rev = Vec::new();
+    while idx != 0 {
+        let (_, parent, event) = &nodes[idx];
+        if let Some(e) = event {
+            rev.push(e.to_string());
+        }
+        idx = *parent;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_protocol_has_no_reachable_violation() {
+        let cfg = ProtocolConfig::default();
+        let result = explore(&cfg).unwrap();
+        assert!(result.passed(), "violation: {:?}", result.violation);
+        assert!(
+            result.states > 50,
+            "expected real interleaving, got {}",
+            result.states
+        );
+        assert!(result.completed_runs >= 1, "no run reached all-resumed");
+    }
+
+    #[test]
+    fn buggy_reload_order_is_caught_with_trace() {
+        let cfg = ProtocolConfig {
+            buggy_reload: true,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg).unwrap();
+        let v = result.violation.expect("§4.3 hazard must be found");
+        assert_eq!(v.invariant, "I2 digest-preservation");
+        assert_eq!(v.trace.last().map(String::as_str), Some("quick-reload"));
+    }
+
+    #[test]
+    fn oversized_exec_state_is_caught() {
+        let cfg = ProtocolConfig {
+            exec_bytes: ExecState::MAX_BYTES + 1,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg).unwrap();
+        let v = result.violation.expect("oversized record must be found");
+        assert_eq!(v.invariant, "I3 exec-state-bounded");
+    }
+
+    #[test]
+    fn replay_accepts_the_canonical_order() {
+        let cfg = ProtocolConfig::default();
+        let mut events = vec![Event::StageImage];
+        for d in 0..cfg.domains {
+            events.push(Event::Suspend(d));
+            events.push(Event::SuspendDone(d));
+        }
+        events.push(Event::Dom0Shutdown);
+        events.push(Event::QuickReload);
+        events.push(Event::Dom0Boot);
+        for d in 0..cfg.domains {
+            events.push(Event::Resume(d));
+            events.push(Event::ResumeDone(d));
+        }
+        replay(&cfg, &events).unwrap();
+    }
+
+    #[test]
+    fn replay_rejects_resume_before_reload() {
+        let cfg = ProtocolConfig::default();
+        let events = vec![Event::Suspend(0), Event::SuspendDone(0), Event::Resume(0)];
+        let v = replay(&cfg, &events).unwrap_err();
+        assert_eq!(v.invariant, "guard");
+    }
+
+    #[test]
+    fn one_domain_model_is_tiny_but_complete() {
+        let cfg = ProtocolConfig {
+            domains: 1,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg).unwrap();
+        assert!(result.passed());
+        assert!(result.completed_runs >= 1);
+    }
+
+    #[test]
+    fn four_domains_still_terminate() {
+        let cfg = ProtocolConfig {
+            domains: 4,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg).unwrap();
+        assert!(result.passed());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property: the event order the real simulated `Host` emits during a warm
+//! reboot is accepted by the protocol checker's transition table.
+//!
+//! The checker explores an abstract model; this test closes the loop by
+//! translating the concrete trace of `HostSim::reboot_and_wait(Warm)` into
+//! protocol events and replaying them through the same guards and
+//! invariants. If the host ever reorders the lifecycle (for example,
+//! resuming a guest before the quick reload), `replay` rejects the trace.
+
+use rh_guest::services::ServiceKind;
+use rh_lint::protocol::{replay, Event, ProtocolConfig};
+use rh_vmm::config::{HostConfig, RebootStrategy};
+use rh_vmm::harness::HostSim;
+
+/// Maps one host trace message to a protocol event, if it corresponds to
+/// one. `domains` is the guest count, used to translate `domU<n>` names to
+/// 0-based model indices.
+fn event_for(message: &str, domains: u32) -> Option<Event> {
+    if message.starts_with("xexec staged build") {
+        return Some(Event::StageImage);
+    }
+    if message == "dom0 down" {
+        return Some(Event::Dom0Shutdown);
+    }
+    if message.starts_with("new VMM instance up") {
+        return Some(Event::QuickReload);
+    }
+    if message == "dom0 up" {
+        return Some(Event::Dom0Boot);
+    }
+    for idx in 0..domains {
+        let name = format!("domU{}", idx + 1);
+        if *message == format!("{name} suspending") {
+            return Some(Event::Suspend(idx));
+        }
+        if *message == format!("{name} frozen on memory") {
+            return Some(Event::SuspendDone(idx));
+        }
+        if *message == format!("{name} resuming") {
+            return Some(Event::Resume(idx));
+        }
+        if *message == format!("{name} resumed") {
+            return Some(Event::ResumeDone(idx));
+        }
+    }
+    None
+}
+
+#[test]
+fn warm_reboot_trace_is_accepted_by_the_protocol_checker() {
+    const DOMAINS: u32 = 3;
+    let cfg = HostConfig::paper_testbed().with_vms(DOMAINS, ServiceKind::Ssh);
+    let mut sim = HostSim::new(cfg);
+    sim.power_on_and_wait();
+    let report = sim.reboot_and_wait(RebootStrategy::Warm);
+    assert!(report.corrupted.is_empty(), "warm reboot corrupted memory");
+
+    // Only the reboot portion of the trace maps to protocol events; boot
+    // messages before the command (e.g. the power-on "dom0 up") do not.
+    let entries = sim.host().trace.entries();
+    let start = entries
+        .iter()
+        .position(|e| e.message.contains("warm reboot commanded"))
+        .expect("trace records the reboot command");
+    let events: Vec<Event> = entries[start..]
+        .iter()
+        .filter_map(|e| event_for(&e.message, DOMAINS))
+        .collect();
+
+    assert!(
+        events.contains(&Event::QuickReload),
+        "trace should include the quick reload"
+    );
+    for idx in 0..DOMAINS {
+        assert!(
+            events.contains(&Event::SuspendDone(idx)),
+            "domU{} never froze in the trace",
+            idx + 1
+        );
+        assert!(
+            events.contains(&Event::ResumeDone(idx)),
+            "domU{} never resumed in the trace",
+            idx + 1
+        );
+    }
+
+    let model = ProtocolConfig {
+        domains: DOMAINS,
+        ..ProtocolConfig::default()
+    };
+    if let Err(v) = replay(&model, &events) {
+        panic!("host trace rejected by the protocol checker:\n{v}");
+    }
+}

@@ -222,12 +222,14 @@ mod tests {
 
     #[test]
     fn error_display_covers_variants() {
-        let e1 = BalloonError::TooLarge { requested: 5, mapped: 2 };
+        let e1 = BalloonError::TooLarge {
+            requested: 5,
+            mapped: 2,
+        };
         assert!(e1.to_string().contains("exceeds"));
         let e2: BalloonError = P2mError::NotMapped(Pfn(0), 1).into();
         assert!(e2.to_string().contains("balloon"));
-        let e3: BalloonError =
-            MemoryError::AlreadyAllocated(FrameRange::new(Mfn(0), 1)).into();
+        let e3: BalloonError = MemoryError::AlreadyAllocated(FrameRange::new(Mfn(0), 1)).into();
         assert!(e3.to_string().contains("allocated"));
     }
 }

@@ -116,7 +116,9 @@ impl FrameContents {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
-            let ext = self.patterns.remove(&s).expect("collected above");
+            let Some(ext) = self.patterns.remove(&s) else {
+                continue; // unreachable: keys were collected from this map above
+            };
             let e_end = s + ext.count;
             if s < lo {
                 self.patterns.insert(
@@ -285,7 +287,11 @@ mod tests {
         assert_eq!(mem.read(Mfn(45)), None);
         assert_eq!(mem.read(Mfn(50)), None, "explicit write scrubbed too");
         assert_eq!(mem.read(Mfn(39)), keep_low, "below range untouched");
-        assert_eq!(mem.read(Mfn(60)), keep_high, "above range keeps value after split");
+        assert_eq!(
+            mem.read(Mfn(60)),
+            keep_high,
+            "above range keeps value after split"
+        );
     }
 
     #[test]

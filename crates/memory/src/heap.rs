@@ -229,7 +229,13 @@ mod tests {
         let mut h = VmmHeap::new(100);
         let _a = h.alloc(80).unwrap();
         let err = h.alloc(30).unwrap_err();
-        assert_eq!(err, HeapExhausted { requested: 30, free: 20 });
+        assert_eq!(
+            err,
+            HeapExhausted {
+                requested: 30,
+                free: 20
+            }
+        );
     }
 
     #[test]

@@ -160,10 +160,7 @@ impl MemoryLayout {
         }
         if let Some(last) = sorted.last() {
             if last.frames.end().0 > total_frames {
-                return Err(format!(
-                    "layout exceeds machine memory at {}",
-                    last.purpose
-                ));
+                return Err(format!("layout exceeds machine memory at {}", last.purpose));
             }
         }
         Ok(())

@@ -59,7 +59,8 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod balloon;

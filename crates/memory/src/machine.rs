@@ -42,7 +42,10 @@ impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemoryError::OutOfFrames { requested, free } => {
-                write!(f, "out of machine frames: requested {requested}, free {free}")
+                write!(
+                    f,
+                    "out of machine frames: requested {requested}, free {free}"
+                )
             }
             MemoryError::AlreadyAllocated(r) => {
                 write!(f, "range {r} is already allocated")
@@ -85,7 +88,10 @@ impl MachineMemory {
     ///
     /// Panics if `total_frames` is zero.
     pub fn new(total_frames: u64) -> Self {
-        assert!(total_frames > 0, "machine memory must have at least one frame");
+        assert!(
+            total_frames > 0,
+            "machine memory must have at least one frame"
+        );
         let mut free = BTreeMap::new();
         free.insert(0, total_frames);
         MachineMemory {
@@ -135,6 +141,31 @@ impl MachineMemory {
         true
     }
 
+    /// Counts how many frames of `range` are currently free.
+    ///
+    /// Zero means the whole range is allocated — the form the warm-reboot
+    /// invariant takes: after a quick reload, every frame of a frozen
+    /// domain must have been re-reserved, so none of its ranges may show
+    /// up as free. The protocol checker (`rh-lint protocol`) calls this on
+    /// every explored state.
+    pub fn count_free_in(&self, range: &FrameRange) -> u64 {
+        let end = range.end().0;
+        let mut free = 0;
+        // The extent covering the range start, if any…
+        if let Some((&s, &c)) = self.free.range(..=range.start.0).next_back() {
+            let lo = range.start.0.max(s);
+            let hi = end.min(s + c);
+            if lo < hi {
+                free += hi - lo;
+            }
+        }
+        // …plus every extent starting inside the range.
+        for (&s, &c) in self.free.range(range.start.0 + 1..end) {
+            free += (s + c).min(end) - s;
+        }
+        free
+    }
+
     /// Allocates `count` frames first-fit, possibly split across several
     /// extents. The result is deterministic: lowest-addressed free extents
     /// are used first.
@@ -156,8 +187,12 @@ impl MachineMemory {
         }
         let mut remaining = count;
         let mut out = Vec::new();
+        // The free-count check above guarantees the pool cannot run dry before
+        // `remaining` does; the loop form keeps that panic-free.
         while remaining > 0 {
-            let (&start, &len) = self.free.iter().next().expect("free space accounted above");
+            let Some((&start, &len)) = self.free.iter().next() else {
+                break;
+            };
             let take = len.min(remaining);
             self.free.remove(&start);
             if take < len {
@@ -189,11 +224,11 @@ impl MachineMemory {
         let mut cursor = range.start.0;
         let end = range.end().0;
         while cursor < end {
-            let (&s, &c) = self
-                .free
-                .range(..=cursor)
-                .next_back()
-                .expect("is_free verified coverage");
+            // `is_free` verified full coverage, so an extent containing
+            // `cursor` always exists; bail out rather than panic if not.
+            let Some((&s, &c)) = self.free.range(..=cursor).next_back() else {
+                break;
+            };
             debug_assert!(s <= cursor && cursor < s + c);
             self.free.remove(&s);
             if s < cursor {

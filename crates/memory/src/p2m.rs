@@ -33,7 +33,9 @@ pub enum P2mError {
 impl fmt::Display for P2mError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            P2mError::PfnOverlap(p, c) => write!(f, "pfn range [{p}, +{c}) overlaps existing mapping"),
+            P2mError::PfnOverlap(p, c) => {
+                write!(f, "pfn range [{p}, +{c}) overlaps existing mapping")
+            }
             P2mError::NotMapped(p, c) => write!(f, "pfn range [{p}, +{c}) is not fully mapped"),
         }
     }
@@ -104,12 +106,18 @@ impl P2mTable {
     }
 
     /// Maps the machine range `frames` at consecutive PFNs starting at
-    /// `pfn_start`.
+    /// `pfn_start`. Mapping an empty range is a no-op.
     ///
     /// # Errors
     ///
     /// [`P2mError::PfnOverlap`] if any PFN in the target range is mapped.
     pub fn map(&mut self, pfn_start: Pfn, frames: FrameRange) -> Result<(), P2mError> {
+        if frames.count == 0 {
+            // A zero-count extent must never enter the map: it would shadow
+            // `lookup` of PFNs covered by a lower-keyed neighbour (the
+            // BTreeMap range-scan stops at the empty extent's key).
+            return Ok(());
+        }
         let lo = pfn_start.0;
         let hi = lo + frames.count;
         let overlapping = self
@@ -188,7 +196,9 @@ impl P2mTable {
             .collect();
         let mut released = Vec::new();
         for s in keys {
-            let ext = self.extents.remove(&s).expect("collected above");
+            let Some(ext) = self.extents.remove(&s) else {
+                continue; // unreachable: keys were collected from this map above
+            };
             let e_end = s + ext.count;
             let cut_lo = lo.max(s);
             let cut_hi = hi.min(e_end);
@@ -231,8 +241,12 @@ impl P2mTable {
         }
         let mut remaining = count;
         let mut released = Vec::new();
+        // `count <= self.total` was checked above, so the map cannot run dry
+        // before `remaining` does; the loop form keeps that panic-free.
         while remaining > 0 {
-            let (&s, ext) = self.extents.iter().next_back().expect("total accounted");
+            let Some((&s, ext)) = self.extents.iter().next_back() else {
+                break;
+            };
             let take = ext.count.min(remaining);
             let ext = *ext;
             self.extents.remove(&s);
@@ -299,9 +313,9 @@ impl P2mTable {
     /// Iterates every `(pfn, mfn)` pair. O(total pages); prefer
     /// [`iter_extents`](Self::iter_extents) in hot paths.
     pub fn iter_pages(&self) -> impl Iterator<Item = (Pfn, Mfn)> + '_ {
-        self.extents.iter().flat_map(|(&s, e)| {
-            (0..e.count).map(move |i| (Pfn(s + i), Mfn(e.mfn_start + i)))
-        })
+        self.extents
+            .iter()
+            .flat_map(|(&s, e)| (0..e.count).map(move |i| (Pfn(s + i), Mfn(e.mfn_start + i))))
     }
 
     /// Clears the table.
@@ -376,7 +390,8 @@ mod tests {
     #[test]
     fn map_contiguous_spans_fragmented_allocation() {
         let mut t = P2mTable::new();
-        t.map_contiguous(Pfn(0), &[fr(0, 100), fr(500, 50)]).unwrap();
+        t.map_contiguous(Pfn(0), &[fr(0, 100), fr(500, 50)])
+            .unwrap();
         assert_eq!(t.lookup(Pfn(99)), Some(Mfn(99)));
         assert_eq!(t.lookup(Pfn(100)), Some(Mfn(500)));
         assert_eq!(t.lookup(Pfn(149)), Some(Mfn(549)));
@@ -459,12 +474,16 @@ mod tests {
     #[test]
     fn resolve_range_spans_extents() {
         let mut t = P2mTable::new();
-        t.map_contiguous(Pfn(0), &[fr(100, 10), fr(500, 10)]).unwrap();
+        t.map_contiguous(Pfn(0), &[fr(100, 10), fr(500, 10)])
+            .unwrap();
         assert_eq!(
             t.resolve_range(Pfn(5), 10).unwrap(),
             vec![fr(105, 5), fr(500, 5)]
         );
-        assert_eq!(t.resolve_range(Pfn(0), 20).unwrap(), vec![fr(100, 10), fr(500, 10)]);
+        assert_eq!(
+            t.resolve_range(Pfn(0), 20).unwrap(),
+            vec![fr(100, 10), fr(500, 10)]
+        );
         assert!(t.resolve_range(Pfn(15), 10).is_none(), "partially unmapped");
         assert!(t.resolve_range(Pfn(30), 1).is_none());
     }
@@ -476,5 +495,57 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.extent_count(), 0);
+    }
+
+    #[test]
+    fn map_contiguous_overlap_fails_but_keeps_earlier_mappings() {
+        let mut t = P2mTable::new();
+        t.map(Pfn(10), fr(900, 5)).unwrap();
+        // Second range of the batch collides with the pre-existing extent;
+        // the first range stays mapped (documented fatal-error semantics).
+        let err = t.map_contiguous(Pfn(0), &[fr(100, 10), fr(200, 10)]);
+        assert!(matches!(err, Err(P2mError::PfnOverlap(_, _))));
+        assert_eq!(t.lookup(Pfn(0)), Some(Mfn(100)));
+        assert_eq!(t.lookup(Pfn(9)), Some(Mfn(109)));
+        assert_eq!(t.lookup(Pfn(10)), Some(Mfn(900)));
+        assert_eq!(t.total_pages(), 15);
+    }
+
+    #[test]
+    fn remap_of_frozen_pfn_rejected_and_table_intact() {
+        // Warm-reboot scenario: the table survives the VMM generation
+        // change, so a replayed mapping must not clobber the frozen one.
+        let mut t = P2mTable::new();
+        t.map(Pfn(0), fr(4000, 8)).unwrap();
+        let before: Vec<(Pfn, FrameRange)> = t.iter_extents().collect();
+        assert!(matches!(
+            t.map(Pfn(3), fr(7000, 2)),
+            Err(P2mError::PfnOverlap(_, _))
+        ));
+        let after: Vec<(Pfn, FrameRange)> = t.iter_extents().collect();
+        assert_eq!(before, after, "failed remap must not disturb the table");
+        assert_eq!(t.lookup(Pfn(3)), Some(Mfn(4003)));
+    }
+
+    #[test]
+    fn empty_range_mapping_is_a_noop() {
+        // FrameRange::new rejects count == 0, but the fields are public so
+        // an empty range can still arrive via a struct literal or count
+        // arithmetic; map() must treat it as a no-op.
+        let empty = |start: u64| FrameRange {
+            start: Mfn(start),
+            count: 0,
+        };
+        let mut t = P2mTable::new();
+        t.map(Pfn(5), empty(1000)).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.extent_count(), 0);
+        // Regression: a zero-count extent used to shadow lookups of PFNs
+        // covered by a lower-keyed extent that spans its key.
+        t.map(Pfn(5), empty(2000)).unwrap();
+        t.map(Pfn(3), fr(3000, 4)).unwrap();
+        assert_eq!(t.lookup(Pfn(5)), Some(Mfn(3002)));
+        assert_eq!(t.total_pages(), 4);
+        t.check_machine_disjoint().unwrap();
     }
 }

@@ -93,10 +93,7 @@ impl DowntimeMeter {
 
     /// The longest completed outage.
     pub fn longest_outage(&self) -> Option<Outage> {
-        self.outages
-            .iter()
-            .copied()
-            .max_by_key(|o| o.duration())
+        self.outages.iter().copied().max_by_key(|o| o.duration())
     }
 
     /// Sum of all completed outage durations.
@@ -219,7 +216,10 @@ mod tests {
         m.mark_up(t(6.0));
         assert_eq!(m.outages().len(), 2);
         assert!((m.total_downtime().as_secs_f64() - 4.0).abs() < 1e-9);
-        assert_eq!(m.longest_outage().unwrap().duration(), SimDuration::from_secs(3));
+        assert_eq!(
+            m.longest_outage().unwrap().duration(),
+            SimDuration::from_secs(3)
+        );
     }
 
     #[test]
@@ -269,7 +269,10 @@ mod tests {
         assert_eq!(est.end, t(52.0));
         let exact = 42.0;
         let estimate = est.duration().as_secs_f64();
-        assert!((estimate - exact).abs() <= 1.0 + 1e-9, "estimate {estimate}");
+        assert!(
+            (estimate - exact).abs() <= 1.0 + 1e-9,
+            "estimate {estimate}"
+        );
     }
 
     #[test]
@@ -281,8 +284,20 @@ mod tests {
         }
         let outages = log.estimated_outages();
         assert_eq!(outages.len(), 2);
-        assert_eq!(outages[0], Outage { start: t(0.0), end: t(2.0) });
-        assert_eq!(outages[1], Outage { start: t(2.0), end: t(5.0) });
+        assert_eq!(
+            outages[0],
+            Outage {
+                start: t(0.0),
+                end: t(2.0)
+            }
+        );
+        assert_eq!(
+            outages[1],
+            Outage {
+                start: t(2.0),
+                end: t(5.0)
+            }
+        );
     }
 
     #[test]

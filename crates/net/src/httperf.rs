@@ -129,7 +129,10 @@ impl HttperfClient {
     ///
     /// Panics if no request is outstanding.
     pub fn complete(&mut self, at: SimTime) {
-        assert!(self.in_flight > 0, "completion without an outstanding request");
+        assert!(
+            self.in_flight > 0,
+            "completion without an outstanding request"
+        );
         self.in_flight -= 1;
         self.log.record(at);
     }

@@ -8,7 +8,8 @@
 //! * [`httperf`] — a closed-loop HTTP load generator with windowed
 //!   throughput extraction (Figs. 7 and 8b).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod downtime;

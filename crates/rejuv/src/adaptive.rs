@@ -223,9 +223,21 @@ mod tests {
         // pays only brief warm reboots.
         let horizon = SimDuration::from_secs(24 * 3600);
         let mut adaptive = leaky_host();
-        let a = run_adaptive(&mut adaptive, &fast_policy(), SimDuration::from_secs(600), horizon, true);
+        let a = run_adaptive(
+            &mut adaptive,
+            &fast_policy(),
+            SimDuration::from_secs(600),
+            horizon,
+            true,
+        );
         let mut control = leaky_host();
-        let c = run_adaptive(&mut control, &fast_policy(), SimDuration::from_secs(600), horizon, false);
+        let c = run_adaptive(
+            &mut control,
+            &fast_policy(),
+            SimDuration::from_secs(600),
+            horizon,
+            false,
+        );
         assert!(
             a.total_downtime < c.total_downtime,
             "adaptive {} vs control {}",

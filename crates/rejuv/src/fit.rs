@@ -37,7 +37,11 @@ pub struct FitError {
 
 impl std::fmt::Display for FitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cannot fit component {:?}: need ≥2 distinct points", self.component)
+        write!(
+            f,
+            "cannot fit component {:?}: need ≥2 distinct points",
+            self.component
+        )
     }
 }
 
@@ -75,11 +79,7 @@ impl ComponentMeasurements {
     }
 }
 
-fn fit_component(
-    xs: &[f64],
-    ys: &[f64],
-    component: &'static str,
-) -> Result<Linear, FitError> {
+fn fit_component(xs: &[f64], ys: &[f64], component: &'static str) -> Result<Linear, FitError> {
     let fit = linear_fit(xs, ys).ok_or(FitError { component })?;
     Ok(Linear::new(fit.slope, fit.intercept))
 }
@@ -91,7 +91,9 @@ fn fit_component(
 /// [`FitError`] if any component has fewer than two distinct points.
 pub fn fit_model(m: &ComponentMeasurements) -> Result<DowntimeModel, FitError> {
     let reset_hw = if m.reset_hw.is_empty() {
-        return Err(FitError { component: "reset_hw" });
+        return Err(FitError {
+            component: "reset_hw",
+        });
     } else {
         m.reset_hw.iter().sum::<f64>() / m.reset_hw.len() as f64
     };
@@ -174,7 +176,11 @@ mod tests {
         assert!((fitted.boot.slope - 3.4).abs() < 0.2);
         // The derived saving stays close to the paper's line.
         let saving = fitted.saving_line(0.5);
-        assert!((saving.slope - 3.9).abs() < 0.4, "saving slope {:.2}", saving.slope);
+        assert!(
+            (saving.slope - 3.9).abs() < 0.4,
+            "saving slope {:.2}",
+            saving.slope
+        );
         assert!((saving.at(11.0) - (3.9 * 11.0 + 60.0 - 8.5)).abs() < 3.0);
     }
 }

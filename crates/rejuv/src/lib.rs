@@ -15,7 +15,8 @@
 //! * [`adaptive`] — a measurement-driven policy that rejuvenates only when
 //!   the detector projects exhaustion within a lead time.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
@@ -30,4 +31,6 @@ pub use aging::AgingDetector;
 pub use availability::{nines, AvailabilityComparison, AvailabilityModel};
 pub use fit::{fit_model, ComponentMeasurements, FitError};
 pub use model::{DowntimeModel, Linear};
-pub use policy::{render_timeline, run_policy, PolicyAction, PolicyEvent, PolicyOutcome, TimeBasedPolicy};
+pub use policy::{
+    render_timeline, run_policy, PolicyAction, PolicyEvent, PolicyOutcome, TimeBasedPolicy,
+};

@@ -87,7 +87,10 @@ impl DowntimeModel {
     ///
     /// Panics unless `0 < α ≤ 1`.
     pub fn d_cold(&self, n: f64, alpha: f64) -> f64 {
-        assert!(alpha > 0.0 && alpha <= 1.0, "α must be in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "α must be in (0, 1], got {alpha}"
+        );
         self.reset_hw + self.reboot_vmm.at(0.0) + self.reboot_os.at(n)
             - self.reboot_os.at(1.0) * alpha
     }

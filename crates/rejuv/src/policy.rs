@@ -146,8 +146,12 @@ pub fn render_timeline(
             vmm_lane[c] = 'V';
         }
     }
-    out.push_str(&format!("{:>7}  {}
-", "VMM", vmm_lane.iter().collect::<String>()));
+    out.push_str(&format!(
+        "{:>7}  {}
+",
+        "VMM",
+        vmm_lane.iter().collect::<String>()
+    ));
     for g in guests {
         let mut lane = vec!['.'; cols];
         for e in events {
@@ -156,8 +160,12 @@ pub fn render_timeline(
                 lane[c] = 'O';
             }
         }
-        out.push_str(&format!("{:>7}  {}
-", g.to_string(), lane.iter().collect::<String>()));
+        out.push_str(&format!(
+            "{:>7}  {}
+",
+            g.to_string(),
+            lane.iter().collect::<String>()
+        ));
     }
     out
 }
@@ -224,6 +232,7 @@ pub fn run_policy(
             }
             next_vmm = at + policy.vmm_interval;
         } else {
+            // lint:allow(unwrap-panic): fire_vmm is false only in the Some(i) match arm above
             let i = min_os_idx.expect("picked an OS event");
             sim.os_reboot_and_wait(guests[i]);
             os_count += 1;
@@ -330,7 +339,11 @@ mod tests {
             .filter(|e| e.action == PolicyAction::RejuvenateVmm)
             .collect();
         assert_eq!(vmm.len(), 1);
-        assert!((vmm[0].alpha - 3.0 / 7.0).abs() < 1e-9, "α = {}", vmm[0].alpha);
+        assert!(
+            (vmm[0].alpha - 3.0 / 7.0).abs() < 1e-9,
+            "α = {}",
+            vmm[0].alpha
+        );
     }
 
     #[test]
@@ -353,21 +366,39 @@ mod tests {
         let g = doms(1);
         let horizon = days(7 * 8);
         let tick = days(7);
-        let warm = render_timeline(&p.schedule(&g, SimTime::ZERO, horizon, false), &g, horizon, tick);
-        let cold = render_timeline(&p.schedule(&g, SimTime::ZERO, horizon, true), &g, horizon, tick);
+        let warm = render_timeline(
+            &p.schedule(&g, SimTime::ZERO, horizon, false),
+            &g,
+            horizon,
+            tick,
+        );
+        let cold = render_timeline(
+            &p.schedule(&g, SimTime::ZERO, horizon, true),
+            &g,
+            horizon,
+            tick,
+        );
         assert_ne!(warm, cold);
         let warm_os = warm.lines().nth(1).unwrap().matches('O').count();
         let cold_os = cold.lines().nth(1).unwrap().matches('O').count();
         assert_eq!(warm_os, 8, "warm keeps all weekly OS rejuvenations");
         assert_eq!(cold_os, 6, "cold subsumes the coinciding ones");
-        let vmm_lane = warm.lines().next().unwrap().split_whitespace().last().unwrap();
+        let vmm_lane = warm
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap();
         assert_eq!(vmm_lane.matches('V').count(), 2);
     }
 
     #[test]
     fn empty_horizon_is_empty() {
         let p = TimeBasedPolicy::paper();
-        assert!(p.schedule(&doms(2), SimTime::ZERO, days(1), false).is_empty());
+        assert!(p
+            .schedule(&doms(2), SimTime::ZERO, days(1), false)
+            .is_empty());
     }
 
     // End-to-end policy execution against a live host, at a compressed

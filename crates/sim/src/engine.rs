@@ -211,6 +211,7 @@ impl<E> Scheduler<E> {
         let payload = self.slots[key.index as usize]
             .payload
             .take()
+            // lint:allow(unwrap-panic): skim_stale dropped every cancelled key before this pop
             .expect("skim_stale guarantees a live slot");
         self.retire(key.index);
         self.fired += 1;
@@ -480,8 +481,7 @@ mod tests {
     #[test]
     fn handlers_can_chain_events() {
         let mut sim = Simulation::new(Recorder::default());
-        sim.scheduler_mut()
-            .schedule_at(SimTime::ZERO, Ev::Chain(3));
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, Ev::Chain(3));
         sim.run_until_idle();
         assert_eq!(sim.world().seen.len(), 4);
         assert_eq!(sim.now(), SimTime::from_secs(3));

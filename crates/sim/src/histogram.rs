@@ -155,7 +155,12 @@ impl LatencyHistogram {
 
     /// One-line summary: count, mean, p50/p99, max.
     pub fn summary(&self) -> String {
-        match (self.mean(), self.percentile(50.0), self.percentile(99.0), self.max) {
+        match (
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max,
+        ) {
             (Some(mean), Some(p50), Some(p99), Some(max)) => format!(
                 "n={} mean={} p50≤{} p99≤{} max={}",
                 self.count, mean, p50, p99, max

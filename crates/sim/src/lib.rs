@@ -64,7 +64,8 @@
 //! assert!((sim.now().as_secs_f64() - 2.0e9 / 85.0e6).abs() < 0.1);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod engine;

@@ -197,6 +197,7 @@ impl PsResource {
         );
         let elapsed = (now - self.last_update).as_secs_f64();
         self.last_update = now;
+        // lint:allow(float-eq): a zero duration converts to exactly 0.0
         if elapsed == 0.0 || self.jobs.is_empty() {
             return;
         }
@@ -208,7 +209,9 @@ impl PsResource {
             .map(|(&id, j)| (id, self.rate_of(j, total_weight, n)))
             .collect();
         for (id, rate) in rates {
-            let job = self.jobs.get_mut(&id).expect("job present");
+            let Some(job) = self.jobs.get_mut(&id) else {
+                continue; // unreachable: ids were collected from this map above
+            };
             let delta = rate * elapsed;
             // Absorb microsecond rounding: anything within 2 µs of service
             // at the current rate counts as complete.
@@ -278,6 +281,7 @@ impl PsResource {
         let done: Vec<u64> = self
             .jobs
             .iter()
+            // lint:allow(float-eq): `advance` assigns exactly 0.0 at completion
             .filter(|(_, j)| j.remaining == 0.0)
             .map(|(&id, _)| id)
             .collect();

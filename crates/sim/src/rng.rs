@@ -71,10 +71,7 @@ impl SimRng {
     /// Next raw 64-bit value (the xoshiro256++ core step).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -120,7 +117,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         loop {
             let v = lo + self.next_f64() * (hi - lo);
             // Rounding at huge spans can land exactly on `hi`; redraw to
@@ -139,7 +139,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         // u in [0, 1) so 1 - u in (0, 1]: ln is finite and the result
         // non-negative.
         let u = self.next_f64();

@@ -53,7 +53,11 @@ impl TimeSeries {
     /// recorded in simulation order.
     pub fn push(&mut self, at: SimTime, value: f64) {
         if let Some(&(last, _)) = self.samples.last() {
-            assert!(at >= last, "series {} not monotonic: {at} after {last}", self.name);
+            assert!(
+                at >= last,
+                "series {} not monotonic: {at} after {last}",
+                self.name
+            );
         }
         self.samples.push((at, value));
     }

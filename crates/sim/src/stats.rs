@@ -81,6 +81,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    // lint:allow(float-eq): degenerate-input guard, exact 0.0 sentinel
     if sxx == 0.0 {
         return None;
     }
@@ -95,7 +96,12 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
             e * e
         })
         .sum();
-    let r_squared = if syy == 0.0 { f64::NAN } else { 1.0 - ss_res / syy };
+    // lint:allow(float-eq): same degenerate-input guard as sxx above
+    let r_squared = if syy == 0.0 {
+        f64::NAN
+    } else {
+        1.0 - ss_res / syy
+    };
     Some(LinearFit {
         slope,
         intercept,
@@ -159,9 +165,17 @@ mod tests {
 
     #[test]
     fn display_formats_sign() {
-        let f = LinearFit { slope: 3.9, intercept: 60.0, r_squared: 1.0 };
+        let f = LinearFit {
+            slope: 3.9,
+            intercept: 60.0,
+            r_squared: 1.0,
+        };
         assert_eq!(f.to_string(), "3.90n + 60.00");
-        let g = LinearFit { slope: 0.43, intercept: -0.07, r_squared: 1.0 };
+        let g = LinearFit {
+            slope: 0.43,
+            intercept: -0.07,
+            r_squared: 1.0,
+        };
         assert_eq!(g.to_string(), "0.43n - 0.07");
     }
 }

@@ -40,6 +40,9 @@
 //! });
 //! ```
 
+// lint:allow-file(unwrap-panic): property-test harness; panicking with the
+// replay seed IS the failure-reporting mechanism (the proptest analogue).
+
 use crate::rng::{splitmix64, SimRng};
 
 /// Configuration for a [`check`] run.
@@ -59,14 +62,21 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { cases: 64, seed: 0x5EED_CAFE, max_shrink_rounds: 10 }
+        Config {
+            cases: 64,
+            seed: 0x5EED_CAFE,
+            max_shrink_rounds: 10,
+        }
     }
 }
 
 impl Config {
     /// A config with the given case count (shorthand for struct update).
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 }
 
@@ -88,8 +98,14 @@ impl Gen {
     /// [`check`] constructs these internally; tests only need `Gen::new`
     /// to replay a specific reported failure by hand.
     pub fn new(case_seed: u64, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
-        Gen { rng: SimRng::from_seed(case_seed), scale }
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
+        Gen {
+            rng: SimRng::from_seed(case_seed),
+            scale,
+        }
     }
 
     /// The current shrink scale in `(0, 1]` (1.0 = unshrunk).
@@ -131,7 +147,10 @@ impl Gen {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         let hi_eff = lo + (hi - lo) * self.scale;
         self.rng.range_f64(lo, hi_eff.max(lo + (hi - lo) * 1e-9))
     }
@@ -153,7 +172,12 @@ impl Gen {
     /// # Panics
     ///
     /// Panics if `min_len >= max_len`.
-    pub fn vec_of<T>(&mut self, min_len: usize, max_len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
         let len = self.usize_in(min_len, max_len);
         (0..len).map(|_| f(self)).collect()
     }
@@ -189,7 +213,9 @@ where
         }
         return;
     }
-    let cases = env_u64("TESTKIT_CASES").map(|c| c as u32).unwrap_or(cfg.cases);
+    let cases = env_u64("TESTKIT_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(cfg.cases);
     for i in 0..cases {
         let case_seed = splitmix64(cfg.seed ^ splitmix64(i as u64));
         if let Err(msg) = prop(&mut Gen::new(case_seed, 1.0)) {
@@ -330,7 +356,10 @@ mod tests {
         let (scale, msg) = shrink(&prop, seed, "len big".into(), 10);
         assert!(scale < 1.0, "shrinker never descended");
         // At the reported scale the case must actually fail.
-        assert!(prop(&mut Gen::new(seed, scale)).is_err(), "reported scale passes: {msg}");
+        assert!(
+            prop(&mut Gen::new(seed, scale)).is_err(),
+            "reported scale passes: {msg}"
+        );
     }
 
     #[test]
@@ -341,7 +370,10 @@ mod tests {
                 let v = g.u64_in(10, 20);
                 assert!((10..20).contains(&v), "u64_in broke at scale {scale}: {v}");
                 let f = g.f64_in(-1.0, 1.0);
-                assert!((-1.0..1.0).contains(&f), "f64_in broke at scale {scale}: {f}");
+                assert!(
+                    (-1.0..1.0).contains(&f),
+                    "f64_in broke at scale {scale}: {f}"
+                );
                 let xs = g.vec_of(2, 5, |g| g.any_bool());
                 assert!((2..5).contains(&xs.len()));
             }
@@ -352,9 +384,16 @@ mod tests {
     fn vec_of_scales_length_down() {
         let mut full = Gen::new(7, 1.0);
         let mut tiny = Gen::new(7, 0.01);
-        let long: usize = (0..100).map(|_| full.vec_of(0, 50, |g| g.any_u64()).len()).sum();
-        let short: usize = (0..100).map(|_| tiny.vec_of(0, 50, |g| g.any_u64()).len()).sum();
-        assert!(short < long / 4, "shrink scale did not shorten vectors: {short} vs {long}");
+        let long: usize = (0..100)
+            .map(|_| full.vec_of(0, 50, |g| g.any_u64()).len())
+            .sum();
+        let short: usize = (0..100)
+            .map(|_| tiny.vec_of(0, 50, |g| g.any_u64()).len())
+            .sum();
+        assert!(
+            short < long / 4,
+            "shrink scale did not shorten vectors: {short} vs {long}"
+        );
     }
 
     #[test]

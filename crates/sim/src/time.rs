@@ -8,6 +8,9 @@
 //! [`SimDuration`], a span between instants. Arithmetic between them mirrors
 //! `std::time::{Instant, Duration}`.
 
+// lint:allow-file(unwrap-panic): operator impls mirror std::time, which
+// panics on overflow; operator traits cannot return Result.
+
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -400,6 +403,9 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 }

@@ -22,7 +22,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>10}] {:<8} {}", self.at.to_string(), self.category, self.message)
+        write!(
+            f,
+            "[{:>10}] {:<8} {}",
+            self.at.to_string(),
+            self.category,
+            self.message
+        )
     }
 }
 

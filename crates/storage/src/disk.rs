@@ -205,8 +205,8 @@ impl Disk {
     /// the simulation path.
     pub fn steady_transfer_secs(&self, bytes: f64, flows: usize) -> f64 {
         assert!(flows > 0, "at least one flow required");
-        let aggregate =
-            self.config.bandwidth_bps / (1.0 + self.config.contention_penalty * (flows as f64 - 1.0));
+        let aggregate = self.config.bandwidth_bps
+            / (1.0 + self.config.contention_penalty * (flows as f64 - 1.0));
         let mut per_flow = aggregate / flows as f64;
         if let Some(cap) = self.config.per_stream_cap {
             per_flow = per_flow.min(cap);

@@ -144,6 +144,7 @@ impl MemoryImage {
         for run in &self.runs {
             let machine = target
                 .resolve_range(Pfn(run.pfn), run.count)
+                // lint:allow(unwrap-panic): page counts verified equal above; capture came from a valid table
                 .expect("page counts verified equal; capture came from a valid table");
             let mut offset = 0;
             for sub in machine {
@@ -154,6 +155,7 @@ impl MemoryImage {
         for &(pfn, value) in &self.writes {
             let mfn = target
                 .lookup(Pfn(pfn))
+                // lint:allow(unwrap-panic): page counts verified equal above; capture came from a valid table
                 .expect("page counts verified equal; capture came from a valid table");
             contents.write(mfn, value);
         }

@@ -12,7 +12,8 @@
 //! Everything that makes the saved-VM baseline slow — and the cold-VM
 //! baseline's post-reboot cache misses — flows through [`Disk`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod disk;

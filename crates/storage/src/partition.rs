@@ -38,7 +38,10 @@ impl fmt::Display for PartitionError {
             PartitionError::DiskFull {
                 requested,
                 available,
-            } => write!(f, "disk full: requested {requested} B, {available} B available"),
+            } => write!(
+                f,
+                "disk full: requested {requested} B, {available} B available"
+            ),
             PartitionError::NoSuchPartition(id) => write!(f, "no such partition {id}"),
         }
     }
@@ -238,7 +241,13 @@ mod tests {
         let mut t = PartitionTable::new(100);
         let _ = t.create(0, 80).unwrap();
         let err = t.create(1, 30).unwrap_err();
-        assert_eq!(err, PartitionError::DiskFull { requested: 30, available: 20 });
+        assert_eq!(
+            err,
+            PartitionError::DiskFull {
+                requested: 30,
+                available: 20
+            }
+        );
     }
 
     #[test]
@@ -248,7 +257,10 @@ mod tests {
         t.delete(a).unwrap();
         assert_eq!(t.free_bytes(), 100);
         assert!(t.is_empty());
-        assert!(matches!(t.delete(a), Err(PartitionError::NoSuchPartition(_))));
+        assert!(matches!(
+            t.delete(a),
+            Err(PartitionError::NoSuchPartition(_))
+        ));
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub struct ExecState {
 }
 
 impl ExecState {
+    /// Maximum size of a saved execution-state record: the 16 KB the paper
+    /// budgets per domain (§4.2). The suspend hypercall rejects anything
+    /// larger — the preserved slots are fixed-size, and an oversized record
+    /// would spill into memory the quick reload does not protect.
+    pub const MAX_BYTES: u64 = 16 * 1024;
+
     /// Captures a synthetic execution state derived from `seed`.
     pub fn capture(seed: u64, bytes: u64) -> Self {
         use rh_sim::rng::splitmix64;
@@ -260,11 +266,7 @@ mod tests {
 
     #[test]
     fn service_up_requires_kernel_and_service() {
-        let mut d = Domain::new(
-            DomainId(1),
-            DomainSpec::standard("vm", ServiceKind::Ssh),
-            1,
-        );
+        let mut d = Domain::new(DomainId(1), DomainSpec::standard("vm", ServiceKind::Ssh), 1);
         assert!(!d.service_up());
         d.kernel.begin_boot().unwrap();
         d.kernel.finish_boot().unwrap();

@@ -109,11 +109,19 @@ impl EventChannelTable {
     /// domain 0.
     pub fn standard_domu() -> Self {
         let mut t = EventChannelTable::new();
-        t.bind(ChannelKind::Suspend).expect("fresh table");
-        t.bind(ChannelKind::Virq(0)).expect("timer");
-        t.bind(ChannelKind::Virq(1)).expect("console");
-        t.bind(ChannelKind::Interdomain { peer: 0 }).expect("blkfront");
-        t.bind(ChannelKind::Interdomain { peer: 0 }).expect("netfront");
+        let standard = [
+            ChannelKind::Suspend,
+            ChannelKind::Virq(0),                 // timer
+            ChannelKind::Virq(1),                 // console
+            ChannelKind::Interdomain { peer: 0 }, // blkfront
+            ChannelKind::Interdomain { peer: 0 }, // netfront
+        ];
+        for kind in standard {
+            // Binding into a fresh table cannot collide or run out of
+            // ports, so the error arm is unreachable; ignoring it keeps
+            // this constructor panic-free.
+            let _ = t.bind(kind);
+        }
         t
     }
 
@@ -187,7 +195,10 @@ impl EventChannelTable {
     ///
     /// [`ChannelError::BadPort`] if unbound.
     pub fn notify(&mut self, port: u32) -> Result<(), ChannelError> {
-        let c = self.channels.get_mut(&port).ok_or(ChannelError::BadPort(port))?;
+        let c = self
+            .channels
+            .get_mut(&port)
+            .ok_or(ChannelError::BadPort(port))?;
         if !c.masked {
             c.pending = true;
             self.notifications += 1;
@@ -202,7 +213,10 @@ impl EventChannelTable {
     ///
     /// [`ChannelError::BadPort`] if unbound.
     pub fn take_pending(&mut self, port: u32) -> Result<bool, ChannelError> {
-        let c = self.channels.get_mut(&port).ok_or(ChannelError::BadPort(port))?;
+        let c = self
+            .channels
+            .get_mut(&port)
+            .ok_or(ChannelError::BadPort(port))?;
         Ok(std::mem::take(&mut c.pending))
     }
 
@@ -212,7 +226,10 @@ impl EventChannelTable {
     ///
     /// [`ChannelError::BadPort`] if unbound.
     pub fn set_masked(&mut self, port: u32, masked: bool) -> Result<(), ChannelError> {
-        let c = self.channels.get_mut(&port).ok_or(ChannelError::BadPort(port))?;
+        let c = self
+            .channels
+            .get_mut(&port)
+            .ok_or(ChannelError::BadPort(port))?;
         c.masked = masked;
         Ok(())
     }

@@ -6,6 +6,9 @@
 //! is simulated-time-bounded so a sequencing bug fails fast instead of
 //! spinning.
 
+// lint:allow-file(unwrap-panic): experiment driver; a missed report or wait
+// cap is a sequencing bug and failing fast here is the designed behaviour.
+
 use rh_sim::engine::Simulation;
 use rh_sim::time::{SimDuration, SimTime};
 
@@ -230,7 +233,10 @@ mod tests {
         assert!(sim.host().all_services_up());
         // dom0 boot (26) + creates + boot(3) + ssh: under a minute.
         assert!(up_at.as_secs_f64() < 60.0, "bring-up took {up_at}");
-        assert!(up_at.as_secs_f64() > 30.0, "bring-up suspiciously fast: {up_at}");
+        assert!(
+            up_at.as_secs_f64() > 30.0,
+            "bring-up suspiciously fast: {up_at}"
+        );
     }
 
     #[test]
@@ -239,7 +245,10 @@ mod tests {
         let mut sim = booted_host(11, ServiceKind::Ssh);
         let report = sim.reboot_and_wait(RebootStrategy::Warm);
         let dt = report.mean_downtime().as_secs_f64();
-        assert!((dt - 42.0).abs() < 5.0, "warm downtime = {dt:.1}s (paper: 42)");
+        assert!(
+            (dt - 42.0).abs() < 5.0,
+            "warm downtime = {dt:.1}s (paper: 42)"
+        );
         assert!(report.corrupted.is_empty(), "memory must be preserved");
         assert_eq!(report.downtime.len(), 11);
     }
@@ -250,7 +259,10 @@ mod tests {
         let mut sim = booted_host(11, ServiceKind::Ssh);
         let report = sim.reboot_and_wait(RebootStrategy::Cold);
         let dt = report.mean_downtime().as_secs_f64();
-        assert!((dt - 157.0).abs() < 20.0, "cold downtime = {dt:.1}s (paper: 157)");
+        assert!(
+            (dt - 157.0).abs() < 20.0,
+            "cold downtime = {dt:.1}s (paper: 157)"
+        );
     }
 
     #[test]
@@ -259,7 +271,10 @@ mod tests {
         let mut sim = booted_host(11, ServiceKind::Ssh);
         let report = sim.reboot_and_wait(RebootStrategy::Saved);
         let dt = report.mean_downtime().as_secs_f64();
-        assert!((dt - 429.0).abs() < 60.0, "saved downtime = {dt:.1}s (paper: 429)");
+        assert!(
+            (dt - 429.0).abs() < 60.0,
+            "saved downtime = {dt:.1}s (paper: 429)"
+        );
         assert!(report.corrupted.is_empty(), "restored images must match");
     }
 
@@ -301,7 +316,10 @@ mod tests {
         let mut sim = booted_host(11, ServiceKind::Jboss);
         let report = sim.reboot_and_wait(RebootStrategy::Cold);
         let dt = report.mean_downtime().as_secs_f64();
-        assert!((dt - 241.0).abs() < 30.0, "cold JBoss downtime = {dt:.1}s (paper: 241)");
+        assert!(
+            (dt - 241.0).abs() < 30.0,
+            "cold JBoss downtime = {dt:.1}s (paper: 241)"
+        );
     }
 
     #[test]
@@ -315,7 +333,10 @@ mod tests {
             .reboot_and_wait(RebootStrategy::Warm)
             .mean_downtime()
             .as_secs_f64();
-        assert!((ssh - jboss).abs() < 1.0, "warm ssh {ssh:.1} vs jboss {jboss:.1}");
+        assert!(
+            (ssh - jboss).abs() < 1.0,
+            "warm ssh {ssh:.1} vs jboss {jboss:.1}"
+        );
     }
 
     #[test]
@@ -374,13 +395,38 @@ mod tests {
         // The TCP-session story (§5.3) hinges on this.
         let mut sim = booted_host(2, ServiceKind::Ssh);
         let id = sim.host().domu_ids()[0];
-        let gen0 = sim.host().domain(id).unwrap().service.as_ref().unwrap().generation();
+        let gen0 = sim
+            .host()
+            .domain(id)
+            .unwrap()
+            .service
+            .as_ref()
+            .unwrap()
+            .generation();
         sim.reboot_and_wait(RebootStrategy::Warm);
-        let gen_warm = sim.host().domain(id).unwrap().service.as_ref().unwrap().generation();
+        let gen_warm = sim
+            .host()
+            .domain(id)
+            .unwrap()
+            .service
+            .as_ref()
+            .unwrap()
+            .generation();
         assert_eq!(gen_warm, gen0, "warm reboot preserves the server process");
         sim.reboot_and_wait(RebootStrategy::Cold);
-        let gen_cold = sim.host().domain(id).unwrap().service.as_ref().unwrap().generation();
-        assert_eq!(gen_cold, gen0 + 1, "cold reboot restarts the server process");
+        let gen_cold = sim
+            .host()
+            .domain(id)
+            .unwrap()
+            .service
+            .as_ref()
+            .unwrap()
+            .generation();
+        assert_eq!(
+            gen_cold,
+            gen0 + 1,
+            "cold reboot restarts the server process"
+        );
     }
 
     #[test]
@@ -390,7 +436,10 @@ mod tests {
         let mut sim = booted_host(11, ServiceKind::Jboss);
         let id = sim.host().domu_ids()[0];
         let dt = sim.os_reboot_and_wait(id).as_secs_f64();
-        assert!((dt - 33.6).abs() < 6.0, "OS rejuvenation downtime = {dt:.1}s");
+        assert!(
+            (dt - 33.6).abs() < 6.0,
+            "OS rejuvenation downtime = {dt:.1}s"
+        );
         // Other domains never went down.
         for other in sim.host().domu_ids().into_iter().skip(1) {
             assert!(sim.host().meter(other).unwrap().outages().is_empty());
@@ -425,7 +474,10 @@ mod tests {
             "crash recovery {crash_dt} vs warm {warm}"
         );
         // All guest state was lost and rebuilt.
-        assert_ne!(sim.host().domain_digest(DomainId(1)).unwrap(), digest_before);
+        assert_ne!(
+            sim.host().domain_digest(DomainId(1)).unwrap(),
+            digest_before
+        );
         let gen_after = sim
             .host()
             .domain(DomainId(1))
@@ -510,7 +562,10 @@ mod tests {
         let vmm_boot = cold.host().metrics.duration_of("vmm boot").unwrap();
         let hw_path = (reset + vmm_boot).as_secs_f64();
         let reload_s = reload.as_secs_f64();
-        assert!((reload_s - 11.0).abs() < 1.0, "quick reload = {reload_s:.1}s");
+        assert!(
+            (reload_s - 11.0).abs() < 1.0,
+            "quick reload = {reload_s:.1}s"
+        );
         assert!(
             (hw_path - 59.0).abs() < 8.0,
             "hardware-reset VMM reboot = {hw_path:.1}s (paper: 59)"

@@ -154,7 +154,11 @@ impl RebootReport {
 
     /// Maximum per-domain downtime.
     pub fn max_downtime(&self) -> SimDuration {
-        self.downtime.values().copied().max().unwrap_or(SimDuration::ZERO)
+        self.downtime
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -263,7 +267,11 @@ impl Host {
             meters.insert(id, DowntimeMeter::new());
             probes.insert(id, ProbeLog::new(t.probe_interval));
         }
-        let trace = if cfg.trace { Trace::new() } else { Trace::disabled() };
+        let trace = if cfg.trace {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
         // One physical partition per VM on the 36.7 GB disk (paper §5).
         let mut partitions = PartitionTable::new(36_700_000_000);
         let mut partition_of = BTreeMap::new();
@@ -317,6 +325,46 @@ impl Host {
     // Accessors
     // ------------------------------------------------------------------
 
+    /// Mutable access to domain 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if domain 0 is missing — it is inserted in [`Host::new`] and
+    /// never removed, so that indicates a corrupted host.
+    fn dom0_mut(&mut self) -> &mut Domain {
+        self.domains
+            .get_mut(&DomainId::DOM0)
+            // lint:allow(unwrap-panic): dom0 is inserted in new() and never removed
+            .expect("dom0 exists")
+    }
+
+    /// Mutable access to the domain `id`, which the work pipeline has
+    /// already validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id — the work pipeline only queues operations
+    /// for live domains, so that indicates a sequencing bug.
+    fn dom_mut(&mut self, id: DomainId) -> &mut Domain {
+        self.domains
+            .get_mut(&id)
+            // lint:allow(unwrap-panic): the work pipeline only queues ops for live domains
+            .expect("domain exists")
+    }
+
+    /// Mutable access to the in-flight reboot run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no reboot is in progress — run-phase handlers are only
+    /// dispatched while `self.run` is populated.
+    fn run_mut(&mut self) -> &mut RebootRun {
+        self.run
+            .as_mut()
+            // lint:allow(unwrap-panic): run-phase handlers only fire while a run is active
+            .expect("run active")
+    }
+
     /// The configuration this host was built from.
     pub fn config(&self) -> &HostConfig {
         &self.cfg
@@ -349,7 +397,11 @@ impl Host {
 
     /// Ids of all domain Us, ascending.
     pub fn domu_ids(&self) -> Vec<DomainId> {
-        self.domains.keys().copied().filter(|d| !d.is_dom0()).collect()
+        self.domains
+            .keys()
+            .copied()
+            .filter(|d| !d.is_dom0())
+            .collect()
     }
 
     /// The exact downtime meter of a domain U.
@@ -432,8 +484,12 @@ impl Host {
     /// Advances a domain's OS aging to `now` (uptime wear + one served
     /// request) and returns the current service-time multiplier.
     fn aging_slowdown(&mut self, id: DomainId, now: SimTime) -> f64 {
-        let Some(dom) = self.domains.get_mut(&id) else { return 1.0 };
-        let Some(aging) = dom.aging.as_mut() else { return 1.0 };
+        let Some(dom) = self.domains.get_mut(&id) else {
+            return 1.0;
+        };
+        let Some(aging) = dom.aging.as_mut() else {
+            return 1.0;
+        };
         let last = self.aging_clock.get(&id).copied().unwrap_or(now);
         if now > last {
             aging.advance(now - last);
@@ -506,7 +562,9 @@ impl Host {
         if !self.vmm.is_running() {
             return false;
         }
-        let Some(dom) = self.domains.get(&id) else { return false };
+        let Some(dom) = self.domains.get(&id) else {
+            return false;
+        };
         if !dom.service_up() {
             return false;
         }
@@ -588,7 +646,10 @@ impl Host {
             .kernel
             .begin_boot()
             .expect("dom0 off at power on");
-        sched.schedule_in(self.t.dom0_boot, HostEvent::Reboot(RebootStep::Dom0BootDone));
+        sched.schedule_in(
+            self.t.dom0_boot,
+            HostEvent::Reboot(RebootStep::Dom0BootDone),
+        );
         if self.cfg.probes {
             sched.schedule_in(self.t.probe_interval, HostEvent::ProbeTick);
         }
@@ -611,11 +672,8 @@ impl Host {
         let next_version = self.vmm.running_version() + 1;
         self.vmm
             .stage_next_image(crate::xexec::XexecImage::build(next_version));
-        self.trace.log(
-            now,
-            "vmm",
-            format!("xexec staged build v{next_version}"),
-        );
+        self.trace
+            .log(now, "vmm", format!("xexec staged build v{next_version}"));
         self.run = Some(RebootRun {
             strategy: RebootStrategy::Warm,
             commanded_at: now,
@@ -627,7 +685,7 @@ impl Host {
             digests: BTreeMap::new(),
         });
         self.metrics.begin(now, "dom0 shutdown");
-        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        let dom0 = self.dom0_mut();
         dom0.kernel.begin_shutdown().expect("dom0 running");
         sched.schedule_in(
             self.t.dom0_shutdown,
@@ -665,7 +723,7 @@ impl Host {
             digests: BTreeMap::new(),
         });
         self.metrics.begin(now, "dom0 shutdown");
-        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        let dom0 = self.dom0_mut();
         dom0.kernel.begin_shutdown().expect("dom0 running");
         sched.schedule_in(
             self.t.dom0_shutdown,
@@ -794,11 +852,15 @@ impl Host {
         if !running {
             // Nothing to rejuvenate: the guest is already down (e.g. wedged
             // by heap exhaustion). Leave it to crash recovery.
-            self.trace
-                .log(sched.now(), "host", format!("OS rejuvenation of {id} skipped (down)"));
+            self.trace.log(
+                sched.now(),
+                "host",
+                format!("OS rejuvenation of {id} skipped (down)"),
+            );
             return;
         }
-        self.trace.log(sched.now(), "host", format!("OS rejuvenation of {id}"));
+        self.trace
+            .log(sched.now(), "host", format!("OS rejuvenation of {id}"));
         self.single_rejuvs.insert(id);
         self.begin_guest_shutdown(sched, id);
     }
@@ -812,6 +874,8 @@ impl Host {
     /// has a read in flight.
     pub fn file_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId, file: u32) {
         let now = sched.now();
+        // Direct field access (not dom_mut) so file_reads stays borrowable.
+        // lint:allow(unwrap-panic): documented panicking API, see doc comment
         let dom = self.domains.get_mut(&id).expect("unknown domain");
         assert!(dom.kernel.is_running(), "{id} is not running");
         assert!(!self.file_reads.contains_key(&id), "{id} already reading");
@@ -854,10 +918,7 @@ impl Host {
 
     /// Detaches the httperf fleet, aborting its in-flight requests, and
     /// returns the client with its completion log for analysis.
-    pub fn detach_httperf(
-        &mut self,
-        sched: &mut Scheduler<HostEvent>,
-    ) -> Option<HttperfClient> {
+    pub fn detach_httperf(&mut self, sched: &mut Scheduler<HostEvent>) -> Option<HttperfClient> {
         let target = self.httperf.as_ref().map(|(d, _)| *d)?;
         self.abort_requests_for(sched, target);
         self.httperf.take().map(|(_, c)| c)
@@ -896,7 +957,7 @@ impl Host {
     ///
     /// Panics if the domain has no filesystem.
     pub fn warm_cache(&mut self, id: DomainId, files: u32) {
-        let dom = self.domains.get_mut(&id).expect("unknown domain");
+        let dom = self.dom_mut(id);
         let fs = dom.fs.as_ref().expect("domain has no filesystem").clone();
         fs.warm(&mut dom.cache, files);
     }
@@ -1026,7 +1087,7 @@ impl Host {
     // ------------------------------------------------------------------
 
     fn begin_guest_shutdown(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
-        let dom = self.domains.get_mut(&id).expect("domain exists");
+        let dom = self.dom_mut(id);
         if !dom.kernel.is_running() {
             return;
         }
@@ -1039,13 +1100,14 @@ impl Host {
                 svc.begin_stop().expect("running service");
             }
         }
-        self.trace.log(sched.now(), "guest", format!("{id} shutting down"));
+        self.trace
+            .log(sched.now(), "guest", format!("{id} shutting down"));
         self.refresh(sched, id);
         self.begin_work(sched, id, WorkTag::ShutdownOs, profile);
     }
 
     fn on_guest_shutdown_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
-        let dom = self.domains.get_mut(&id).expect("domain exists");
+        let dom = self.dom_mut(id);
         dom.kernel.finish_shutdown().expect("was shutting down");
         if let Some(svc) = dom.service.as_mut() {
             if svc.status() == rh_guest::services::ServiceStatus::Stopping {
@@ -1089,7 +1151,8 @@ impl Host {
                 dom.cache.clear();
                 dom.channels = crate::events::EventChannelTable::standard_domu();
                 self.domains.insert(id, dom);
-                self.trace.log(sched.now(), "guest", format!("{id} created, booting"));
+                self.trace
+                    .log(sched.now(), "guest", format!("{id} created, booting"));
                 self.begin_work(sched, id, WorkTag::BootOs, linux_guest_boot());
             }
             Err(e) => {
@@ -1107,6 +1170,8 @@ impl Host {
     }
 
     fn on_guest_boot_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        // Direct field access (not dom_mut) so aging_clock/trace stay borrowable.
+        // lint:allow(unwrap-panic): the work pipeline only queues ops for live domains
         let dom = self.domains.get_mut(&id).expect("domain exists");
         dom.kernel.finish_boot().expect("was booting");
         // A fresh kernel has no aged state; a resume keeps it (Fig. 2).
@@ -1127,11 +1192,12 @@ impl Host {
     }
 
     fn on_service_started(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
-        let dom = self.domains.get_mut(&id).expect("domain exists");
+        let dom = self.dom_mut(id);
         if let Some(svc) = dom.service.as_mut() {
             svc.finish_start().expect("was starting");
         }
-        self.trace.log(sched.now(), "service", format!("{id} service up"));
+        self.trace
+            .log(sched.now(), "service", format!("{id} service up"));
         self.on_domain_ready(sched, id);
     }
 
@@ -1162,7 +1228,11 @@ impl Host {
             if !running {
                 continue;
             }
-            self.run.as_mut().expect("run active").pending_stops.insert(id);
+            self.run
+                .as_mut()
+                .expect("run active")
+                .pending_stops
+                .insert(id);
             let is_driver = self
                 .domains
                 .get(&id)
@@ -1185,7 +1255,8 @@ impl Host {
                         let _ = dom.channels.take_pending(port);
                     }
                     dom.kernel.begin_suspend().expect("running checked");
-                    self.trace.log(sched.now(), "guest", format!("{id} suspending"));
+                    self.trace
+                        .log(sched.now(), "guest", format!("{id} suspending"));
                     self.refresh(sched, id);
                     let mut profile = suspend_handler();
                     profile.fixed += self.t.suspend_hypercall;
@@ -1214,7 +1285,9 @@ impl Host {
         // The suspend handler detaches the device frontends before the
         // hypercall freezes the image (§4.2).
         dom.channels.detach_for_suspend();
-        let result = self.vmm.on_memory_suspend(&mut dom, self.t.exec_state_bytes);
+        let result = self
+            .vmm
+            .on_memory_suspend(&mut dom, self.t.exec_state_bytes);
         if let Err(e) = result {
             self.errors.push(e);
             self.domains.insert(id, dom);
@@ -1230,7 +1303,7 @@ impl Host {
         match strategy {
             Some(RebootStrategy::Warm) => {
                 self.domains.insert(id, dom);
-                let run = self.run.as_mut().expect("run active");
+                let run = self.run_mut();
                 run.pending_stops.remove(&id);
                 if run.pending_stops.is_empty() {
                     self.begin_quick_reload(sched);
@@ -1276,8 +1349,9 @@ impl Host {
             self.errors.push(e);
         }
         self.domains.insert(id, dom);
-        self.trace.log(sched.now(), "vmm", format!("{id} image saved"));
-        let run = self.run.as_mut().expect("run active");
+        self.trace
+            .log(sched.now(), "vmm", format!("{id} image saved"));
+        let run = self.run_mut();
         run.pending_stops.remove(&id);
         if run.pending_stops.is_empty() {
             self.after_saves(sched);
@@ -1287,7 +1361,7 @@ impl Host {
     fn after_saves(&mut self, sched: &mut Scheduler<HostEvent>) {
         self.metrics.end(sched.now(), "save");
         self.metrics.begin(sched.now(), "dom0 shutdown");
-        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        let dom0 = self.dom0_mut();
         dom0.kernel.begin_shutdown().expect("dom0 running");
         sched.schedule_in(
             self.t.dom0_shutdown,
@@ -1317,11 +1391,8 @@ impl Host {
             .filter(|d| !d.id.is_dom0() && d.exec_state.is_some())
             .map(|d| (d.id.0, d.spec.mem_bytes))
             .collect();
-        let layout = rh_memory::layout::MemoryLayout::plan(
-            64 << 20,
-            &frozen,
-            self.t.exec_state_bytes,
-        );
+        let layout =
+            rh_memory::layout::MemoryLayout::plan(64 << 20, &frozen, self.t.exec_state_bytes);
         self.trace.log(
             sched.now(),
             "vmm",
@@ -1333,8 +1404,7 @@ impl Host {
         );
         // Free memory (from the allocator's live view) gets scrubbed by
         // the new instance's init; frozen memory is skipped.
-        let free_gib = self.vmm.ram().free_frames() as f64
-            * rh_memory::frame::PAGE_SIZE as f64
+        let free_gib = self.vmm.ram().free_frames() as f64 * rh_memory::frame::PAGE_SIZE as f64
             / (1u64 << 30) as f64;
         sched.schedule_in(
             self.t.quick_reload(preserved_gib, free_gib),
@@ -1360,9 +1430,12 @@ impl Host {
             format!("new VMM instance up (generation {})", self.vmm.generation()),
         );
         self.metrics.begin(sched.now(), "dom0 boot");
-        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        let dom0 = self.dom0_mut();
         dom0.kernel.begin_boot().expect("dom0 off");
-        sched.schedule_in(self.t.dom0_boot, HostEvent::Reboot(RebootStep::Dom0BootDone));
+        sched.schedule_in(
+            self.t.dom0_boot,
+            HostEvent::Reboot(RebootStep::Dom0BootDone),
+        );
     }
 
     fn maybe_start_reset(&mut self, sched: &mut Scheduler<HostEvent>) {
@@ -1382,30 +1455,43 @@ impl Host {
     }
 
     fn on_hw_reset_done(&mut self, sched: &mut Scheduler<HostEvent>) {
-        self.vmm.hardware_reset(&mut self.domains, &mut self.contents);
+        self.vmm
+            .hardware_reset(&mut self.domains, &mut self.contents);
         self.metrics.end(sched.now(), "hardware reset");
         self.metrics.begin(sched.now(), "vmm boot");
         self.trace.log(
             sched.now(),
             "vmm",
-            format!("VMM booting after reset (generation {})", self.vmm.generation()),
+            format!(
+                "VMM booting after reset (generation {})",
+                self.vmm.generation()
+            ),
         );
-        sched.schedule_in(self.t.vmm_boot_hw, HostEvent::Reboot(RebootStep::VmmBootDone));
+        sched.schedule_in(
+            self.t.vmm_boot_hw,
+            HostEvent::Reboot(RebootStep::VmmBootDone),
+        );
     }
 
     fn on_vmm_boot_done(&mut self, sched: &mut Scheduler<HostEvent>) {
         self.metrics.end(sched.now(), "vmm boot");
         self.metrics.begin(sched.now(), "dom0 boot");
-        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        let dom0 = self.dom0_mut();
         dom0.kernel.begin_boot().expect("dom0 off after reset");
-        sched.schedule_in(self.t.dom0_boot, HostEvent::Reboot(RebootStep::Dom0BootDone));
+        sched.schedule_in(
+            self.t.dom0_boot,
+            HostEvent::Reboot(RebootStep::Dom0BootDone),
+        );
     }
 
     fn on_dom0_boot_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        // Direct field access (not dom0_mut/run_mut) so domains stays borrowable.
+        // lint:allow(unwrap-panic): dom0 is inserted in new() and never removed
         let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
         dom0.kernel.finish_boot().expect("was booting");
         self.metrics.end(sched.now(), "dom0 boot");
         self.trace.log(sched.now(), "host", "dom0 up");
+        // lint:allow(unwrap-panic): run-phase handlers only fire while a run is active
         let run = self.run.as_mut().expect("run active");
         run.setup_queue = self
             .domains
@@ -1420,7 +1506,13 @@ impl Host {
             RebootStrategy::Cold => "guest boot",
         };
         self.metrics.begin(sched.now(), phase);
-        if self.run.as_ref().expect("run active").setup_queue.is_empty() {
+        if self
+            .run
+            .as_ref()
+            .expect("run active")
+            .setup_queue
+            .is_empty()
+        {
             self.maybe_finish_reboot(sched);
         } else {
             sched.schedule_in(
@@ -1464,9 +1556,10 @@ impl Host {
                     .map(|d| d.exec_state.is_some())
                     .unwrap_or(false);
                 if suspended {
-                    let dom = self.domains.get_mut(&id).expect("domain exists");
+                    let dom = self.dom_mut(id);
                     dom.kernel.begin_resume().expect("was suspended");
-                    self.trace.log(sched.now(), "guest", format!("{id} resuming"));
+                    self.trace
+                        .log(sched.now(), "guest", format!("{id} resuming"));
                     self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
                 } else {
                     // The guest was already dead before the reboot (e.g.
@@ -1507,7 +1600,7 @@ impl Host {
                     Err(e) => {
                         self.errors.push(e);
                         self.domains.insert(id, dom);
-                        let run = self.run.as_mut().expect("run active");
+                        let run = self.run_mut();
                         run.pending_setup.remove(&id);
                         let more = !run.setup_queue.is_empty();
                         if more {
@@ -1525,6 +1618,8 @@ impl Host {
 
     fn on_restore_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
         let saved = self.saved.remove(&id).expect("image saved");
+        // Direct field access (not dom_mut) so contents stays borrowable.
+        // lint:allow(unwrap-panic): the work pipeline only queues ops for live domains
         let dom = self.domains.get_mut(&id).expect("domain exists");
         saved
             .image
@@ -1532,7 +1627,8 @@ impl Host {
             .expect("restore geometry matches");
         dom.exec_state = Some(saved.exec);
         dom.kernel.begin_resume().expect("snapshot was suspended");
-        self.trace.log(sched.now(), "vmm", format!("{id} image restored"));
+        self.trace
+            .log(sched.now(), "vmm", format!("{id} image restored"));
         self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
         // Serial restore: kick the next domain's restore now that this
         // image is fully read back.
@@ -1559,7 +1655,8 @@ impl Host {
                 // Re-establish the communication channels to the VMM and
                 // re-attach the detached devices (§4.2).
                 dom.channels.reestablish_after_resume();
-                self.trace.log(sched.now(), "guest", format!("{id} resumed"));
+                self.trace
+                    .log(sched.now(), "guest", format!("{id} resumed"));
             }
             Err(e) => {
                 self.errors.push(e);
@@ -1589,11 +1686,11 @@ impl Host {
     }
 
     fn on_dom0_shutdown_done(&mut self, sched: &mut Scheduler<HostEvent>) {
-        let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
+        let dom0 = self.dom0_mut();
         dom0.kernel.finish_shutdown().expect("was shutting down");
         self.metrics.end(sched.now(), "dom0 shutdown");
         self.trace.log(sched.now(), "host", "dom0 down");
-        let run = self.run.as_mut().expect("run active");
+        let run = self.run_mut();
         run.dom0_shutdown_done = true;
         match run.strategy {
             RebootStrategy::Warm => {
@@ -1631,12 +1728,7 @@ impl Host {
         self.metrics.end_if_open(sched.now(), "reboot");
         let mut downtime = BTreeMap::new();
         for (id, m) in &self.meters {
-            if let Some(outage) = m
-                .outages()
-                .iter()
-                .rev()
-                .find(|o| o.end >= run.commanded_at)
-            {
+            if let Some(outage) = m.outages().iter().rev().find(|o| o.end >= run.commanded_at) {
                 downtime.insert(*id, outage.duration());
             }
         }
@@ -1673,8 +1765,12 @@ impl Host {
             return;
         }
         loop {
-            let Some((_, client)) = self.httperf.as_mut() else { return };
-            let Some(file) = client.next_request(now) else { break };
+            let Some((_, client)) = self.httperf.as_mut() else {
+                return;
+            };
+            let Some(file) = client.next_request(now) else {
+                break;
+            };
             let rid = self.next_req;
             self.next_req += 1;
             let os_slow = self.aging_slowdown(target, now);
@@ -1682,13 +1778,19 @@ impl Host {
             let fs = dom.fs.as_ref().expect("web domain has files").clone();
             let plan = fs.plan_read(&mut dom.cache, file);
             let bytes = plan.total_bytes();
-            self.requests.insert(rid, Request { dom: target, bytes, issued: now });
+            self.requests.insert(
+                rid,
+                Request {
+                    dom: target,
+                    bytes,
+                    issued: now,
+                },
+            );
             if plan.miss_bytes > 0 {
                 fs.commit_read(&mut dom.cache, file);
                 self.account_read(target, plan.miss_bytes as f64);
                 let slow = self.vmm.xenstored().io_slowdown();
-                let work =
-                    plan.miss_bytes as f64 / self.t.file_read_efficiency * slow * os_slow;
+                let work = plan.miss_bytes as f64 / self.t.file_read_efficiency * slow * os_slow;
                 let job = self.disk.submit(now, IoKind::Read, work);
                 self.disk_jobs.insert(job, DiskPurpose::RequestMiss(rid));
             } else {
@@ -1701,7 +1803,9 @@ impl Host {
     }
 
     fn on_request_disk_done(&mut self, sched: &mut Scheduler<HostEvent>, rid: u64) {
-        let Some(req) = self.requests.get(&rid).copied() else { return };
+        let Some(req) = self.requests.get(&rid).copied() else {
+            return;
+        };
         let job = self.net.submit(sched.now(), req.bytes as f64);
         self.net_jobs.insert(job, rid);
         self.rearm_net(sched);

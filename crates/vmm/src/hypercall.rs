@@ -115,14 +115,18 @@ pub fn dispatch(
     caller: DomainId,
     call: Hypercall,
 ) -> Result<HypercallResult, HypercallError> {
-    if !domains.contains_key(&caller) {
+    let Some(dom) = domains.get_mut(&caller) else {
         return Err(HypercallError::NoSuchDomain(caller));
-    }
+    };
     match call {
         Hypercall::Suspend { exec_state_bytes } => {
-            let dom = domains.get_mut(&caller).expect("checked above");
             vmm.on_memory_suspend(dom, exec_state_bytes)?;
-            let exec = dom.exec_state.expect("suspend saved it");
+            let exec = dom
+                .exec_state
+                .ok_or(HypercallError::Vmm(VmmError::BadDomainState(
+                    caller,
+                    "expose the execution state it just saved",
+                )))?;
             Ok(HypercallResult::Suspended(exec))
         }
         Hypercall::Xexec { image } => {
@@ -136,12 +140,10 @@ pub fn dispatch(
             Ok(HypercallResult::Ok)
         }
         Hypercall::BalloonOut { pages } => {
-            let dom = domains.get_mut(&caller).expect("checked above");
             vmm.balloon_out(dom, contents, pages)?;
             Ok(HypercallResult::Ok)
         }
         Hypercall::BalloonIn { pages } => {
-            let dom = domains.get_mut(&caller).expect("checked above");
             vmm.balloon_in(dom, contents, pages)?;
             Ok(HypercallResult::Ok)
         }
@@ -198,7 +200,9 @@ mod tests {
             &mut domains,
             &mut contents,
             DomainId(1),
-            Hypercall::Suspend { exec_state_bytes: 16 * 1024 },
+            Hypercall::Suspend {
+                exec_state_bytes: 16 * 1024,
+            },
         )
         .unwrap();
         match result {
@@ -246,7 +250,10 @@ mod tests {
         )
         .unwrap();
         match result {
-            HypercallResult::HeapInfo { free_bytes, pressure } => {
+            HypercallResult::HeapInfo {
+                free_bytes,
+                pressure,
+            } => {
                 assert!(free_bytes < 8 * 1024 * 1024);
                 assert!(pressure > 0.5);
             }
@@ -310,7 +317,9 @@ mod tests {
             &mut domains,
             &mut contents,
             DomainId(1),
-            Hypercall::BalloonOut { pages: u64::MAX / 8 },
+            Hypercall::BalloonOut {
+                pages: u64::MAX / 8,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, HypercallError::Vmm(_)));

@@ -38,7 +38,8 @@
 //! assert!(warm_dt * 2 < cold.mean_downtime()); // warm wins by a wide margin
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod config;
@@ -50,8 +51,8 @@ pub mod hypercall;
 pub mod metrics;
 pub mod timing;
 pub mod vmm;
-pub mod xexec;
 pub mod xenstored;
+pub mod xexec;
 
 pub use config::{HostConfig, RebootStrategy, SuspendOrder};
 pub use domain::{Domain, DomainId, DomainSpec, ExecState};
@@ -62,5 +63,5 @@ pub use hypercall::{dispatch, Hypercall, HypercallError, HypercallResult};
 pub use metrics::{PhaseSpan, RebootMetrics};
 pub use timing::TimingParams;
 pub use vmm::{Vmm, VmmError, VmmState};
-pub use xexec::{XexecError, XexecImage, XexecState};
 pub use xenstored::{XenStored, XenStoredHealth};
+pub use xexec::{XexecError, XexecImage, XexecState};

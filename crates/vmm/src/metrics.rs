@@ -73,6 +73,7 @@ impl RebootMetrics {
             .iter_mut()
             .rev()
             .find(|s| s.name == name && s.end.is_none())
+            // lint:allow(unwrap-panic): documented panicking variant; end_if_open is the fallible form
             .unwrap_or_else(|| panic!("no open phase named {name:?}"));
         span.end = Some(at);
     }
@@ -110,7 +111,11 @@ impl RebootMetrics {
 
     /// Start time of the most recent span with this name.
     pub fn start_of(&self, name: &str) -> Option<SimTime> {
-        self.spans.iter().rev().find(|s| s.name == name).map(|s| s.start)
+        self.spans
+            .iter()
+            .rev()
+            .find(|s| s.name == name)
+            .map(|s| s.start)
     }
 
     /// True if any span is still open.

@@ -158,7 +158,10 @@ mod tests {
         let hw_path = (t.hw_reset(12.0) + t.vmm_boot_hw).as_secs_f64();
         assert!((hw_path - 59.0).abs() < 1.0, "hw path = {hw_path:.1}");
         let saved = hw_path - reload;
-        assert!((saved - 48.0).abs() < 1.5, "quick reload saves {saved:.0}s (paper: 48 s)");
+        assert!(
+            (saved - 48.0).abs() < 1.5,
+            "quick reload saves {saved:.0}s (paper: 48 s)"
+        );
     }
 
     #[test]
@@ -172,8 +175,15 @@ mod tests {
             (t.quick_reload(n, free) + t.dom0_boot).as_secs_f64()
         };
         let slope = (reboot_vmm(11.0) - reboot_vmm(1.0)) / 10.0;
-        assert!((slope + 0.5).abs() < 0.1, "slope = {slope:.2} (paper: −0.55)");
-        assert!((reboot_vmm(0.0) - 43.0).abs() < 1.0, "reboot_vmm(0) = {:.1}", reboot_vmm(0.0));
+        assert!(
+            (slope + 0.5).abs() < 0.1,
+            "slope = {slope:.2} (paper: −0.55)"
+        );
+        assert!(
+            (reboot_vmm(0.0) - 43.0).abs() < 1.0,
+            "reboot_vmm(0) = {:.1}",
+            reboot_vmm(0.0)
+        );
     }
 
     #[test]
@@ -181,11 +191,12 @@ mod tests {
         // suspend + quick reload + dom0 boot + resume(11) ≈ 42 s (Fig. 6).
         let t = TimingParams::paper_testbed();
         let resume_11 = (t.domain_create.as_secs_f64() + 0.06) * 11.0;
-        let total = 0.04
-            + t.quick_reload(11.0, 0.5).as_secs_f64()
-            + t.dom0_boot.as_secs_f64()
-            + resume_11;
-        assert!((total - 42.0).abs() < 2.0, "warm downtime model = {total:.1}");
+        let total =
+            0.04 + t.quick_reload(11.0, 0.5).as_secs_f64() + t.dom0_boot.as_secs_f64() + resume_11;
+        assert!(
+            (total - 42.0).abs() < 2.0,
+            "warm downtime model = {total:.1}"
+        );
     }
 
     #[test]
@@ -193,7 +204,10 @@ mod tests {
         // reboot_vmm(0) = 43 in §5.6: VMM + dom0 boot after a reset.
         let t = TimingParams::paper_testbed();
         let cold_boot = (t.vmm_boot_hw + t.dom0_boot).as_secs_f64();
-        assert!((cold_boot - 43.0).abs() < 1.0, "cold VMM+dom0 boot = {cold_boot:.1}");
+        assert!(
+            (cold_boot - 43.0).abs() < 1.0,
+            "cold VMM+dom0 boot = {cold_boot:.1}"
+        );
     }
 
     #[test]

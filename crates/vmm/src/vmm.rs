@@ -33,8 +33,8 @@ use rh_sim::rng::splitmix64;
 use rh_storage::image::logical_digest;
 
 use crate::domain::{Domain, DomainId, ExecState};
-use crate::xexec::{XexecError, XexecImage, XexecState};
 use crate::xenstored::XenStored;
+use crate::xexec::{XexecError, XexecImage, XexecState};
 
 /// Heap cost of one domain's bookkeeping structures.
 pub const HEAP_PER_DOMAIN: u64 = 64 * 1024;
@@ -67,9 +67,10 @@ impl fmt::Display for VmmError {
             VmmError::P2m(e) => write!(f, "vmm: {e}"),
             VmmError::HeapExhausted(e) => write!(f, "vmm: {e}"),
             VmmError::BadDomainState(id, what) => write!(f, "vmm: {id} cannot {what}"),
-            VmmError::PreservationViolated(id) =>
-
-                write!(f, "vmm: preserved memory of {id} was corrupted during reload"),
+            VmmError::PreservationViolated(id) => write!(
+                f,
+                "vmm: preserved memory of {id} was corrupted during reload"
+            ),
             VmmError::Xexec(e) => write!(f, "vmm: {e}"),
         }
     }
@@ -137,8 +138,12 @@ impl Vmm {
     /// Boots a fresh VMM over `total_frames` of machine memory.
     pub fn new(total_frames: u64) -> Self {
         let mut ram = MachineMemory::new(total_frames);
-        ram.reserve_exact(FrameRange::new(Mfn(0), VMM_RESERVED_FRAMES.min(total_frames)))
-            .expect("fresh memory must accommodate the VMM image");
+        ram.reserve_exact(FrameRange::new(
+            Mfn(0),
+            VMM_RESERVED_FRAMES.min(total_frames),
+        ))
+        // lint:allow(unwrap-panic): a fresh allocator is all-free and the range is clamped to it
+        .expect("fresh memory must accommodate the VMM image");
         Vmm {
             state: VmmState::Running,
             generation: 1,
@@ -237,7 +242,10 @@ impl Vmm {
         contents: &mut FrameContents,
     ) -> Result<(), VmmError> {
         if !dom.p2m.is_empty() {
-            return Err(VmmError::BadDomainState(dom.id, "create with mapped memory"));
+            return Err(VmmError::BadDomainState(
+                dom.id,
+                "create with mapped memory",
+            ));
         }
         let alloc = self.heap.alloc(HEAP_PER_DOMAIN)?;
         let frames = match self.ram.allocate(dom.mem_pages()) {
@@ -295,7 +303,10 @@ impl Vmm {
     /// Propagates allocator/heap exhaustion.
     pub fn create_domain_empty(&mut self, dom: &mut Domain) -> Result<(), VmmError> {
         if !dom.p2m.is_empty() {
-            return Err(VmmError::BadDomainState(dom.id, "create with mapped memory"));
+            return Err(VmmError::BadDomainState(
+                dom.id,
+                "create with mapped memory",
+            ));
         }
         let alloc = self.heap.alloc(HEAP_PER_DOMAIN)?;
         let frames = match self.ram.allocate(dom.mem_pages()) {
@@ -402,7 +413,9 @@ impl Vmm {
     ///
     /// # Errors
     ///
-    /// [`VmmError::BadDomainState`] if the domain has no mapped memory.
+    /// [`VmmError::BadDomainState`] if the domain has no mapped memory or
+    /// the execution-state record exceeds [`ExecState::MAX_BYTES`] (the
+    /// preserved slots are fixed at 16 KB, §4.2).
     pub fn on_memory_suspend(
         &mut self,
         dom: &mut Domain,
@@ -410,6 +423,12 @@ impl Vmm {
     ) -> Result<(), VmmError> {
         if dom.p2m.is_empty() {
             return Err(VmmError::BadDomainState(dom.id, "suspend without memory"));
+        }
+        if exec_state_bytes > ExecState::MAX_BYTES {
+            return Err(VmmError::BadDomainState(
+                dom.id,
+                "save an oversized execution state",
+            ));
         }
         // The saved record covers CPU context plus "shared information
         // such as the status of event channels" — fold the live channel
@@ -430,10 +449,10 @@ impl Vmm {
     /// [`VmmError::BadDomainState`] if the domain has no saved execution
     /// state or no preserved mapping (e.g. after a hardware reset).
     pub fn on_memory_resume(&mut self, dom: &mut Domain) -> Result<ExecState, VmmError> {
-        let exec = dom
-            .exec_state
-            .take()
-            .ok_or(VmmError::BadDomainState(dom.id, "resume without saved state"))?;
+        let exec = dom.exec_state.take().ok_or(VmmError::BadDomainState(
+            dom.id,
+            "resume without saved state",
+        ))?;
         if dom.p2m.is_empty() {
             dom.exec_state = Some(exec);
             return Err(VmmError::BadDomainState(dom.id, "resume without memory"));
@@ -479,7 +498,10 @@ impl Vmm {
             // The saved execution states live in preserved memory too;
             // their footprint is tiny (16 KB/domain) and accounted here.
             if dom.exec_state.is_none() {
-                return Err(VmmError::BadDomainState(dom.id, "reload without saved state"));
+                return Err(VmmError::BadDomainState(
+                    dom.id,
+                    "reload without saved state",
+                ));
             }
         }
         // Now the VMM claims its own image region. The boot protocol loads
@@ -570,6 +592,7 @@ impl Vmm {
             Mfn(0),
             VMM_RESERVED_FRAMES.min(ram.total_frames()),
         ))
+        // lint:allow(unwrap-panic): a fresh allocator is all-free and the range is clamped to it
         .expect("fresh memory accommodates the VMM image");
         self.ram = ram;
         self.generation += 1;
@@ -592,9 +615,7 @@ impl Vmm {
 
     /// Checks cross-domain machine-frame disjointness — no frame may belong
     /// to two domains.
-    pub fn check_domain_isolation(
-        domains: &BTreeMap<DomainId, Domain>,
-    ) -> Result<(), String> {
+    pub fn check_domain_isolation(domains: &BTreeMap<DomainId, Domain>) -> Result<(), String> {
         let mut all: Vec<(DomainId, FrameRange)> = Vec::new();
         for (id, d) in domains {
             for r in d.p2m.machine_ranges() {
@@ -636,8 +657,7 @@ mod tests {
     fn make_dom(id: u32, mem_gib: u64) -> Domain {
         Domain::new(
             DomainId(id),
-            DomainSpec::standard(format!("vm{id}"), ServiceKind::Ssh)
-                .with_mem_bytes(gib(mem_gib)),
+            DomainSpec::standard(format!("vm{id}"), ServiceKind::Ssh).with_mem_bytes(gib(mem_gib)),
             0,
         )
     }
@@ -690,7 +710,8 @@ mod tests {
         let before_digest_dom = dom.id;
         let mut domains = BTreeMap::from([(dom.id, dom)]);
         vmm.stage_next_image(XexecImage::build(2));
-        vmm.quick_reload(&mut domains, &[before_digest_dom]).unwrap();
+        vmm.quick_reload(&mut domains, &[before_digest_dom])
+            .unwrap();
         assert_eq!(vmm.running_version(), 2, "booted into the staged build");
         let dom = domains.get_mut(&before_digest_dom).unwrap();
         let exec = vmm.on_memory_resume(dom).unwrap();
@@ -734,8 +755,13 @@ mod tests {
         let free = vmm.ram().free_frames();
         let id = dom.id;
         let mut domains = BTreeMap::from([(dom.id, dom)]);
-        vmm.quick_reload_wrong_order(&mut domains, &[id], &mut contents, free + FRAMES_PER_GIB / 2)
-            .unwrap();
+        vmm.quick_reload_wrong_order(
+            &mut domains,
+            &[id],
+            &mut contents,
+            free + FRAMES_PER_GIB / 2,
+        )
+        .unwrap();
         let after = vmm.domain_digest(&domains[&id], &contents);
         assert_ne!(after, before, "digest must expose the corruption");
     }
@@ -824,11 +850,13 @@ mod tests {
         vmm.create_domain(&mut dom, &mut contents).unwrap();
         let free0 = vmm.ram().free_frames();
         // Balloon half the domain out...
-        vmm.balloon_out(&mut dom, &mut contents, FRAMES_PER_GIB).unwrap();
+        vmm.balloon_out(&mut dom, &mut contents, FRAMES_PER_GIB)
+            .unwrap();
         assert_eq!(vmm.ram().free_frames(), free0 + FRAMES_PER_GIB);
         assert_eq!(dom.p2m.total_pages(), FRAMES_PER_GIB);
         // ...then a quarter back in.
-        vmm.balloon_in(&mut dom, &mut contents, FRAMES_PER_GIB / 2).unwrap();
+        vmm.balloon_in(&mut dom, &mut contents, FRAMES_PER_GIB / 2)
+            .unwrap();
         assert_eq!(dom.p2m.total_pages(), FRAMES_PER_GIB + FRAMES_PER_GIB / 2);
         dom.p2m.check_machine_disjoint().unwrap();
         // The ballooned domain survives a warm cycle intact.

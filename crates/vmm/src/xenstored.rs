@@ -167,7 +167,11 @@ mod tests {
         assert_eq!(xs.health(), XenStoredHealth::Healthy);
         xs.transact(); // 500 bytes = 50 %
         assert_eq!(xs.health(), XenStoredHealth::Degraded);
-        assert_eq!(xs.io_slowdown(), 1.0, "slowdown starts rising past the threshold");
+        assert_eq!(
+            xs.io_slowdown(),
+            1.0,
+            "slowdown starts rising past the threshold"
+        );
         xs.transact(); // 60 %
         assert!(xs.io_slowdown() > 1.0);
         for _ in 0..5 {

@@ -25,7 +25,10 @@ fn main() {
     let os_rejuv_interval = SimDuration::from_secs(2 * 3600);
 
     println!("guest OS rejuvenations leak VMM heap; the detector watches the trend\n");
-    println!("{:>8} {:>14} {:>12} {:>10}", "cycle", "free heap (KiB)", "eta (h)", "action");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10}",
+        "cycle", "free heap (KiB)", "eta (h)", "action"
+    );
 
     let mut rejuvenated = false;
     for cycle in 0..60u32 {
@@ -44,7 +47,11 @@ fn main() {
         let eta_str = eta.map(|h| format!("{h:.1}")).unwrap_or_else(|| "-".into());
 
         if detector.should_rejuvenate(now, lead) {
-            println!("{cycle:>8} {:>14} {eta_str:>12} {:>10}", free / 1024, "REJUVENATE");
+            println!(
+                "{cycle:>8} {:>14} {eta_str:>12} {:>10}",
+                free / 1024,
+                "REJUVENATE"
+            );
             let report = sim.reboot_and_wait(RebootStrategy::Warm);
             println!(
                 "\nwarm-VM reboot triggered proactively at t = {:.1} h:",
@@ -63,7 +70,10 @@ fn main() {
         println!("{cycle:>8} {:>14} {eta_str:>12} {:>10}", free / 1024, "-");
     }
 
-    assert!(rejuvenated, "the detector should have fired before exhaustion");
+    assert!(
+        rejuvenated,
+        "the detector should have fired before exhaustion"
+    );
     assert_eq!(
         sim.host().vmm().heap().leaked_bytes(),
         0,

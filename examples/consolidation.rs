@@ -40,7 +40,11 @@ fn main() {
     for (strategy, downtime) in &ssh_downtimes {
         // Warm/saved preserve the server process (generation unchanged);
         // cold restarts it.
-        let generation_after = if *strategy == RebootStrategy::Cold { 2 } else { 1 };
+        let generation_after = if *strategy == RebootStrategy::Cold {
+            2
+        } else {
+            1
+        };
         let session =
             TcpSession::open(SimTime::ZERO, 1).with_client_timeout(SimDuration::from_secs(60));
         let fate = session.fate(*downtime, generation_after);
@@ -56,6 +60,9 @@ fn main() {
     let model = DowntimeModel::paper();
     println!("\nanalytic saving r(n) = d_cold - d_warm at α = 0.5:");
     for n in [1.0, 6.0, 11.0] {
-        println!("  n = {n:>2}: {:.1} s saved per VMM rejuvenation", model.saving(n, 0.5));
+        println!(
+            "  n = {n:>2}: {:.1} s saved per VMM rejuvenation",
+            model.saving(n, 0.5)
+        );
     }
 }

@@ -43,7 +43,10 @@ fn main() {
 
     // Contrast with an ordinary (cold) reboot.
     let cold = sim.reboot_and_wait(RebootStrategy::Cold);
-    println!("\ncold-VM reboot of the same host: mean downtime {}", cold.mean_downtime());
+    println!(
+        "\ncold-VM reboot of the same host: mean downtime {}",
+        cold.mean_downtime()
+    );
     println!(
         "warm vs cold: {:.1}x less downtime",
         cold.mean_downtime().as_secs_f64() / report.mean_downtime().as_secs_f64()

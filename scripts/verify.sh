@@ -20,4 +20,13 @@ cargo test -q --workspace --offline
 echo "==> cargo doc --workspace --no-deps (offline, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
+echo "==> rh-lint --check (static analysis, ratcheted baseline)"
+cargo run -q --release -p rh-lint --offline -- --check
+
+echo "==> rh-lint protocol (warm-reboot interleaving checker)"
+cargo run -q --release -p rh-lint --offline -- protocol --domains 3
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> verify OK"

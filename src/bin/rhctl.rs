@@ -23,7 +23,10 @@ fn parse_flag(args: &[String], name: &str) -> Option<String> {
 
 fn parse_u32(args: &[String], name: &str, default: u32) -> u32 {
     parse_flag(args, name)
-        .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}")))
+        })
         .unwrap_or(default)
 }
 
@@ -70,7 +73,10 @@ fn cmd_reboot(args: &[String]) {
     let mut sim = booted_host(n, service);
     println!("host up at t = {}", sim.now());
     let report = sim.reboot_and_wait(strategy);
-    println!("\n{strategy}-VM reboot complete at t = {}:", report.completed_at);
+    println!(
+        "\n{strategy}-VM reboot complete at t = {}:",
+        report.completed_at
+    );
     for (id, d) in &report.downtime {
         println!("  {id}: down {d}");
     }
@@ -121,13 +127,14 @@ fn cmd_plan(args: &[String]) {
     };
     match plan_uniform(hosts, SimDuration::from_secs(downtime), &constraints) {
         Ok(plan) => {
-            println!(
-                "rejuvenation pass over {hosts} hosts ({downtime}s each, ≤{max_down} down):"
-            );
+            println!("rejuvenation pass over {hosts} hosts ({downtime}s each, ≤{max_down} down):");
             for (host, start) in &plan.starts {
                 println!("  host {host}: start at {start}");
             }
-            println!("makespan {}, peak concurrently down {}", plan.makespan, plan.peak_down);
+            println!(
+                "makespan {}, peak concurrently down {}",
+                plan.makespan, plan.peak_down
+            );
         }
         Err(e) => die(&e.to_string()),
     }

@@ -41,7 +41,8 @@
 //! println!("warm reboot downtime: {}", report.mean_downtime());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use rh_cluster as cluster;
 pub use rh_guest as guest;

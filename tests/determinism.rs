@@ -13,11 +13,7 @@ fn run_one(seed: u64, strategy: RebootStrategy) -> (Vec<f64>, usize, u64) {
     sim.power_on_and_wait();
     let report = sim.reboot_and_wait(strategy);
     sim.run_for(SimDuration::from_secs(10));
-    let downtimes: Vec<f64> = report
-        .downtime
-        .values()
-        .map(|d| d.as_secs_f64())
-        .collect();
+    let downtimes: Vec<f64> = report.downtime.values().map(|d| d.as_secs_f64()).collect();
     let trace_len = sim.host().trace.len();
     let digest_sum: u64 = sim
         .host()
@@ -30,7 +26,11 @@ fn run_one(seed: u64, strategy: RebootStrategy) -> (Vec<f64>, usize, u64) {
 
 #[test]
 fn identical_runs_are_bit_identical() {
-    for strategy in [RebootStrategy::Warm, RebootStrategy::Cold, RebootStrategy::Saved] {
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Cold,
+        RebootStrategy::Saved,
+    ] {
         let a = run_one(42, strategy);
         let b = run_one(42, strategy);
         assert_eq!(a, b, "{strategy} runs diverged");

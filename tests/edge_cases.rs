@@ -8,9 +8,16 @@ fn empty_host_reboots_cleanly() {
     // just reload + dom0 boot with nothing to suspend or resume.
     let mut sim = HostSim::new(HostConfig::paper_testbed());
     sim.power_on_and_wait();
-    for strategy in [RebootStrategy::Warm, RebootStrategy::Cold, RebootStrategy::Saved] {
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Cold,
+        RebootStrategy::Saved,
+    ] {
         let report = sim.reboot_and_wait(strategy);
-        assert!(report.downtime.is_empty(), "{strategy}: no services to take down");
+        assert!(
+            report.downtime.is_empty(),
+            "{strategy}: no services to take down"
+        );
         assert!(report.corrupted.is_empty());
     }
     assert_eq!(sim.host().vmm().generation(), 4);
@@ -46,7 +53,10 @@ fn overcommitted_host_reports_heap_or_memory_errors() {
     }
     let all_up = sim.run_until(SimDuration::from_secs(3600), |h| h.all_services_up());
     assert!(!all_up, "13 GiB of guests cannot fit 12 GiB of RAM");
-    assert!(!sim.host().errors().is_empty(), "the failure must be reported");
+    assert!(
+        !sim.host().errors().is_empty(),
+        "the failure must be reported"
+    );
     // The guests that did fit are up and serving.
     let up = sim
         .host()
@@ -80,7 +90,9 @@ fn single_vm_eleven_gib_saved_reboot_round_trips() {
     // The largest single image the paper tests (Fig. 4's right edge),
     // through the slowest path.
     let spec = DomainSpec::standard("big", ServiceKind::Ssh).with_mem_bytes(11 << 30);
-    let cfg = HostConfig::paper_testbed().with_domain(spec).with_trace(false);
+    let cfg = HostConfig::paper_testbed()
+        .with_domain(spec)
+        .with_trace(false);
     let mut sim = HostSim::new(cfg);
     sim.power_on_and_wait();
     let digest = sim.host().domain_digest(DomainId(1)).unwrap();
@@ -89,7 +101,10 @@ fn single_vm_eleven_gib_saved_reboot_round_trips() {
     assert_eq!(sim.host().domain_digest(DomainId(1)).unwrap(), digest);
     // ~139 s each way through the disk plus the reset path.
     let dt = report.mean_downtime().as_secs_f64();
-    assert!((250.0..450.0).contains(&dt), "saved 11 GiB downtime {dt:.0}s");
+    assert!(
+        (250.0..450.0).contains(&dt),
+        "saved 11 GiB downtime {dt:.0}s"
+    );
 }
 
 #[test]
@@ -112,7 +127,10 @@ fn back_to_back_warm_reboots_are_idempotent() {
         .iter()
         .map(|id| sim.host().domain_digest(*id).unwrap())
         .collect();
-    assert_eq!(digest_before, digest_after, "three reboots, zero bytes changed");
+    assert_eq!(
+        digest_before, digest_after,
+        "three reboots, zero bytes changed"
+    );
     assert_eq!(sim.host().vmm().generation(), 4);
 }
 
@@ -122,7 +140,10 @@ fn balloon_errors_leave_domain_intact() {
     let id = DomainId(1);
     let pages = sim.host().domain(id).unwrap().p2m.total_pages();
     // Ballooning out more than the domain has must fail cleanly.
-    let err = sim.host_mut().balloon(id, -((pages + 1) as i64)).unwrap_err();
+    let err = sim
+        .host_mut()
+        .balloon(id, -((pages + 1) as i64))
+        .unwrap_err();
     assert!(err.to_string().contains("not fully mapped") || err.to_string().contains("vmm"));
     assert_eq!(sim.host().domain(id).unwrap().p2m.total_pages(), pages);
     // Ballooning in more than the machine holds must fail cleanly.
@@ -147,5 +168,8 @@ fn file_read_on_suspended_domain_is_rejected() {
         let (host, sched) = sim.simulation_mut().parts_mut();
         host.file_read(sched, DomainId(1), 0);
     }));
-    assert!(result.is_err(), "file read mid-suspend must be rejected loudly");
+    assert!(
+        result.is_err(),
+        "file read mid-suspend must be rejected loudly"
+    );
 }

@@ -16,8 +16,14 @@ fn repeated_mixed_reboots_keep_the_host_consistent() {
     ];
     for (i, strategy) in sequence.iter().enumerate() {
         let report = sim.reboot_and_wait(*strategy);
-        assert!(report.corrupted.is_empty(), "reboot {i} ({strategy}) corrupted memory");
-        assert!(sim.host().all_services_up(), "reboot {i} left services down");
+        assert!(
+            report.corrupted.is_empty(),
+            "reboot {i} ({strategy}) corrupted memory"
+        );
+        assert!(
+            sim.host().all_services_up(),
+            "reboot {i} left services down"
+        );
         assert_eq!(report.downtime.len(), 4);
     }
     // Every reboot rejuvenated the VMM: power-on gen 1 + 5 reboots.
@@ -25,13 +31,21 @@ fn repeated_mixed_reboots_keep_the_host_consistent() {
     // Guest kernels booted once at power-on and once per cold/saved...
     let dom = sim.host().domain(DomainId(1)).unwrap();
     // cold reboots the OS; saved and warm do not.
-    assert_eq!(dom.kernel.boots(), 2, "only the cold reboot re-booted guests");
+    assert_eq!(
+        dom.kernel.boots(),
+        2,
+        "only the cold reboot re-booted guests"
+    );
     assert_eq!(dom.kernel.resumes(), 4, "saved + 3 warm resumes");
 }
 
 #[test]
 fn vmm_heap_is_rejuvenated_by_every_strategy() {
-    for strategy in [RebootStrategy::Warm, RebootStrategy::Cold, RebootStrategy::Saved] {
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Cold,
+        RebootStrategy::Saved,
+    ] {
         let mut sim = booted_host(2, ServiceKind::Ssh);
         sim.host_mut().vmm_mut().heap_mut().leak(4 * 1024 * 1024);
         assert!(sim.host().vmm().heap().leaked_bytes() > 0);
@@ -63,7 +77,10 @@ fn saved_reboot_round_trips_every_byte_through_disk() {
         .iter()
         .map(|id| sim.host().domain_digest(*id).unwrap())
         .collect();
-    assert_eq!(before, after, "logical images must survive the disk round trip");
+    assert_eq!(
+        before, after,
+        "logical images must survive the disk round trip"
+    );
     // Three 1 GiB images were actually written.
     let written = sim.host().disk().bytes_written() - disk_written_before;
     assert!(
@@ -149,7 +166,11 @@ fn eleven_gib_single_vm_suspend_is_memory_size_independent() {
         let mut sim = HostSim::new(cfg);
         sim.power_on_and_wait();
         sim.reboot_and_wait(RebootStrategy::Warm);
-        sim.host().metrics.duration_of("suspend").unwrap().as_secs_f64()
+        sim.host()
+            .metrics
+            .duration_of("suspend")
+            .unwrap()
+            .as_secs_f64()
     };
     let big = {
         let cfg = HostConfig::paper_testbed()
@@ -157,9 +178,16 @@ fn eleven_gib_single_vm_suspend_is_memory_size_independent() {
         let mut sim = HostSim::new(cfg);
         sim.power_on_and_wait();
         sim.reboot_and_wait(RebootStrategy::Warm);
-        sim.host().metrics.duration_of("suspend").unwrap().as_secs_f64()
+        sim.host()
+            .metrics
+            .duration_of("suspend")
+            .unwrap()
+            .as_secs_f64()
     };
-    assert!(small < 0.2 && big < 0.2, "suspend: {small:.3}s vs {big:.3}s");
+    assert!(
+        small < 0.2 && big < 0.2,
+        "suspend: {small:.3}s vs {big:.3}s"
+    );
     assert!((big - small).abs() < 0.05);
 }
 
@@ -181,7 +209,10 @@ fn trace_records_the_warm_sequence_in_order() {
     let resumed = t("resumed");
     let complete = t("warm reboot complete");
     assert!(commanded < dom0_down, "dom0 shuts down after the command");
-    assert!(dom0_down < frozen, "suspend happens AFTER dom0 shutdown (the paper's ordering)");
+    assert!(
+        dom0_down < frozen,
+        "suspend happens AFTER dom0 shutdown (the paper's ordering)"
+    );
     assert!(frozen < reloaded, "quick reload after all domains frozen");
     assert!(reloaded < resumed && resumed <= complete);
 }
@@ -204,7 +235,12 @@ fn ballooning_interacts_correctly_with_warm_reboots() {
     assert_eq!(sim.host().domain_digest(id).unwrap(), digest_before);
     assert_eq!(sim.host().domain(id).unwrap().p2m.total_pages(), resident);
     // And the VMM's view stays consistent.
-    sim.host().domain(id).unwrap().p2m.check_machine_disjoint().unwrap();
+    sim.host()
+        .domain(id)
+        .unwrap()
+        .p2m
+        .check_machine_disjoint()
+        .unwrap();
 }
 
 #[test]
@@ -227,7 +263,10 @@ fn dirty_working_set_survives_warm_but_not_cold() {
         "the writer must actually dirty memory"
     );
     let report = sim.reboot_and_wait(RebootStrategy::Warm);
-    assert!(report.corrupted.is_empty(), "dirty state preserved verbatim");
+    assert!(
+        report.corrupted.is_empty(),
+        "dirty state preserved verbatim"
+    );
     // The writer resumes after the reboot and keeps mutating.
     let post = sim.host().domain_digest(id).unwrap();
     sim.run_for(SimDuration::from_secs(5));
@@ -300,7 +339,10 @@ fn per_vm_partitions_attribute_disk_traffic() {
     // Cold file reads hit the disk and are attributed to the web VM.
     let _ = sim.file_read_and_wait(web, 0);
     let after = sim.host().partitions().get(pid).unwrap().bytes_read();
-    assert!(after > before, "miss traffic must land on the VM's partition");
+    assert!(
+        after > before,
+        "miss traffic must land on the VM's partition"
+    );
     // The ssh VMs' partitions stay quiet.
     for other in [DomainId(2), DomainId(3)] {
         let p = sim.host().partition_of(other).unwrap();
@@ -323,7 +365,13 @@ fn guest_os_aging_slows_requests_and_only_an_os_reboot_clears_it() {
     sim.power_on_and_wait();
     let id = DomainId(1);
     {
-        let aging = sim.host_mut().domain_mut(id).unwrap().aging.as_mut().unwrap();
+        let aging = sim
+            .host_mut()
+            .domain_mut(id)
+            .unwrap()
+            .aging
+            .as_mut()
+            .unwrap();
         aging.leak_per_request = 60_000.0; // wear out within ~2000 requests
         aging.leak_per_sec = 0.0;
         aging.swap_per_sec = 0.0;
@@ -354,17 +402,44 @@ fn guest_os_aging_slows_requests_and_only_an_os_reboot_clears_it() {
         aged < 0.7 * fresh,
         "aging must slow requests: fresh {fresh:.0} vs aged {aged:.0} req/s"
     );
-    let health_before = sim.host().domain(id).unwrap().aging.as_ref().unwrap().health();
-    assert_ne!(health_before, roothammer::guest::aging::GuestHealth::Healthy);
+    let health_before = sim
+        .host()
+        .domain(id)
+        .unwrap()
+        .aging
+        .as_ref()
+        .unwrap()
+        .health();
+    assert_ne!(
+        health_before,
+        roothammer::guest::aging::GuestHealth::Healthy
+    );
 
     // A warm VMM reboot preserves the aged kernel (Fig. 2's distinction).
     sim.reboot_and_wait(RebootStrategy::Warm);
-    let after_warm = sim.host().domain(id).unwrap().aging.as_ref().unwrap().health();
-    assert_eq!(after_warm, health_before, "warm reboot must not rejuvenate the OS");
+    let after_warm = sim
+        .host()
+        .domain(id)
+        .unwrap()
+        .aging
+        .as_ref()
+        .unwrap()
+        .health();
+    assert_eq!(
+        after_warm, health_before,
+        "warm reboot must not rejuvenate the OS"
+    );
 
     // An OS reboot does rejuvenate it, and throughput recovers.
     sim.os_reboot_and_wait(id);
-    let after_os = sim.host().domain(id).unwrap().aging.as_ref().unwrap().health();
+    let after_os = sim
+        .host()
+        .domain(id)
+        .unwrap()
+        .aging
+        .as_ref()
+        .unwrap()
+        .health();
     assert_eq!(after_os, roothammer::guest::aging::GuestHealth::Healthy);
     sim.host_mut().warm_cache(id, 200); // the reboot also emptied the cache
     let recovered = throughput(&mut sim);
@@ -401,11 +476,18 @@ fn stress_full_stack_under_load_across_every_strategy() {
     }
     sim.run_for(SimDuration::from_secs(30));
 
-    for strategy in [RebootStrategy::Warm, RebootStrategy::Saved, RebootStrategy::Cold] {
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Saved,
+        RebootStrategy::Cold,
+    ] {
         let report = sim.reboot_and_wait(strategy);
         assert!(report.corrupted.is_empty(), "{strategy} corrupted memory");
         sim.run_for(SimDuration::from_secs(30));
-        assert!(sim.host().all_services_up(), "{strategy} left services down");
+        assert!(
+            sim.host().all_services_up(),
+            "{strategy} left services down"
+        );
         assert!(
             sim.host().httperf().unwrap().completed() > 0,
             "{strategy}: traffic must be flowing again"
@@ -435,7 +517,10 @@ fn event_channels_follow_the_section_4_2_handler_sequence() {
     let mut sim = booted_host(2, ServiceKind::Ssh);
     let id = DomainId(1);
     let before = sim.host().domain(id).unwrap().channels.clone();
-    assert!(before.suspend_port().is_some(), "boot binds the suspend channel");
+    assert!(
+        before.suspend_port().is_some(),
+        "boot binds the suspend channel"
+    );
     let frontends = |t: &roothammer::vmm::events::EventChannelTable| {
         (0..100)
             .filter_map(|p| t.get(p))
@@ -450,7 +535,10 @@ fn event_channels_follow_the_section_4_2_handler_sequence() {
     // resume; the suspend channel persisted; a notification was consumed.
     assert_eq!(frontends(after), 2);
     assert!(after.suspend_port().is_some());
-    assert!(after.notifications() > before.notifications(), "the suspend event flowed");
+    assert!(
+        after.notifications() > before.notifications(),
+        "the suspend event flowed"
+    );
 
     // A cold reboot rebuilds the table from scratch (fresh port numbering,
     // zero lifetime notifications).
@@ -469,8 +557,8 @@ fn guests_behind_a_driver_domain_share_its_downtime() {
     let dependent = DomainSpec::standard("app", ServiceKind::Ssh).with_backend(1);
     let independent = DomainSpec::standard("plain", ServiceKind::Ssh);
     let cfg = HostConfig::paper_testbed()
-        .with_domain(driver)      // DomainId(1)
-        .with_domain(dependent)   // DomainId(2), backed by 1
+        .with_domain(driver) // DomainId(1)
+        .with_domain(dependent) // DomainId(2), backed by 1
         .with_domain(independent); // DomainId(3)
     let mut sim = HostSim::new(cfg);
     sim.power_on_and_wait();
