@@ -14,7 +14,9 @@ use rh_memory::frame::FRAMES_PER_GIB;
 use rh_vmm::config::{HostConfig, RebootStrategy, SuspendOrder};
 use rh_vmm::domain::{Domain, DomainId, DomainSpec};
 use rh_vmm::harness::HostSim;
-use rh_vmm::vmm::Vmm;
+use rh_vmm::vmm::{Vmm, VmmError};
+
+use crate::exec::{Sweep, DEFAULT_SEED};
 
 /// Result of the suspend-ordering ablation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,22 +34,43 @@ impl SuspendOrderResult {
     }
 }
 
-/// Measures warm downtime at `n` VMs under both suspend orderings.
-pub fn suspend_order(n: u32) -> SuspendOrderResult {
-    let measure = |order: SuspendOrder| {
-        let cfg = HostConfig::paper_testbed()
-            .with_vms(n, ServiceKind::Ssh)
-            .with_suspend_order(order)
-            .with_trace(false);
-        let mut sim = HostSim::new(cfg);
-        sim.power_on_and_wait();
-        sim.reboot_and_wait(RebootStrategy::Warm)
-            .mean_downtime()
-            .as_secs_f64()
+fn measure_suspend_order(n: u32, order: SuspendOrder) -> f64 {
+    let cfg = HostConfig::paper_testbed()
+        .with_vms(n, ServiceKind::Ssh)
+        .with_suspend_order(order)
+        .with_trace(false);
+    let mut sim = HostSim::new(cfg);
+    sim.power_on_and_wait();
+    sim.reboot_and_wait(RebootStrategy::Warm)
+        .mean_downtime()
+        .as_secs_f64()
+}
+
+/// The suspend-ordering ablation as executor points (one per ordering).
+pub fn suspend_order_points(n: u32) -> Sweep<f64> {
+    let mut sweep = Sweep::new(DEFAULT_SEED);
+    sweep.point(format!("ablations/suspend-order/paper/{n}vms"), move |_| {
+        measure_suspend_order(n, SuspendOrder::VmmAfterDom0Shutdown)
+    });
+    sweep.point(format!("ablations/suspend-order/xen/{n}vms"), move |_| {
+        measure_suspend_order(n, SuspendOrder::Dom0DuringShutdown)
+    });
+    sweep
+}
+
+/// Measures warm downtime at `n` VMs under both suspend orderings, across
+/// `jobs` workers. A failed point shows up as NaN rather than a panic.
+pub fn suspend_order(n: u32, jobs: usize) -> SuspendOrderResult {
+    let results = suspend_order_points(n).run(jobs);
+    let value = |i: usize| {
+        results
+            .get(i)
+            .and_then(|r| r.value().copied())
+            .unwrap_or(f64::NAN)
     };
     SuspendOrderResult {
-        paper_order: measure(SuspendOrder::VmmAfterDom0Shutdown),
-        xen_order: measure(SuspendOrder::Dom0DuringShutdown),
+        paper_order: value(0),
+        xen_order: value(1),
     }
 }
 
@@ -62,8 +85,13 @@ pub struct ReservationOrderResult {
 
 /// Demonstrates, at the mechanism level, that reserving P2M memory before
 /// VMM init preserves the frozen image while the reverse order corrupts it.
-pub fn reservation_order() -> ReservationOrderResult {
-    let make = || {
+///
+/// # Errors
+///
+/// Propagates any [`VmmError`] from domain creation, suspend, or reload —
+/// none is expected on this fixed scenario.
+pub fn reservation_order() -> Result<ReservationOrderResult, VmmError> {
+    let make = || -> Result<_, VmmError> {
         let mut vmm = Vmm::new(2 * FRAMES_PER_GIB);
         let mut contents = FrameContents::new();
         let mut dom = Domain::new(
@@ -71,33 +99,32 @@ pub fn reservation_order() -> ReservationOrderResult {
             DomainSpec::standard("vm1", ServiceKind::Ssh),
             0,
         );
-        vmm.create_domain(&mut dom, &mut contents).unwrap();
-        vmm.on_memory_suspend(&mut dom, 16 * 1024).unwrap();
+        vmm.create_domain(&mut dom, &mut contents)?;
+        vmm.on_memory_suspend(&mut dom, 16 * 1024)?;
         let digest = vmm.domain_digest(&dom, &contents);
-        (vmm, contents, dom, digest)
+        Ok((vmm, contents, dom, digest))
     };
 
     // Correct order.
-    let (mut vmm, contents, dom, before) = make();
+    let (mut vmm, contents, dom, before) = make()?;
     let id = dom.id;
     let mut domains = std::collections::BTreeMap::from([(id, dom)]);
     vmm.stage_next_image(rh_vmm::xexec::XexecImage::build(2));
-    vmm.quick_reload(&mut domains, &[id]).unwrap();
+    vmm.quick_reload(&mut domains, &[id])?;
     let correct_order_preserved = vmm.domain_digest(&domains[&id], &contents) == before;
 
     // Wrong order: VMM init scribbles before the tables are replayed.
-    let (mut vmm, mut contents, dom, before) = make();
+    let (mut vmm, mut contents, dom, before) = make()?;
     let id = dom.id;
     let scratch = vmm.ram().free_frames() + FRAMES_PER_GIB / 2;
     let mut domains = std::collections::BTreeMap::from([(id, dom)]);
-    vmm.quick_reload_wrong_order(&mut domains, &[id], &mut contents, scratch)
-        .unwrap();
+    vmm.quick_reload_wrong_order(&mut domains, &[id], &mut contents, scratch)?;
     let wrong_order_corrupted = vmm.domain_digest(&domains[&id], &contents) != before;
 
-    ReservationOrderResult {
+    Ok(ReservationOrderResult {
         correct_order_preserved,
         wrong_order_corrupted,
-    }
+    })
 }
 
 /// Result of the driver-domain experiment (paper §7).
@@ -109,39 +136,63 @@ pub struct DriverDomainResult {
     pub driver_downtime: Vec<(u32, f64)>,
 }
 
+/// Measures one driver-domain point: `(k, ordinary mean, driver mean)`
+/// downtime across a warm reboot with `k` driver domains among `n` guests.
+pub fn measure_driver_domains(n: u32, k: u32) -> (u32, f64, f64) {
+    let mut cfg = HostConfig::paper_testbed()
+        .with_vms(n - k, ServiceKind::Ssh)
+        .with_trace(false);
+    for i in 0..k {
+        cfg = cfg.with_domain(
+            DomainSpec::standard(format!("drv{i}"), ServiceKind::Ssh).as_driver_domain(),
+        );
+    }
+    let mut sim = HostSim::new(cfg);
+    sim.power_on_and_wait();
+    let report = sim.reboot_and_wait(RebootStrategy::Warm);
+    let ids = sim.host().domu_ids();
+    let (drv_ids, ord_ids): (Vec<_>, Vec<_>) = ids.iter().partition(|id| {
+        sim.host()
+            .domain(**id)
+            .map(|d| d.spec.driver_domain)
+            .unwrap_or(false)
+    });
+    let mean = |set: &[&rh_vmm::domain::DomainId]| -> f64 {
+        if set.is_empty() {
+            return f64::NAN;
+        }
+        set.iter()
+            .map(|id| report.downtime[id].as_secs_f64())
+            .sum::<f64>()
+            / set.len() as f64
+    };
+    (
+        k,
+        mean(&ord_ids.iter().collect::<Vec<_>>()),
+        mean(&drv_ids.iter().collect::<Vec<_>>()),
+    )
+}
+
+/// The driver-domain experiment as executor points: one per driver count.
+pub fn driver_domain_points(n: u32, max_drivers: u32) -> Sweep<(u32, f64, f64)> {
+    let mut sweep = Sweep::new(DEFAULT_SEED);
+    for k in 0..=max_drivers {
+        sweep.point(format!("ablations/driver-domains/{k}of{n}"), move |_rng| {
+            measure_driver_domains(n, k)
+        });
+    }
+    sweep
+}
+
 /// Warm-reboot downtime with 0..=`max_drivers` driver domains among `n`
-/// guests: driver domains cannot be suspended, so they pay cold-reboot
-/// downtime even on the warm path.
-pub fn driver_domains(n: u32, max_drivers: u32) -> DriverDomainResult {
+/// guests, across `jobs` workers: driver domains cannot be suspended, so
+/// they pay cold-reboot downtime even on the warm path.
+pub fn driver_domains(n: u32, max_drivers: u32, jobs: usize) -> DriverDomainResult {
     let mut ordinary = Vec::new();
     let mut drivers = Vec::new();
-    for k in 0..=max_drivers {
-        let mut cfg = HostConfig::paper_testbed()
-            .with_vms(n - k, ServiceKind::Ssh)
-            .with_trace(false);
-        for i in 0..k {
-            cfg = cfg.with_domain(
-                DomainSpec::standard(format!("drv{i}"), ServiceKind::Ssh).as_driver_domain(),
-            );
-        }
-        let mut sim = HostSim::new(cfg);
-        sim.power_on_and_wait();
-        let report = sim.reboot_and_wait(RebootStrategy::Warm);
-        let ids = sim.host().domu_ids();
-        let (drv_ids, ord_ids): (Vec<_>, Vec<_>) = ids
-            .iter()
-            .partition(|id| sim.host().domain(**id).unwrap().spec.driver_domain);
-        let mean = |set: &[&rh_vmm::domain::DomainId]| -> f64 {
-            if set.is_empty() {
-                return f64::NAN;
-            }
-            set.iter()
-                .map(|id| report.downtime[id].as_secs_f64())
-                .sum::<f64>()
-                / set.len() as f64
-        };
-        ordinary.push((k, mean(&ord_ids.iter().collect::<Vec<_>>())));
-        drivers.push((k, mean(&drv_ids.iter().collect::<Vec<_>>())));
+    for (k, ord, drv) in driver_domain_points(n, max_drivers).run_values(jobs) {
+        ordinary.push((k, ord));
+        drivers.push((k, drv));
     }
     DriverDomainResult {
         ordinary_downtime: ordinary,
@@ -187,7 +238,7 @@ mod tests {
 
     #[test]
     fn original_xen_ordering_costs_about_seven_seconds() {
-        let r = suspend_order(5);
+        let r = suspend_order(5, 2);
         assert!(
             (r.penalty() - 7.0).abs() < 1.5,
             "ordering penalty {:.1}s (paper: ~7)",
@@ -198,7 +249,7 @@ mod tests {
 
     #[test]
     fn driver_domains_increase_warm_downtime() {
-        let r = driver_domains(4, 2);
+        let r = driver_domains(4, 2, 2);
         // "The existence of driver domains increases the downtime" (§7):
         // even ordinary guests wait for the driver shutdown before the
         // quick reload — but stay far below cold-reboot scale.
@@ -233,7 +284,7 @@ mod tests {
 
     #[test]
     fn reservation_order_matters_and_is_detected() {
-        let r = reservation_order();
+        let r = reservation_order().unwrap();
         assert!(r.correct_order_preserved);
         assert!(r.wrong_order_corrupted);
         let s = render(

@@ -1,8 +1,22 @@
-//! Runs the DESIGN.md ablations.
+//! Runs the DESIGN.md ablations. Accepts `--jobs N` (default 1, 0 = all
+//! CPUs).
 fn main() {
-    let s = rh_bench::ablations::suspend_order(11);
-    let r = rh_bench::ablations::reservation_order();
+    let jobs = match rh_bench::exec::jobs_from_args(std::env::args().skip(1)) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("ablations: {e}");
+            std::process::exit(2);
+        }
+    };
+    let s = rh_bench::ablations::suspend_order(11, jobs);
+    let r = match rh_bench::ablations::reservation_order() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ablations: reservation-order ablation failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{}", rh_bench::ablations::render(&s, &r));
-    let d = rh_bench::ablations::driver_domains(11, 2);
+    let d = rh_bench::ablations::driver_domains(11, 2, jobs);
     println!("{}", rh_bench::ablations::render_driver_domains(&d));
 }

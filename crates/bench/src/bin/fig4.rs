@@ -1,6 +1,14 @@
 //! Regenerates Figure 4: pre/post-reboot task times vs VM memory size.
+//! Accepts `--jobs N` (default 1, 0 = all CPUs).
 fn main() {
-    let rows = rh_bench::fig45::fig4(1..=11);
+    let jobs = match rh_bench::exec::jobs_from_args(std::env::args().skip(1)) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("fig4: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = rh_bench::fig45::fig4(1..=11, jobs);
     println!(
         "{}",
         rh_bench::fig45::render("fig4: task times vs memory size (1 VM, GiB)", "GiB", &rows)

@@ -2,9 +2,16 @@
 use rh_vmm::config::RebootStrategy;
 fn main() {
     for strategy in [RebootStrategy::Warm, RebootStrategy::Cold] {
-        let trace = rh_bench::fig7::run(strategy);
-        println!("{}", rh_bench::fig7::render_phases(&trace));
-        println!("throughput trace (50-request windows), CSV:");
-        println!("{}", trace.series.to_csv());
+        match rh_bench::fig7::run(strategy) {
+            Ok(trace) => {
+                println!("{}", rh_bench::fig7::render_phases(&trace));
+                println!("throughput trace (50-request windows), CSV:");
+                println!("{}", trace.series.to_csv());
+            }
+            Err(e) => {
+                eprintln!("fig7: {strategy} trace failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -127,9 +127,10 @@ fn figure_benches(r: &mut Runner) {
         sim.os_reboot_and_wait(rh_vmm::domain::DomainId(1))
     });
     r.bench("figures/fig7_warm_throughput_trace", || {
-        let t = rh_bench::fig7::run(RebootStrategy::Warm);
-        assert!(t.after_ratio() > 0.9);
-        t.steady_before
+        let t = rh_bench::fig7::run(RebootStrategy::Warm).ok();
+        let ratio = t.as_ref().map(|t| t.after_ratio()).unwrap_or(f64::NAN);
+        assert!(ratio > 0.9);
+        t.map(|t| t.steady_before)
     });
     r.bench("figures/fig8_file_read_cold", || {
         let res = rh_bench::fig8::file_read(RebootStrategy::Cold);
@@ -142,9 +143,13 @@ fn figure_benches(r: &mut Runner) {
         res
     });
     r.bench("figures/sec56_three_point_sweep", || {
-        let res = rh_bench::sec56::run([1u32, 5, 9].into_iter());
-        assert!(res.fitted.saving(11.0, 0.5) > 0.0);
-        res.fitted
+        let res = rh_bench::sec56::run([1u32, 5, 9].into_iter(), 1).ok();
+        let saving = res
+            .as_ref()
+            .map(|r| r.fitted.saving(11.0, 0.5))
+            .unwrap_or(f64::NAN);
+        assert!(saving > 0.0);
+        saving
     });
     r.bench("figures/fig9_analytic_plus_rolling", || {
         let res = rh_bench::fig9::run(4, 215.0, 3);
@@ -154,7 +159,13 @@ fn figure_benches(r: &mut Runner) {
 }
 
 fn main() {
-    let opts = BenchOptions::from_args(std::env::args().skip(1));
+    let opts = match BenchOptions::from_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("microbench: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut runner = Runner::new(opts);
     eprintln!("running microbench groups: engine, figures");
     engine_benches(&mut runner);

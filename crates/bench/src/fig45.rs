@@ -10,6 +10,7 @@ use rh_guest::services::ServiceKind;
 use rh_vmm::config::RebootStrategy;
 use rh_vmm::harness::HostSim;
 
+use crate::exec::{Sweep, DEFAULT_SEED};
 use crate::util::{booted_n_vms, booted_single_vm, secs2, Table};
 
 /// Pre/post-reboot task times (seconds) for one configuration, one row of
@@ -57,23 +58,41 @@ pub fn measure_tasks(make: impl Fn() -> HostSim) -> TaskTimes {
     }
 }
 
-/// Fig. 4 sweep: `(mem_gib, times)` for 1..=11 GiB, single VM.
-pub fn fig4(sizes: impl Iterator<Item = u64>) -> Vec<(u64, TaskTimes)> {
-    sizes
-        .map(|gib| {
+/// Fig. 4 as executor points: one per memory size.
+pub fn fig4_sweep(sizes: impl Iterator<Item = u64>) -> Sweep<(u64, TaskTimes)> {
+    let mut sweep = Sweep::new(DEFAULT_SEED);
+    for gib in sizes {
+        sweep.point(format!("fig4/{gib}gib"), move |_rng| {
             (
                 gib,
                 measure_tasks(|| booted_single_vm(gib, ServiceKind::Ssh)),
             )
-        })
-        .collect()
+        });
+    }
+    sweep
 }
 
-/// Fig. 5 sweep: `(n, times)` for 1..=11 VMs of 1 GiB.
-pub fn fig5(counts: impl Iterator<Item = u32>) -> Vec<(u32, TaskTimes)> {
-    counts
-        .map(|n| (n, measure_tasks(|| booted_n_vms(n, ServiceKind::Ssh))))
-        .collect()
+/// Fig. 4 sweep: `(mem_gib, times)` for 1..=11 GiB, single VM, across
+/// `jobs` workers.
+pub fn fig4(sizes: impl Iterator<Item = u64>, jobs: usize) -> Vec<(u64, TaskTimes)> {
+    fig4_sweep(sizes).run_values(jobs)
+}
+
+/// Fig. 5 as executor points: one per VM count.
+pub fn fig5_sweep(counts: impl Iterator<Item = u32>) -> Sweep<(u32, TaskTimes)> {
+    let mut sweep = Sweep::new(DEFAULT_SEED);
+    for n in counts {
+        sweep.point(format!("fig5/{n}vms"), move |_rng| {
+            (n, measure_tasks(|| booted_n_vms(n, ServiceKind::Ssh)))
+        });
+    }
+    sweep
+}
+
+/// Fig. 5 sweep: `(n, times)` for 1..=11 VMs of 1 GiB, across `jobs`
+/// workers.
+pub fn fig5(counts: impl Iterator<Item = u32>, jobs: usize) -> Vec<(u32, TaskTimes)> {
+    fig5_sweep(counts).run_values(jobs)
 }
 
 /// Renders a sweep as a table with the given x-axis label.
@@ -112,7 +131,7 @@ mod tests {
     fn fig4_shape_suspend_flat_save_linear() {
         // Three points are enough to check the shape in a unit test; the
         // bench binary runs the full 1..=11 sweep.
-        let rows = fig4([1u64, 6, 11].into_iter());
+        let rows = fig4([1u64, 6, 11].into_iter(), 2);
         let (_, t1) = rows[0];
         let (_, t11) = rows[2];
         // On-memory suspend/resume hardly depends on memory size.
@@ -133,7 +152,7 @@ mod tests {
 
     #[test]
     fn fig5_shape_everything_grows_but_onmem_stays_tiny() {
-        let rows = fig5([1u32, 11].into_iter());
+        let rows = fig5([1u32, 11].into_iter(), 2);
         let (_, t1) = rows[0];
         let (_, t11) = rows[1];
         // Paper: at 11 VMs suspend 0.04 s, resume 4.2 s.

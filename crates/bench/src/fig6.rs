@@ -9,6 +9,7 @@ use rh_guest::session::{SessionFate, TcpSession};
 use rh_sim::time::{SimDuration, SimTime};
 use rh_vmm::config::RebootStrategy;
 
+use crate::exec::{Sweep, DEFAULT_SEED};
 use crate::util::{booted_n_vms, secs, Table};
 
 /// Downtimes (seconds) for one VM count and one service.
@@ -40,9 +41,24 @@ pub fn measure(n: u32, service: ServiceKind) -> DowntimeRow {
     }
 }
 
-/// Full sweep for one service.
-pub fn sweep(service: ServiceKind, counts: impl Iterator<Item = u32>) -> Vec<DowntimeRow> {
-    counts.map(|n| measure(n, service)).collect()
+/// One service's Fig. 6 sweep as executor points: one per VM count.
+pub fn sweep_points(service: ServiceKind, counts: impl Iterator<Item = u32>) -> Sweep<DowntimeRow> {
+    let mut sweep = Sweep::new(DEFAULT_SEED);
+    for n in counts {
+        sweep.point(format!("fig6/{service:?}/{n}vms"), move |_rng| {
+            measure(n, service)
+        });
+    }
+    sweep
+}
+
+/// Full sweep for one service, across `jobs` workers.
+pub fn sweep(
+    service: ServiceKind,
+    counts: impl Iterator<Item = u32>,
+    jobs: usize,
+) -> Vec<DowntimeRow> {
+    sweep_points(service, counts).run_values(jobs)
 }
 
 /// Renders one panel of Fig. 6.
@@ -106,7 +122,7 @@ mod tests {
 
     #[test]
     fn saved_downtime_grows_fastest_with_n() {
-        let rows = sweep(ServiceKind::Ssh, [2u32, 8].into_iter());
+        let rows = sweep(ServiceKind::Ssh, [2u32, 8].into_iter(), 2);
         let slope = |f: fn(&DowntimeRow) -> f64| (f(&rows[1]) - f(&rows[0])) / 6.0;
         let warm_slope = slope(|r| r.warm);
         let saved_slope = slope(|r| r.saved);

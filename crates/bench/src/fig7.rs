@@ -58,7 +58,13 @@ impl Fig7Trace {
 }
 
 /// Runs the Fig. 7 experiment for one strategy.
-pub fn run(strategy: RebootStrategy) -> Fig7Trace {
+///
+/// # Errors
+///
+/// Returns a message when the run does not produce the expected trace —
+/// the httperf fleet vanished, the web VM was never metered, or the reboot
+/// caused no outage.
+pub fn run(strategy: RebootStrategy) -> Result<Fig7Trace, String> {
     let web = DomainSpec::standard("web", ServiceKind::ApacheWeb).with_files(fig7_corpus());
     let cfg = HostConfig::paper_testbed()
         .with_domain(web)
@@ -80,16 +86,21 @@ pub fn run(strategy: RebootStrategy) -> Fig7Trace {
     // Watch the recovery (cache refill) for a while.
     sim.run_for(SimDuration::from_secs(90));
 
-    let client = sim.detach_httperf().expect("attached above");
+    let client = sim
+        .detach_httperf()
+        .ok_or("httperf client detached before the trace was read")?;
     let series = client.throughput_windows(50);
-    let meter = sim.host().meter(target).expect("web vm metered");
+    let meter = sim
+        .host()
+        .meter(target)
+        .ok_or("web vm has no availability meter")?;
     let outage = meter
         .outages()
         .iter()
         .rev()
         .find(|o| o.end >= command_at)
         .copied()
-        .expect("the reboot must cause an outage");
+        .ok_or_else(|| format!("{strategy} reboot caused no outage on the web vm"))?;
     let steady_before = series
         .mean_over(SimTime::ZERO, command_at)
         .unwrap_or(f64::NAN);
@@ -99,7 +110,7 @@ pub fn run(strategy: RebootStrategy) -> Fig7Trace {
     let recovered = series
         .mean_over(outage.end + SimDuration::from_secs(60), sim.now())
         .unwrap_or(f64::NAN);
-    Fig7Trace {
+    Ok(Fig7Trace {
         strategy,
         command_at,
         series,
@@ -109,7 +120,7 @@ pub fn run(strategy: RebootStrategy) -> Fig7Trace {
         restored_at: outage.end,
         just_after,
         recovered,
-    }
+    })
 }
 
 /// Renders the phase timeline relative to the reboot command.
@@ -148,8 +159,8 @@ mod tests {
 
     #[test]
     fn warm_keeps_serving_longer_and_recovers_instantly() {
-        let warm = run(RebootStrategy::Warm);
-        let cold = run(RebootStrategy::Cold);
+        let warm = run(RebootStrategy::Warm).unwrap();
+        let cold = run(RebootStrategy::Cold).unwrap();
 
         // The paper: web server stopped at +14 s (warm) vs +7 s (cold),
         // i.e. the warm path serves ~7 s longer.
@@ -192,7 +203,7 @@ mod tests {
 
     #[test]
     fn phase_render_mentions_key_phases() {
-        let warm = run(RebootStrategy::Warm);
+        let warm = run(RebootStrategy::Warm).unwrap();
         let rendered = render_phases(&warm);
         for phase in [
             "dom0 shutdown",

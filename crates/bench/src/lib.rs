@@ -21,12 +21,19 @@
 //! timed iterations, median/p95, table + JSON output) driving the
 //! `microbench` binary — the hermetic replacement for the former Criterion
 //! benches (README §"Hermetic build").
+//!
+//! The [`exec`] module is the deterministic parallel experiment executor:
+//! every sweep above is a set of independent fixed-seed simulations, so the
+//! sweep modules express their points as closures over [`exec::Sweep`] and
+//! the binaries accept `--jobs N` — results are byte-identical to a
+//! sequential run (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod exec;
 pub mod fig45;
 pub mod fig6;
 pub mod fig7;

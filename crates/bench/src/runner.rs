@@ -52,36 +52,44 @@ impl Default for BenchOptions {
     }
 }
 
+/// Usage string returned alongside every [`BenchOptions::from_args`] error.
+pub const USAGE: &str = "usage: microbench [--iters N] [--warmup N] [--filter SUBSTR]";
+
 impl BenchOptions {
     /// Parses options from command-line arguments:
     /// `--iters N`, `--warmup N`, `--filter SUBSTR`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on an unknown flag or a malformed value.
-    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+    /// Returns a usage message on an unknown flag, a missing or malformed
+    /// value, or `--iters 0`.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = BenchOptions::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             let mut value = |flag: &str| {
                 args.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .ok_or_else(|| format!("{flag} requires a value; {USAGE}"))
             };
             match arg.as_str() {
                 "--iters" => {
-                    opts.iters = value("--iters").parse().expect("--iters: not a number")
+                    opts.iters = value("--iters")?
+                        .parse()
+                        .map_err(|_| format!("--iters: not a number; {USAGE}"))?
                 }
                 "--warmup" => {
-                    opts.warmup = value("--warmup").parse().expect("--warmup: not a number")
+                    opts.warmup = value("--warmup")?
+                        .parse()
+                        .map_err(|_| format!("--warmup: not a number; {USAGE}"))?
                 }
-                "--filter" => opts.filter = Some(value("--filter")),
-                other => panic!(
-                    "unknown argument {other:?}; usage: microbench [--iters N] [--warmup N] [--filter SUBSTR]"
-                ),
+                "--filter" => opts.filter = Some(value("--filter")?),
+                other => return Err(format!("unknown argument {other:?}; {USAGE}")),
             }
         }
-        assert!(opts.iters > 0, "--iters must be at least 1");
-        opts
+        if opts.iters == 0 {
+            return Err(format!("--iters must be at least 1; {USAGE}"));
+        }
+        Ok(opts)
     }
 }
 
@@ -140,7 +148,7 @@ impl Report {
             .map(|r| r.name.len())
             .chain(["benchmark".len()])
             .max()
-            .unwrap();
+            .unwrap_or(0);
         out.push_str(&format!(
             "{:<name_w$}  {:>6}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}\n",
             "benchmark", "iters", "median", "p95", "mean", "min", "max"
@@ -345,16 +353,26 @@ mod tests {
             ["--iters", "7", "--warmup", "2", "--filter", "fig"]
                 .into_iter()
                 .map(String::from),
-        );
+        )
+        .unwrap();
         assert_eq!(opts.iters, 7);
         assert_eq!(opts.warmup, 2);
         assert_eq!(opts.filter.as_deref(), Some("fig"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
-    fn from_args_rejects_unknown() {
-        BenchOptions::from_args(["--bogus"].into_iter().map(String::from));
+    fn from_args_rejects_bad_input_with_usage() {
+        for bad in [
+            vec!["--bogus"],
+            vec!["--iters"],
+            vec!["--iters", "many"],
+            vec!["--iters", "0"],
+            vec!["--warmup", "x"],
+        ] {
+            let err = BenchOptions::from_args(bad.iter().map(|s| s.to_string()))
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("usage:"), "{bad:?} error lacks usage: {err}");
+        }
     }
 
     #[test]

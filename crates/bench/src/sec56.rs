@@ -13,10 +13,11 @@
 //! lines, and compares coefficient by coefficient.
 
 use rh_guest::services::ServiceKind;
-use rh_rejuv::fit::{fit_model, ComponentMeasurements};
+use rh_rejuv::fit::{fit_model, ComponentMeasurements, FitError};
 use rh_rejuv::model::DowntimeModel;
 use rh_vmm::config::RebootStrategy;
 
+use crate::exec::{Sweep, DEFAULT_SEED};
 use crate::util::booted_n_vms;
 
 /// The fitted model plus the raw sweep it came from.
@@ -30,45 +31,99 @@ pub struct ModelFitResult {
     pub paper: DowntimeModel,
 }
 
-/// Runs the sweep over the given VM counts and fits the model.
-pub fn run(counts: impl Iterator<Item = u32>) -> ModelFitResult {
-    let mut m = ComponentMeasurements::default();
-    for n in counts {
-        let mut warm = booted_n_vms(n, ServiceKind::Ssh);
-        warm.reboot_and_wait(RebootStrategy::Warm);
-        let wspan = |name: &str| {
-            warm.host()
-                .metrics
-                .duration_of(name)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(0.0)
-        };
-        // reboot_vmm(n): the VMM-only part of the warm reboot — quick
-        // reload plus dom0 boot.
-        let reboot_vmm = wspan("quick reload") + wspan("dom0 boot");
-        // resume(n): on-memory suspend + resume of n VMs.
-        let resume = wspan("suspend") + wspan("resume");
+/// Phase measurements for one VM count (one sweep point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePoint {
+    /// VM count.
+    pub n: u32,
+    /// Quick reload + dom0 boot (the VMM-only part of the warm reboot).
+    pub reboot_vmm: f64,
+    /// On-memory suspend + resume of `n` VMs.
+    pub resume: f64,
+    /// Shutdown + boot of `n` OSes.
+    pub reboot_os: f64,
+    /// Boot of `n` OSes.
+    pub boot: f64,
+    /// Hardware reset.
+    pub reset: f64,
+}
 
-        let mut cold = booted_n_vms(n, ServiceKind::Ssh);
-        cold.reboot_and_wait(RebootStrategy::Cold);
-        let cspan = |name: &str| {
-            cold.host()
-                .metrics
-                .duration_of(name)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(0.0)
-        };
-        let shutdown = cspan("guest shutdown");
-        let boot = cspan("guest boot");
-        let reset = cspan("hardware reset");
-        m.push(n, reboot_vmm, resume, shutdown + boot, boot, reset);
+/// Measures the §5.6 phase components at one VM count.
+pub fn measure_point(n: u32) -> PhasePoint {
+    let mut warm = booted_n_vms(n, ServiceKind::Ssh);
+    warm.reboot_and_wait(RebootStrategy::Warm);
+    let wspan = |name: &str| {
+        warm.host()
+            .metrics
+            .duration_of(name)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    };
+    // reboot_vmm(n): the VMM-only part of the warm reboot — quick
+    // reload plus dom0 boot.
+    let reboot_vmm = wspan("quick reload") + wspan("dom0 boot");
+    // resume(n): on-memory suspend + resume of n VMs.
+    let resume = wspan("suspend") + wspan("resume");
+
+    let mut cold = booted_n_vms(n, ServiceKind::Ssh);
+    cold.reboot_and_wait(RebootStrategy::Cold);
+    let cspan = |name: &str| {
+        cold.host()
+            .metrics
+            .duration_of(name)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    };
+    let shutdown = cspan("guest shutdown");
+    let boot = cspan("guest boot");
+    let reset = cspan("hardware reset");
+    PhasePoint {
+        n,
+        reboot_vmm,
+        resume,
+        reboot_os: shutdown + boot,
+        boot,
+        reset,
     }
-    let fitted = fit_model(&m).expect("sweep has enough points");
-    ModelFitResult {
+}
+
+/// The §5.6 measurement sweep as executor points: one per VM count.
+pub fn sweep_points(counts: impl Iterator<Item = u32>) -> Sweep<PhasePoint> {
+    let mut sweep = Sweep::new(DEFAULT_SEED);
+    for n in counts {
+        sweep.point(format!("sec56/{n}vms"), move |_rng| measure_point(n));
+    }
+    sweep
+}
+
+/// Fits the model from already-measured sweep points (in sweep order).
+///
+/// # Errors
+///
+/// Returns a [`FitError`] when a component has fewer than two distinct
+/// points — e.g. an empty or single-point sweep.
+pub fn fit_points(points: &[PhasePoint]) -> Result<ModelFitResult, FitError> {
+    let mut m = ComponentMeasurements::default();
+    for p in points {
+        m.push(p.n, p.reboot_vmm, p.resume, p.reboot_os, p.boot, p.reset);
+    }
+    Ok(ModelFitResult {
+        fitted: fit_model(&m)?,
         measurements: m,
-        fitted,
         paper: DowntimeModel::paper(),
-    }
+    })
+}
+
+/// Runs the sweep over the given VM counts across `jobs` workers and fits
+/// the model.
+///
+/// # Errors
+///
+/// Returns a [`FitError`] when the sweep is too small to fit (fewer than
+/// two distinct VM counts).
+pub fn run(counts: impl Iterator<Item = u32>, jobs: usize) -> Result<ModelFitResult, FitError> {
+    let points = sweep_points(counts).run_values(jobs);
+    fit_points(&points)
 }
 
 /// Renders the fitted-vs-paper comparison.
@@ -112,7 +167,7 @@ mod tests {
     #[test]
     fn fitted_coefficients_land_near_paper() {
         // A 4-point sweep keeps the test fast; the bin runs 1..=11.
-        let r = run([1u32, 4, 8, 11].into_iter());
+        let r = run([1u32, 4, 8, 11].into_iter(), 2).unwrap();
         let f = &r.fitted;
         // resume(n): paper slope 0.43 — ours is domain_create + handler.
         assert!(
@@ -151,7 +206,7 @@ mod tests {
     #[test]
     fn saving_is_positive_for_all_n_and_alpha() {
         // The paper's punchline: r(n) > 0 under α ≤ 1 — warm always wins.
-        let r = run([1u32, 6, 11].into_iter());
+        let r = run([1u32, 6, 11].into_iter(), 2).unwrap();
         for alpha in [0.1, 0.5, 1.0] {
             for n in 1..=16 {
                 let s = r.fitted.saving(n as f64, alpha);
@@ -169,7 +224,7 @@ mod tests {
 
     #[test]
     fn render_is_complete() {
-        let r = run([1u32, 11].into_iter());
+        let r = run([1u32, 11].into_iter(), 1).unwrap();
         let s = render(&r);
         for key in [
             "reboot_vmm",

@@ -538,19 +538,15 @@ impl Host {
         };
         // Only a *running* kernel dirties memory; a frozen or rebooting
         // guest must not (that would falsify the preservation digests).
-        let can_write = self
-            .domains
-            .get(&id)
-            .map(|d| d.kernel.is_running())
-            .unwrap_or(false);
-        if can_write {
-            let dom = self.domains.get_mut(&id).expect("exists");
-            let total = dom.p2m.total_pages();
-            if total > 0 {
-                for _ in 0..pages {
-                    let pfn = rh_memory::frame::Pfn(self.rng.below(total));
-                    if let Some(mfn) = dom.p2m.lookup(pfn) {
-                        self.contents.write(mfn, self.rng.next_u64());
+        if let Some(dom) = self.domains.get_mut(&id) {
+            if dom.kernel.is_running() {
+                let total = dom.p2m.total_pages();
+                if total > 0 {
+                    for _ in 0..pages {
+                        let pfn = rh_memory::frame::Pfn(self.rng.below(total));
+                        if let Some(mfn) = dom.p2m.lookup(pfn) {
+                            self.contents.write(mfn, self.rng.next_u64());
+                        }
                     }
                 }
             }
@@ -640,9 +636,7 @@ impl Host {
             digests: BTreeMap::new(),
         });
         self.metrics.begin(sched.now(), "dom0 boot");
-        self.domains
-            .get_mut(&DomainId::DOM0)
-            .expect("dom0 exists")
+        self.dom0_mut()
             .kernel
             .begin_boot()
             .expect("dom0 off at power on");
@@ -785,8 +779,7 @@ impl Host {
         // suspend handlers, no flushed caches.
         self.vmm.set_down();
         let ids: Vec<DomainId> = self.domains.keys().copied().collect();
-        for id in &ids {
-            let dom = self.domains.get_mut(id).expect("exists");
+        for dom in self.domains.values_mut() {
             if let Some(svc) = dom.service.as_mut() {
                 svc.kill();
             }
@@ -879,6 +872,7 @@ impl Host {
         let dom = self.domains.get_mut(&id).expect("unknown domain");
         assert!(dom.kernel.is_running(), "{id} is not running");
         assert!(!self.file_reads.contains_key(&id), "{id} already reading");
+        // lint:allow(unwrap-panic): documented panicking API, see doc comment
         let fs = dom.fs.as_ref().expect("domain has no filesystem").clone();
         let plan = fs.plan_read(&mut dom.cache, file);
         let bytes = plan.total_bytes();
@@ -958,6 +952,7 @@ impl Host {
     /// Panics if the domain has no filesystem.
     pub fn warm_cache(&mut self, id: DomainId, files: u32) {
         let dom = self.dom_mut(id);
+        // lint:allow(unwrap-panic): documented panicking API, see doc comment
         let fs = dom.fs.as_ref().expect("domain has no filesystem").clone();
         fs.warm(&mut dom.cache, files);
     }
@@ -1091,6 +1086,7 @@ impl Host {
         if !dom.kernel.is_running() {
             return;
         }
+        // lint:allow(unwrap-panic): running checked immediately above
         dom.kernel.begin_shutdown().expect("running checked");
         let mut profile = linux_guest_shutdown();
         if let Some(svc) = dom.service.as_mut() {
@@ -1117,7 +1113,9 @@ impl Host {
         dom.cache.clear();
         self.trace.log(sched.now(), "guest", format!("{id} off"));
         // Release its memory.
-        let mut dom = self.domains.remove(&id).expect("just accessed");
+        let Some(mut dom) = self.domains.remove(&id) else {
+            return;
+        };
         if let Err(e) = self.vmm.destroy_domain(&mut dom, &mut self.contents) {
             self.errors.push(e);
         }
@@ -1130,21 +1128,33 @@ impl Host {
             );
             return;
         }
-        if let Some(run) = self.run.as_mut() {
-            run.pending_stops.remove(&id);
-            if run.pending_stops.is_empty() {
-                self.metrics.end_if_open(sched.now(), "guest shutdown");
-                match self.run.as_ref().expect("still active").strategy {
-                    RebootStrategy::Warm => self.begin_quick_reload(sched),
-                    RebootStrategy::Saved => self.after_saves(sched),
-                    RebootStrategy::Cold => self.maybe_start_reset(sched),
-                }
-            }
+        let Some(run) = self.run.as_mut() else {
+            return;
+        };
+        run.pending_stops.remove(&id);
+        if !run.pending_stops.is_empty() {
+            return;
+        }
+        let strategy = run.strategy;
+        self.metrics.end_if_open(sched.now(), "guest shutdown");
+        match strategy {
+            RebootStrategy::Warm => self.begin_quick_reload(sched),
+            RebootStrategy::Saved => self.after_saves(sched),
+            RebootStrategy::Cold => self.maybe_start_reset(sched),
         }
     }
 
     fn setup_cold_boot(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
-        let mut dom = self.domains.remove(&id).expect("domain exists");
+        let Some(mut dom) = self.domains.remove(&id) else {
+            // Unknown domain (stale event): count the setup as done so the
+            // reboot still completes.
+            self.single_rejuvs.remove(&id);
+            if let Some(run) = self.run.as_mut() {
+                run.pending_setup.remove(&id);
+            }
+            self.maybe_finish_reboot(sched);
+            return;
+        };
         match self.vmm.create_domain(&mut dom, &mut self.contents) {
             Ok(()) => {
                 dom.kernel.begin_boot().expect("domain off");
@@ -1180,13 +1190,12 @@ impl Host {
         }
         self.aging_clock.insert(id, sched.now());
         self.trace.log(sched.now(), "guest", format!("{id} booted"));
-        let start = dom.service.as_ref().map(|s| *s.spec());
+        let start = dom.service.as_mut().map(|svc| {
+            svc.begin_start().expect("service stopped after boot");
+            *svc.spec()
+        });
         match start {
-            Some(spec) => {
-                let svc = dom.service.as_mut().expect("present");
-                svc.begin_start().expect("service stopped after boot");
-                self.begin_work(sched, id, WorkTag::StartService, spec.start);
-            }
+            Some(spec) => self.begin_work(sched, id, WorkTag::StartService, spec.start),
             None => self.on_domain_ready(sched, id),
         }
     }
@@ -1218,7 +1227,10 @@ impl Host {
 
     fn begin_guest_stops(&mut self, sched: &mut Scheduler<HostEvent>) {
         let ids = self.domu_ids();
-        let strategy = self.run.as_ref().expect("run active").strategy;
+        let Some(run) = self.run.as_ref() else {
+            return; // no run active: stale call
+        };
+        let strategy = run.strategy;
         for id in ids {
             let running = self
                 .domains
@@ -1228,11 +1240,7 @@ impl Host {
             if !running {
                 continue;
             }
-            self.run
-                .as_mut()
-                .expect("run active")
-                .pending_stops
-                .insert(id);
+            self.run_mut().pending_stops.insert(id);
             let is_driver = self
                 .domains
                 .get(&id)
@@ -1247,13 +1255,16 @@ impl Host {
                     self.begin_guest_shutdown(sched, id)
                 }
                 RebootStrategy::Warm | RebootStrategy::Saved => {
-                    let dom = self.domains.get_mut(&id).expect("exists");
+                    let Some(dom) = self.domains.get_mut(&id) else {
+                        continue;
+                    };
                     // The suspend request travels over the domain's suspend
                     // event channel (§4.2).
                     if let Some(port) = dom.channels.suspend_port() {
                         let _ = dom.channels.notify(port);
                         let _ = dom.channels.take_pending(port);
                     }
+                    // lint:allow(unwrap-panic): running checked at the top of the loop
                     dom.kernel.begin_suspend().expect("running checked");
                     self.trace
                         .log(sched.now(), "guest", format!("{id} suspending"));
@@ -1265,7 +1276,9 @@ impl Host {
             }
         }
         // No running guests at all: proceed straight on.
-        let run = self.run.as_ref().expect("run active");
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
         if run.pending_stops.is_empty() {
             let strategy = run.strategy;
             match strategy {
@@ -1281,7 +1294,9 @@ impl Host {
 
     fn on_suspend_handler_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
         let strategy = self.run.as_ref().map(|r| r.strategy);
-        let mut dom = self.domains.remove(&id).expect("domain exists");
+        let Some(mut dom) = self.domains.remove(&id) else {
+            return;
+        };
         // The suspend handler detaches the device frontends before the
         // hypercall freezes the image (§4.2).
         dom.channels.detach_for_suspend();
@@ -1313,7 +1328,12 @@ impl Host {
                 // Capture the logical image and stream it to disk.
                 let image = MemoryImage::capture(&dom.p2m, &self.contents);
                 let bytes = image.size_bytes() as f64;
-                let exec = dom.exec_state.expect("suspend saved it");
+                let Some(exec) = dom.exec_state else {
+                    self.errors
+                        .push(VmmError::BadDomainState(id, "save without exec state"));
+                    self.domains.insert(id, dom);
+                    return;
+                };
                 self.saved.insert(
                     id,
                     SavedDomain {
@@ -1338,7 +1358,9 @@ impl Host {
     fn on_save_written(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
         // The image is on disk; discard the resident copy (keeping the
         // snapshot for restore).
-        let mut dom = self.domains.remove(&id).expect("domain exists");
+        let Some(mut dom) = self.domains.remove(&id) else {
+            return;
+        };
         // Update the snapshot to the final frozen state (post-suspend).
         if let Some(s) = self.saved.get_mut(&id) {
             let mut snap = dom.clone();
@@ -1370,7 +1392,9 @@ impl Host {
     }
 
     fn begin_quick_reload(&mut self, sched: &mut Scheduler<HostEvent>) {
-        let run = self.run.as_ref().expect("run active");
+        let Some(run) = self.run.as_ref() else {
+            return;
+        };
         if !run.dom0_shutdown_done || !run.pending_stops.is_empty() {
             return; // the other precondition will trigger us again
         }
@@ -1500,19 +1524,14 @@ impl Host {
             .filter(|d| !d.is_dom0())
             .collect();
         run.pending_setup = run.setup_queue.iter().copied().collect();
+        let setup_empty = run.setup_queue.is_empty();
         let phase = match run.strategy {
             RebootStrategy::Warm => "resume",
             RebootStrategy::Saved => "restore",
             RebootStrategy::Cold => "guest boot",
         };
         self.metrics.begin(sched.now(), phase);
-        if self
-            .run
-            .as_ref()
-            .expect("run active")
-            .setup_queue
-            .is_empty()
-        {
+        if setup_empty {
             self.maybe_finish_reboot(sched);
         } else {
             sched.schedule_in(
@@ -1568,7 +1587,7 @@ impl Host {
                 }
             }
             RebootStrategy::Saved => {
-                if !self.saved.contains_key(&id) {
+                let Some(saved) = self.saved.get(&id) else {
                     // No image on disk (the guest was dead before the
                     // reboot): bring it back cold and keep the serial
                     // restore chain moving.
@@ -1582,14 +1601,13 @@ impl Host {
                         }
                     }
                     return;
-                }
+                };
                 // Recreate the domain shell from its snapshot and stream
                 // the image back from disk.
-                let saved = self.saved.get(&id).expect("image saved");
                 let mut dom = saved.snapshot.clone();
+                let bytes = saved.image.size_bytes() as f64;
                 match self.vmm.create_domain_empty(&mut dom) {
                     Ok(()) => {
-                        let bytes = saved.image.size_bytes() as f64;
                         self.domains.insert(id, dom);
                         let job = self.disk.submit(sched.now(), IoKind::Read, bytes);
                         self.disk_jobs.insert(job, DiskPurpose::RestoreImage(id));
@@ -1617,19 +1635,38 @@ impl Host {
     }
 
     fn on_restore_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
-        let saved = self.saved.remove(&id).expect("image saved");
+        let Some(saved) = self.saved.remove(&id) else {
+            return;
+        };
         // Direct field access (not dom_mut) so contents stays borrowable.
-        // lint:allow(unwrap-panic): the work pipeline only queues ops for live domains
-        let dom = self.domains.get_mut(&id).expect("domain exists");
-        saved
-            .image
-            .restore(&dom.p2m, &mut self.contents)
-            .expect("restore geometry matches");
-        dom.exec_state = Some(saved.exec);
-        dom.kernel.begin_resume().expect("snapshot was suspended");
-        self.trace
-            .log(sched.now(), "vmm", format!("{id} image restored"));
-        self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
+        let Some(dom) = self.domains.get_mut(&id) else {
+            return;
+        };
+        let restored = match saved.image.restore(&dom.p2m, &mut self.contents) {
+            Ok(()) => {
+                dom.exec_state = Some(saved.exec);
+                dom.kernel.begin_resume().expect("snapshot was suspended");
+                self.trace
+                    .log(sched.now(), "vmm", format!("{id} image restored"));
+                self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
+                true
+            }
+            Err(e) => {
+                // The image no longer matches the recreated shell's
+                // geometry; surface the error instead of resuming garbage.
+                self.errors
+                    .push(VmmError::BadDomainState(id, "restore geometry mismatch"));
+                self.trace.log(
+                    sched.now(),
+                    "vmm",
+                    format!("{id} image restore failed: {e}"),
+                );
+                if let Some(run) = self.run.as_mut() {
+                    run.pending_setup.remove(&id);
+                }
+                false
+            }
+        };
         // Serial restore: kick the next domain's restore now that this
         // image is fully read back.
         if let Some(run) = self.run.as_ref() {
@@ -1640,6 +1677,9 @@ impl Host {
                 );
             }
         }
+        if !restored {
+            self.maybe_finish_reboot(sched);
+        }
     }
 
     fn on_resume_handler_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
@@ -1648,7 +1688,9 @@ impl Host {
             self.finish_file_read(sched, id);
             return;
         }
-        let mut dom = self.domains.remove(&id).expect("domain exists");
+        let Some(mut dom) = self.domains.remove(&id) else {
+            return;
+        };
         match self.vmm.on_memory_resume(&mut dom) {
             Ok(_exec) => {
                 dom.kernel.finish_resume().expect("was resuming");
@@ -1713,11 +1755,11 @@ impl Host {
     }
 
     fn maybe_finish_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
-        let Some(run) = self.run.as_ref() else { return };
+        let Some(run) = self.run.take() else { return };
         if !run.pending_setup.is_empty() || !run.setup_queue.is_empty() {
+            self.run = Some(run);
             return;
         }
-        let run = self.run.take().expect("just checked");
         let phase = match run.strategy {
             RebootStrategy::Warm => "resume",
             RebootStrategy::Saved => "restore",
@@ -1774,8 +1816,12 @@ impl Host {
             let rid = self.next_req;
             self.next_req += 1;
             let os_slow = self.aging_slowdown(target, now);
-            let dom = self.domains.get_mut(&target).expect("target exists");
-            let fs = dom.fs.as_ref().expect("web domain has files").clone();
+            let Some(dom) = self.domains.get_mut(&target) else {
+                break;
+            };
+            let Some(fs) = dom.fs.as_ref().cloned() else {
+                break;
+            };
             let plan = fs.plan_read(&mut dom.cache, file);
             let bytes = plan.total_bytes();
             self.requests.insert(

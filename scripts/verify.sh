@@ -26,6 +26,29 @@ cargo run -q --release -p rh-lint --offline -- --check
 echo "==> rh-lint protocol (warm-reboot interleaving checker)"
 cargo run -q --release -p rh-lint --offline -- protocol --domains 3
 
+echo "==> all --jobs 2 determinism smoke (reduced range, DESIGN.md §10)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q --release -p rh-bench --bin all --offline -- \
+    --jobs 2 --max-n 3 --quick --json "$smoke_dir/par.json" \
+    > "$smoke_dir/par.txt"
+cargo run -q --release -p rh-bench --bin all --offline -- \
+    --jobs 1 --max-n 3 --quick --json "$smoke_dir/seq.json" \
+    > "$smoke_dir/seq.txt"
+par_digest=$(cksum < "$smoke_dir/par.txt")
+seq_digest=$(cksum < "$smoke_dir/seq.txt")
+if [ "$par_digest" != "$seq_digest" ]; then
+    echo "FAIL: all --jobs 2 output differs from --jobs 1" >&2
+    diff "$smoke_dir/seq.txt" "$smoke_dir/par.txt" >&2 || true
+    exit 1
+fi
+for json in par seq; do
+    if [ ! -s "$smoke_dir/$json.json" ]; then
+        echo "FAIL: all did not write the $json BENCH_repro.json" >&2
+        exit 1
+    fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
