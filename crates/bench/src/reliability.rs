@@ -11,11 +11,24 @@
 //! * **adaptive proactive** — warm-rejuvenate only when the trend
 //!   detector projects exhaustion (fewest rejuvenations).
 
+//!
+//! The **fault sweep** ([`fault_sweep`]) closes a second loop: VMM crash
+//! failures arrive as a Poisson process (rh-faults), and the host is
+//! recovered either ReHype-style (micro-reboot + salvage) or by cold
+//! reboot — producing availability and MTTR curves vs fault rate.
+
+use rh_faults::plan::{FaultKind, FaultPlan, Trigger};
+use rh_faults::recovery::{watch_and_recover, RecoveryConfig, RecoveryPolicy};
+use rh_faults::Injector;
 use rh_guest::services::ServiceKind;
 use rh_rejuv::adaptive::{run_adaptive, AdaptivePolicy};
-use rh_sim::time::SimDuration;
+use rh_sim::rng::SimRng;
+use rh_sim::time::{SimDuration, SimTime};
 use rh_vmm::config::RebootStrategy;
 use rh_vmm::harness::{booted_host, HostSim};
+use rh_vmm::{DomainId, InjectPoint};
+
+use crate::exec::Sweep;
 
 /// Outcome of one operating mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,6 +179,183 @@ pub fn render(r: &ReliabilityResult) -> String {
     )
 }
 
+/// One point of the fault sweep: a fault rate handled by one recovery
+/// policy over the horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPointResult {
+    /// Mean VMM crash arrivals per hour (Poisson).
+    pub rate_per_hour: f64,
+    /// How incidents were recovered.
+    pub policy: RecoveryPolicy,
+    /// Crash incidents that actually arrived within the horizon.
+    pub incidents: u64,
+    /// Mean time to repair across incidents (s); 0 with no incidents.
+    pub mean_mttr_secs: f64,
+    /// Fraction of affected guests salvaged with state intact.
+    pub salvage_fraction: f64,
+    /// Per-service availability over the horizon, in `[0, 1]`.
+    pub availability: f64,
+}
+
+/// Per-service downtime overlapping the `[start, end]` window (s).
+fn downtime_in_window(sim: &HostSim, start: SimTime, end: SimTime) -> f64 {
+    sim.host()
+        .domu_ids()
+        .iter()
+        .filter_map(|g| sim.host().meter(*g))
+        .map(|m| {
+            let closed: f64 = m
+                .outages()
+                .iter()
+                .map(|o| {
+                    let s = o.start.max(start);
+                    let e = o.end.min(end);
+                    if e > s {
+                        (e - s).as_secs_f64()
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            let open = m
+                .down_since()
+                .map(|t| {
+                    let s = t.max(start);
+                    if end > s {
+                        (end - s).as_secs_f64()
+                    } else {
+                        0.0
+                    }
+                })
+                .unwrap_or(0.0);
+            closed + open
+        })
+        .sum()
+}
+
+/// Runs one fault-sweep point: crashes arrive with exponential gaps of
+/// mean `3600 / rate_per_hour` seconds, each recovered under `policy`.
+///
+/// One in four incidents also corrupts a random frozen guest's memory
+/// while the replacement VMM loads (a [`FaultPlan`] armed for the
+/// incident), exercising the validation fallback on the micro-reboot
+/// path. All randomness — gaps, victims, corruption masks — comes from
+/// `rng`, so the point replays identically for a given stream.
+pub fn run_fault_point(
+    vms: u32,
+    rate_per_hour: f64,
+    policy: RecoveryPolicy,
+    horizon: SimDuration,
+    mut rng: SimRng,
+) -> FaultPointResult {
+    let mut sim = booted_host(vms, ServiceKind::Ssh);
+    let start = sim.now();
+    let end = start + horizon;
+    let mean_gap_secs = 3600.0 / rate_per_hour;
+    let cfg = RecoveryConfig::new(policy);
+
+    let mut incidents = 0u64;
+    let mut mttr_total = 0.0f64;
+    let mut salvaged = 0u64;
+    let mut affected = 0u64;
+    loop {
+        let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap_secs));
+        if sim.now() + gap >= end {
+            break;
+        }
+        sim.run_for(gap);
+        let corrupting = rng.chance(0.25);
+        if corrupting {
+            let victim = DomainId(1 + rng.below(u64::from(vms)) as u32);
+            let plan = FaultPlan::new(rng.next_u64()).arm(
+                InjectPoint::QuickReload,
+                Trigger::Always,
+                FaultKind::FrameCorruption(victim),
+            );
+            sim.host_mut()
+                .arm_fault_hook(Box::new(Injector::new(&plan)));
+        }
+        {
+            let (host, sched) = sim.simulation_mut().parts_mut();
+            host.fault_vmm_crash(sched);
+        }
+        let Some(report) = watch_and_recover(&mut sim, &cfg) else {
+            break; // unrecoverable within the cap; stop the point
+        };
+        if corrupting {
+            sim.host_mut().disarm_fault_hook();
+        }
+        incidents += 1;
+        mttr_total += report.mttr().as_secs_f64();
+        salvaged += report.salvaged.len() as u64;
+        affected += (report.salvaged.len() + report.lost.len()) as u64;
+    }
+    if sim.now() < end {
+        sim.run_for(end - sim.now());
+    }
+
+    let down = downtime_in_window(&sim, start, end);
+    let service_seconds = f64::from(vms) * horizon.as_secs_f64();
+    FaultPointResult {
+        rate_per_hour,
+        policy,
+        incidents,
+        mean_mttr_secs: if incidents > 0 {
+            mttr_total / incidents as f64
+        } else {
+            0.0
+        },
+        salvage_fraction: if affected > 0 {
+            salvaged as f64 / affected as f64
+        } else {
+            1.0
+        },
+        availability: 1.0 - down / service_seconds,
+    }
+}
+
+/// Sweeps fault rates × both recovery policies across `jobs` workers,
+/// deterministically: point `i` sees only stream `i` of `seed`, so the
+/// output is byte-identical at any worker count.
+pub fn fault_sweep(
+    vms: u32,
+    rates_per_hour: &[f64],
+    horizon: SimDuration,
+    seed: u64,
+    jobs: usize,
+) -> Vec<FaultPointResult> {
+    let mut sweep = Sweep::new(seed);
+    for &rate in rates_per_hour {
+        for policy in [RecoveryPolicy::Microreboot, RecoveryPolicy::ColdReboot] {
+            sweep.point(format!("faults/{rate}per_h/{policy}"), move |rng| {
+                run_fault_point(vms, rate, policy, horizon, rng)
+            });
+        }
+    }
+    sweep.run_values(jobs)
+}
+
+/// Renders the fault sweep as availability/MTTR curves vs fault rate.
+pub fn render_fault_sweep(points: &[FaultPointResult], vms: u32, horizon: SimDuration) -> String {
+    let mut out = format!(
+        "## availability under Poisson VMM crashes ({vms} guests, {:.1} h horizon)\n\
+         rate (1/h)   recovery       incidents   mean MTTR (s)   salvaged   availability\n",
+        horizon.as_secs_f64() / 3600.0
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<12.2} {:<14} {:>9} {:>15.1} {:>9.2} {:>14.6}\n",
+            p.rate_per_hour,
+            p.policy.to_string(),
+            p.incidents,
+            p.mean_mttr_secs,
+            p.salvage_fraction,
+            p.availability,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +373,42 @@ mod tests {
         assert!(r.adaptive.downtime_secs < r.reactive.downtime_secs);
         assert!(r.time_based.downtime_secs < r.reactive.downtime_secs);
         assert!(render(&r).contains("adaptive"));
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic_across_worker_counts() {
+        let rates = [2.0];
+        let horizon = SimDuration::from_secs(2 * 3600);
+        let serial = fault_sweep(3, &rates, horizon, 7, 1);
+        let parallel = fault_sweep(3, &rates, horizon, 7, 2);
+        assert_eq!(serial, parallel, "results must not depend on --jobs");
+        assert_eq!(
+            render_fault_sweep(&serial, 3, horizon),
+            render_fault_sweep(&parallel, 3, horizon)
+        );
+    }
+
+    #[test]
+    fn microreboot_beats_cold_reboot_on_availability_and_mttr() {
+        let points = fault_sweep(3, &[4.0], SimDuration::from_secs(4 * 3600), 2007, 2);
+        let warm = points
+            .iter()
+            .find(|p| p.policy == RecoveryPolicy::Microreboot)
+            .expect("warm point");
+        let cold = points
+            .iter()
+            .find(|p| p.policy == RecoveryPolicy::ColdReboot)
+            .expect("cold point");
+        assert!(warm.incidents > 0, "faults must actually arrive");
+        assert!(
+            warm.mean_mttr_secs * 2.0 < cold.mean_mttr_secs,
+            "warm MTTR {} vs cold {}",
+            warm.mean_mttr_secs,
+            cold.mean_mttr_secs
+        );
+        assert!(warm.availability > cold.availability);
+        // Micro-reboot salvages most guests; cold reboot salvages none.
+        assert!(warm.salvage_fraction > 0.5);
+        assert_eq!(cold.salvage_fraction, 0.0);
     }
 }

@@ -1,0 +1,233 @@
+//! The seeded fault-plan DSL.
+//!
+//! A [`FaultPlan`] is a list of [`Arm`]s: *what* goes wrong
+//! ([`FaultKind`]), *where* in the warm-reboot pipeline it goes wrong
+//! (an [`InjectPoint`]), and *when* it fires ([`Trigger`]). The plan
+//! carries its own seed; everything stochastic about its execution —
+//! `Chance` trigger draws, which bits a corruption flips — is derived
+//! from that seed by the [`Injector`](crate::inject::Injector), so the
+//! same plan against the same host replays byte-identically.
+
+use std::fmt;
+
+use rh_vmm::{DomainId, InjectPoint};
+
+/// What goes wrong. Each kind maps onto one concrete
+/// [`FaultAction`](rh_vmm::FaultAction) when its arm fires; kinds that
+/// target a specific domain only fire on consultations about that domain
+/// (or on consultations with no domain context at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The VMM itself fails: the software-aging outcome the paper
+    /// rejuvenates to avoid. Takes the whole machine down.
+    VmmCrash,
+    /// The staged next-VMM image is corrupted in preserved memory, so
+    /// quick reload's integrity check rejects it (§4.3).
+    XexecFailure,
+    /// One extent of the victim's preserved P2M table is corrupted, so
+    /// the new VMM re-reserves the wrong frames.
+    P2mCorruption(DomainId),
+    /// One frame of the victim's frozen memory image is flipped, so the
+    /// resume-time digest check fails.
+    FrameCorruption(DomainId),
+    /// The victim's 16 KB execution-state record vanishes from preserved
+    /// memory: the domain freezes fine but can never resume.
+    ExecStateTruncation(DomainId),
+    /// The victim's resume fails outright in the new VMM.
+    ResumeFailure(DomainId),
+    /// Domain 0's boot hangs for the given extra milliseconds — the
+    /// "dom0 hang" fault, stretching detection and recovery time.
+    Dom0Hang {
+        /// Extra boot delay, in milliseconds.
+        extra_ms: u64,
+    },
+}
+
+impl FaultKind {
+    /// The domain this fault targets, if it is domain-specific.
+    pub fn victim(&self) -> Option<DomainId> {
+        match self {
+            FaultKind::P2mCorruption(d)
+            | FaultKind::FrameCorruption(d)
+            | FaultKind::ExecStateTruncation(d)
+            | FaultKind::ResumeFailure(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::VmmCrash => write!(f, "vmm-crash"),
+            FaultKind::XexecFailure => write!(f, "xexec-failure"),
+            FaultKind::P2mCorruption(d) => write!(f, "p2m-corruption({d})"),
+            FaultKind::FrameCorruption(d) => write!(f, "frame-corruption({d})"),
+            FaultKind::ExecStateTruncation(d) => write!(f, "exec-state-truncation({d})"),
+            FaultKind::ResumeFailure(d) => write!(f, "resume-failure({d})"),
+            FaultKind::Dom0Hang { extra_ms } => write!(f, "dom0-hang(+{extra_ms}ms)"),
+        }
+    }
+}
+
+/// When an armed fault fires, counted over the consultations that match
+/// the arm (same injection point, compatible domain context).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on every matching consultation.
+    Always,
+    /// Fire exactly once, on the `n`-th matching consultation (1-based).
+    Nth(u64),
+    /// Fire on every `n`-th matching consultation.
+    EveryNth(u64),
+    /// Fire independently with probability `p` per matching consultation,
+    /// drawn from the arm's private seeded stream.
+    Chance(f64),
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Always => write!(f, "always"),
+            Trigger::Nth(n) => write!(f, "nth={n}"),
+            Trigger::EveryNth(n) => write!(f, "every={n}"),
+            Trigger::Chance(p) => write!(f, "p={p}"),
+        }
+    }
+}
+
+/// One armed fault: a kind, a trigger, and an injection point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arm {
+    /// Where in the pipeline the fault is considered.
+    pub point: InjectPoint,
+    /// When it fires.
+    pub trigger: Trigger,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Arm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} [{}]", self.kind, self.point, self.trigger)
+    }
+}
+
+/// A complete, seeded fault plan.
+///
+/// ```
+/// use rh_faults::plan::{FaultKind, FaultPlan, Trigger};
+/// use rh_vmm::InjectPoint;
+///
+/// let plan = FaultPlan::new(42)
+///     .arm(InjectPoint::SuspendEnd, Trigger::Nth(3), FaultKind::VmmCrash)
+///     .arm(
+///         InjectPoint::QuickReload,
+///         Trigger::Chance(0.5),
+///         FaultKind::XexecFailure,
+///     );
+/// assert_eq!(plan.arms().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    arms: Vec<Arm>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            arms: Vec::new(),
+        }
+    }
+
+    /// Adds an armed fault, builder-style.
+    #[must_use]
+    pub fn arm(mut self, point: InjectPoint, trigger: Trigger, kind: FaultKind) -> Self {
+        self.arms.push(Arm {
+            point,
+            trigger,
+            kind,
+        });
+        self
+    }
+
+    /// The seed all of this plan's randomness derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The armed faults, in arming order.
+    pub fn arms(&self) -> &[Arm] {
+        &self.arms
+    }
+
+    /// Whether the plan arms no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan(seed={:#x}):", self.seed)?;
+        if self.arms.is_empty() {
+            return write!(f, " (no faults armed)");
+        }
+        for (i, arm) in self.arms.iter().enumerate() {
+            let sep = if i == 0 { " " } else { "; " };
+            write!(f, "{sep}{arm}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_arms_in_order() {
+        let plan = FaultPlan::new(7)
+            .arm(
+                InjectPoint::StageImage,
+                Trigger::Always,
+                FaultKind::VmmCrash,
+            )
+            .arm(
+                InjectPoint::ResumeStart,
+                Trigger::Nth(2),
+                FaultKind::ResumeFailure(DomainId(3)),
+            );
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.arms()[0].point, InjectPoint::StageImage);
+        assert_eq!(plan.arms()[1].kind.victim(), Some(DomainId(3)));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let plan = FaultPlan::new(0xAB).arm(
+            InjectPoint::SuspendEnd,
+            Trigger::Chance(0.25),
+            FaultKind::FrameCorruption(DomainId(1)),
+        );
+        let s = plan.to_string();
+        assert!(s.contains("seed=0xab"), "{s}");
+        assert!(s.contains("frame-corruption"), "{s}");
+        assert!(s.contains("p=0.25"), "{s}");
+        assert!(FaultPlan::new(1).to_string().contains("no faults"));
+    }
+
+    #[test]
+    fn victims_only_on_domain_specific_kinds() {
+        assert_eq!(FaultKind::VmmCrash.victim(), None);
+        assert_eq!(FaultKind::Dom0Hang { extra_ms: 5 }.victim(), None);
+        assert_eq!(
+            FaultKind::ExecStateTruncation(DomainId(2)).victim(),
+            Some(DomainId(2))
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Integration tests: fault plans driven through the full host world,
+//! recovered by the ReHype-style engine.
+
+use rh_faults::plan::{FaultKind, FaultPlan, Trigger};
+use rh_faults::recovery::{watch_and_recover, RecoveryConfig, RecoveryPolicy, RecoveryReport};
+use rh_faults::Injector;
+use rh_guest::services::ServiceKind;
+use rh_vmm::harness::{booted_host, HostSim};
+use rh_vmm::{DomainId, InjectPoint, RebootStrategy};
+
+/// Arms `plan` on a freshly booted `n`-guest host, commands a warm
+/// reboot (the pipeline the plan's faults live in), and drives one
+/// recovery under `policy`.
+fn run_incident(
+    n: u32,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> (HostSim, Option<RecoveryReport>) {
+    let mut sim = booted_host(n, ServiceKind::Ssh);
+    sim.host_mut().arm_fault_hook(Box::new(Injector::new(plan)));
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.warm_reboot(sched);
+    }
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(policy));
+    (sim, report)
+}
+
+fn digests(sim: &HostSim) -> Vec<(DomainId, u64)> {
+    sim.host()
+        .domu_ids()
+        .into_iter()
+        .map(|id| (id, sim.host().domain_digest(id).expect("domain exists")))
+        .collect()
+}
+
+#[test]
+fn same_plan_same_seed_replays_byte_identically() {
+    let plan = FaultPlan::new(0xD5A1)
+        .arm(
+            InjectPoint::SuspendEnd,
+            Trigger::Chance(0.7),
+            FaultKind::VmmCrash,
+        )
+        .arm(
+            InjectPoint::QuickReload,
+            Trigger::Chance(0.5),
+            FaultKind::FrameCorruption(DomainId(2)),
+        );
+    let (sim_a, rep_a) = run_incident(4, &plan, RecoveryPolicy::Microreboot);
+    let (sim_b, rep_b) = run_incident(4, &plan, RecoveryPolicy::Microreboot);
+    let rep_a = rep_a.expect("p=0.7 over four suspends fires");
+    let rep_b = rep_b.expect("identical replay fires identically");
+    assert_eq!(rep_a.to_string(), rep_b.to_string());
+    assert_eq!(rep_a.salvaged, rep_b.salvaged);
+    assert_eq!(rep_a.lost, rep_b.lost);
+    assert_eq!(rep_a.fault_at, rep_b.fault_at);
+    assert_eq!(rep_a.recovered_at, rep_b.recovered_at);
+    assert_eq!(sim_a.now(), sim_b.now());
+    assert_eq!(digests(&sim_a), digests(&sim_b));
+}
+
+#[test]
+fn microreboot_salvages_frozen_domains_with_state_intact() {
+    let mut sim = booted_host(4, ServiceKind::Ssh);
+    let before = digests(&sim);
+    let gens_before: Vec<u64> = sim
+        .host()
+        .domu_ids()
+        .iter()
+        .map(|id| service_generation(&sim, *id))
+        .collect();
+
+    // The VMM dies the moment the second guest's image is frozen: two
+    // guests are already suspended, two are still running.
+    let plan = FaultPlan::new(7).arm(
+        InjectPoint::SuspendEnd,
+        Trigger::Nth(2),
+        FaultKind::VmmCrash,
+    );
+    sim.host_mut()
+        .arm_fault_hook(Box::new(Injector::new(&plan)));
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.warm_reboot(sched);
+    }
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(RecoveryPolicy::Microreboot))
+        .expect("the crash is detected and recovered");
+
+    // ReHype's claim: the VMM was replaced, the VMs never noticed.
+    assert_eq!(report.salvaged.len(), 4, "all guests salvaged: {report}");
+    assert!(report.lost.is_empty(), "{report}");
+    assert_eq!(digests(&sim), before, "memory images survived the crash");
+    let gens_after: Vec<u64> = sim
+        .host()
+        .domu_ids()
+        .iter()
+        .map(|id| service_generation(&sim, *id))
+        .collect();
+    assert_eq!(gens_after, gens_before, "service processes survived");
+    assert!(sim.host().all_services_up());
+    assert_eq!(sim.host().vmm().generation(), 2, "VMM itself was replaced");
+    assert!(!sim.host().reboot_in_progress());
+    // Detection is bounded by the watchdog tick; repair is on the warm
+    // scale (tens of seconds), not the cold scale (minutes).
+    assert!(report.detection_latency().as_secs_f64() <= 1.5, "{report}");
+    assert!(report.mttr().as_secs_f64() < 60.0, "{report}");
+}
+
+#[test]
+fn corrupted_domain_is_cold_booted_never_resumed() {
+    // Crash mid-suspend, then flip one frame of domain 1's frozen image
+    // while the replacement VMM loads: validation must catch it.
+    let plan = FaultPlan::new(11)
+        .arm(
+            InjectPoint::SuspendEnd,
+            Trigger::Nth(2),
+            FaultKind::VmmCrash,
+        )
+        .arm(
+            InjectPoint::QuickReload,
+            Trigger::Always,
+            FaultKind::FrameCorruption(DomainId(1)),
+        );
+    let (sim, report) = run_incident(4, &plan, RecoveryPolicy::Microreboot);
+    let report = report.expect("recovered");
+
+    assert_eq!(report.lost, vec![DomainId(1)], "{report}");
+    assert_eq!(report.salvaged.len(), 3, "{report}");
+    // The recovery invariant: a domain is either resumed with its digest
+    // intact or cold-booted — never resumed corrupted.
+    let host_report = sim.host().reports().last().expect("report logged");
+    assert!(
+        host_report.corrupted.is_empty(),
+        "corrupted domain resumed: {:?}",
+        host_report.corrupted
+    );
+    assert_eq!(host_report.cold_booted, vec![DomainId(1)]);
+    assert!(sim.host().all_services_up());
+    // The cold-booted guest restarted its service process.
+    assert_eq!(service_generation(&sim, DomainId(1)), 2);
+    assert_eq!(service_generation(&sim, DomainId(2)), 1);
+}
+
+#[test]
+fn injected_resume_failure_falls_back_without_leaking_channels() {
+    let mut sim = booted_host(3, ServiceKind::Ssh);
+    let channels_before: Vec<usize> = sim
+        .host()
+        .domu_ids()
+        .iter()
+        .map(|id| sim.host().domain(*id).expect("exists").channels.len())
+        .collect();
+
+    // Crash before any guest suspends, then make domain 2's resume fail
+    // outright in the replacement VMM.
+    let plan = FaultPlan::new(13)
+        .arm(
+            InjectPoint::StageImage,
+            Trigger::Always,
+            FaultKind::VmmCrash,
+        )
+        .arm(
+            InjectPoint::ResumeStart,
+            Trigger::Always,
+            FaultKind::ResumeFailure(DomainId(2)),
+        );
+    sim.host_mut()
+        .arm_fault_hook(Box::new(Injector::new(&plan)));
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.warm_reboot(sched);
+    }
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(RecoveryPolicy::Microreboot))
+        .expect("recovered");
+
+    assert_eq!(report.lost, vec![DomainId(2)], "{report}");
+    assert!(sim.host().all_services_up());
+    // Satellite: detach_for_suspend / reestablish_after_resume must
+    // round-trip — salvaged guests get their channels back, and the
+    // cold-booted guest starts a fresh standard set. No leak either way.
+    let channels_after: Vec<usize> = sim
+        .host()
+        .domu_ids()
+        .iter()
+        .map(|id| sim.host().domain(*id).expect("exists").channels.len())
+        .collect();
+    assert_eq!(channels_after, channels_before, "channel counts drifted");
+}
+
+#[test]
+fn corrupted_staged_image_aborts_reload_and_recovery_salvages_all() {
+    // The staged next-VMM image is corrupted during a routine warm
+    // reboot. Quick reload's integrity check rejects it, the run is
+    // abandoned with the VMM down — and the recovery engine restages a
+    // clean image and salvages every (already frozen) guest.
+    let plan = FaultPlan::new(17).arm(
+        InjectPoint::StageImage,
+        Trigger::Always,
+        FaultKind::XexecFailure,
+    );
+    let (sim, report) = run_incident(3, &plan, RecoveryPolicy::Microreboot);
+    let report = report.expect("reload failure detected and recovered");
+
+    assert_eq!(report.salvaged.len(), 3, "{report}");
+    assert!(report.lost.is_empty(), "{report}");
+    assert!(sim.host().all_services_up());
+    assert_eq!(sim.host().vmm().generation(), 2);
+    let errors = sim.host().errors();
+    assert!(
+        errors
+            .iter()
+            .any(|e| format!("{e:?}").contains("IntegrityViolation")),
+        "expected an integrity violation in {errors:?}"
+    );
+}
+
+#[test]
+fn cold_policy_loses_everything_and_takes_longer() {
+    let crash_plan = FaultPlan::new(19).arm(
+        InjectPoint::SuspendEnd,
+        Trigger::Nth(1),
+        FaultKind::VmmCrash,
+    );
+    let (_, warm) = run_incident(3, &crash_plan, RecoveryPolicy::Microreboot);
+    let (sim, cold) = run_incident(3, &crash_plan, RecoveryPolicy::ColdReboot);
+    let warm = warm.expect("recovered");
+    let cold = cold.expect("recovered");
+
+    assert!(cold.salvaged.is_empty(), "{cold}");
+    assert_eq!(cold.lost.len(), 3, "{cold}");
+    assert!(sim.host().all_services_up());
+    assert_eq!(
+        sim.host().reports().last().expect("logged").strategy,
+        RebootStrategy::Cold
+    );
+    assert!(
+        cold.mttr().as_secs_f64() > 2.0 * warm.mttr().as_secs_f64(),
+        "cold MTTR {} vs warm MTTR {}",
+        cold.mttr(),
+        warm.mttr()
+    );
+}
+
+fn service_generation(sim: &HostSim, id: DomainId) -> u64 {
+    sim.host()
+        .domain(id)
+        .expect("domain exists")
+        .service
+        .as_ref()
+        .expect("service configured")
+        .generation()
+}

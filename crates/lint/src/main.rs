@@ -4,6 +4,7 @@
 //! rh-lint [--check] [--json]      lint the workspace against the baseline
 //! rh-lint --update-baseline       ratchet the baseline to current counts
 //! rh-lint protocol [--domains N] [--exec-bytes N] [--buggy] [--json]
+//!                  [--faults [--unsafe-recovery]]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/violations, 2 usage or internal error.
@@ -123,6 +124,8 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
                 i += 1;
             }
             "--buggy" => cfg.buggy_reload = true,
+            "--faults" => cfg.faults = true,
+            "--unsafe-recovery" => cfg.unsafe_recovery = true,
             "--json" => json = true,
             other => return Err(format!("unknown protocol argument `{other}`")),
         }
@@ -130,6 +133,9 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
     }
     if cfg.domains == 0 || cfg.domains > 6 {
         return Err("--domains must be in 1..=6 (state space grows fast)".to_string());
+    }
+    if cfg.unsafe_recovery && !cfg.faults {
+        return Err("--unsafe-recovery only makes sense with --faults".to_string());
     }
     let result = explore(&cfg)?;
     if json {
@@ -156,10 +162,17 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
             cfg.domains, result.states, result.transitions, result.completed_runs
         );
         match &result.violation {
-            None => println!(
-                "all interleavings satisfy I1 frozen-frames-reserved, \
-                 I2 digest-preservation, I3 exec-state-bounded, I4 p2m-survives"
-            ),
+            None => {
+                let i5 = if cfg.faults {
+                    ", I5 recovery-validation"
+                } else {
+                    ""
+                };
+                println!(
+                    "all interleavings satisfy I1 frozen-frames-reserved, \
+                     I2 digest-preservation, I3 exec-state-bounded, I4 p2m-survives{i5}"
+                );
+            }
             Some(v) => print!("{v}"),
         }
     }

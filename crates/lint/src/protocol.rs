@@ -28,6 +28,18 @@
 //! exploration must find the I2 violation and print the offending event
 //! trace.
 //!
+//! **Faults mode** ([`ProtocolConfig::faults`]) extends the event set with
+//! one injected VMM crash per interleaving (plus at most one post-crash
+//! memory corruption) and a ReHype-style recovery event, and adds a fifth
+//! invariant:
+//!
+//! * **I5 recovery-validation** — after a crash, every domain is either
+//!   resumed with its pre-crash digest intact or cold-booted from fresh
+//!   frames; a domain whose frozen image was damaged is **never** handed
+//!   back. With [`ProtocolConfig::unsafe_recovery`] the recovery skips the
+//!   digest validation, and the exploration must produce the I5
+//!   counterexample trace.
+//!
 //! The visited set is a `BTreeSet` of canonical state encodings — by this
 //! crate's own `hashmap-iter` rule, nothing here may iterate a hash map.
 
@@ -60,6 +72,12 @@ pub struct ProtocolConfig {
     /// Replay the P2M tables *after* VMM init instead of before — the
     /// §4.3 corruption hazard the checker must catch.
     pub buggy_reload: bool,
+    /// Interleave one injected VMM crash (and at most one post-crash
+    /// memory corruption) with the protocol, plus the recovery event.
+    pub faults: bool,
+    /// Recovery skips digest validation — deliberately wrong; the
+    /// exploration must find the I5 counterexample.
+    pub unsafe_recovery: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -71,6 +89,8 @@ impl Default for ProtocolConfig {
             slack_frames: 4,
             exec_bytes: ExecState::MAX_BYTES,
             buggy_reload: false,
+            faults: false,
+            unsafe_recovery: false,
         }
     }
 }
@@ -97,6 +117,13 @@ pub enum Event {
     /// Background VMM/dom0 activity: allocate, scribble and release
     /// scratch frames.
     VmmScratch,
+    /// Faults mode: the VMM fails; survivors are frozen in place.
+    Crash,
+    /// Faults mode: a frozen domain's memory is damaged post-crash.
+    CorruptFrozen(u32),
+    /// Faults mode: ReHype-style recovery — micro-reboot the VMM,
+    /// salvage validated domains, cold-boot the rest.
+    Recover,
 }
 
 impl fmt::Display for Event {
@@ -111,6 +138,9 @@ impl fmt::Display for Event {
             Event::Resume(d) => write!(f, "resume(dom{})", d + 1),
             Event::ResumeDone(d) => write!(f, "resume-done(dom{})", d + 1),
             Event::VmmScratch => write!(f, "vmm-scratch"),
+            Event::Crash => write!(f, "vmm-crash"),
+            Event::CorruptFrozen(d) => write!(f, "corrupt-frozen(dom{})", d + 1),
+            Event::Recover => write!(f, "recover-microreboot"),
         }
     }
 }
@@ -133,6 +163,10 @@ struct DomState {
     frozen_digest: Option<u64>,
     /// Size of the saved execution-state record.
     exec_bytes: Option<u64>,
+    /// Faults mode: the frozen image was deliberately damaged post-crash.
+    damaged: bool,
+    /// Faults mode: recovery rebuilt this domain from fresh frames.
+    cold_booted: bool,
 }
 
 /// The full model state between events.
@@ -145,6 +179,8 @@ struct ModelState {
     dom0_up: bool,
     vmm_down: bool,
     reloaded: bool,
+    /// Faults mode: the one injected crash has happened.
+    crashed: bool,
     generation: u64,
 }
 
@@ -225,6 +261,8 @@ impl ModelState {
                 p2m,
                 frozen_digest: None,
                 exec_bytes: None,
+                damaged: false,
+                cold_booted: false,
             });
         }
         Ok(ModelState {
@@ -235,6 +273,7 @@ impl ModelState {
             dom0_up: true,
             vmm_down: false,
             reloaded: false,
+            crashed: false,
             generation: 1,
         })
     }
@@ -269,8 +308,28 @@ impl ModelState {
         {
             out.push(Event::VmmScratch);
         }
+        if cfg.faults && !self.crashed {
+            out.push(Event::Crash);
+        }
+        if self.crashed && self.vmm_down {
+            // Post-crash, pre-recovery window: the fault may damage one
+            // frozen image (at most one per path — the interleavings under
+            // test, not the damage arity, grow the state space).
+            if !self.doms.iter().any(|d| d.damaged) {
+                for (i, d) in self.doms.iter().enumerate() {
+                    if d.phase == Phase::Frozen {
+                        out.push(Event::CorruptFrozen(i as u32));
+                    }
+                }
+            }
+            out.push(Event::Recover);
+        }
         for (i, d) in self.doms.iter().enumerate() {
             let i = i as u32;
+            // A crashed VMM serves nothing until recovery brings it back.
+            if self.crashed && self.vmm_down {
+                break;
+            }
             match d.phase {
                 // Suspend hypercalls are served by the old VMM instance,
                 // which keeps running after dom0 goes down (until the
@@ -333,6 +392,37 @@ impl ModelState {
                     .release(&scratch)
                     .map_err(|e| format!("scratch release: {e}"))?;
             }
+            Event::Crash => {
+                self.crashed = true;
+                self.vmm_down = true;
+                self.dom0_up = false;
+                // The staged image dies with the pipeline; recovery
+                // restages its own.
+                self.staged = false;
+                // Survivors are frozen in place; whatever their memory
+                // holds right now becomes the preservation reference —
+                // exactly what the host's recovery engine records.
+                let contents = &self.contents;
+                for d in &mut self.doms {
+                    if d.phase != Phase::Frozen {
+                        d.frozen_digest = Some(logical_digest(&d.p2m, contents));
+                        d.exec_bytes = Some(cfg.exec_bytes);
+                        d.phase = Phase::Frozen;
+                    }
+                }
+            }
+            Event::CorruptFrozen(i) => {
+                let r = self
+                    .dom(i)?
+                    .p2m
+                    .machine_ranges()
+                    .first()
+                    .copied()
+                    .ok_or_else(|| format!("corrupt: dom{} has no extents", i + 1))?;
+                self.contents.fill_pattern(r, 0xBAD0_0000 ^ self.generation);
+                self.dom_mut(i)?.damaged = true;
+            }
+            Event::Recover => self.recover(cfg)?,
         }
         Ok(())
     }
@@ -382,6 +472,78 @@ impl ModelState {
         self.staged = false;
         self.vmm_down = false;
         self.reloaded = true;
+        Ok(())
+    }
+
+    /// ReHype-style recovery: a fresh allocator, preserved P2M tables
+    /// replayed for every domain whose frozen digest still validates,
+    /// fresh frames for the rest (cold boot). With
+    /// [`ProtocolConfig::unsafe_recovery`] the validation is skipped and
+    /// every domain is salvaged blindly — the deliberate bug I5 catches.
+    fn recover(&mut self, cfg: &ProtocolConfig) -> Result<(), String> {
+        let mut ram = MachineMemory::new(self.ram.total_frames());
+        let salvage: Vec<bool> = self
+            .doms
+            .iter()
+            .map(|d| {
+                cfg.unsafe_recovery
+                    || d.frozen_digest == Some(logical_digest(&d.p2m, &self.contents))
+            })
+            .collect();
+        for (i, d) in self.doms.iter().enumerate() {
+            if salvage[i] {
+                for r in d.p2m.machine_ranges() {
+                    ram.reserve_exact(r)
+                        .map_err(|e| format!("recover: dom{} frames: {e}", i + 1))?;
+                }
+            }
+        }
+        // The replacement VMM claims its own region and initializes —
+        // after the replay, never before (the §4.3 lesson applies to
+        // recovery too).
+        ram.reserve_exact(FrameRange::new(Mfn(0), MODEL_VMM_FRAMES))
+            .map_err(|e| format!("recover: vmm reserve: {e}"))?;
+        if cfg.scratch_frames > 0 {
+            let scratch = ram
+                .allocate(cfg.scratch_frames)
+                .map_err(|e| format!("recover: scratch: {e}"))?;
+            for r in &scratch {
+                self.contents
+                    .fill_pattern(*r, 0xDEAD_0000 ^ self.generation);
+            }
+            ram.release(&scratch)
+                .map_err(|e| format!("recover: scratch release: {e}"))?;
+        }
+        for (i, salvaged) in salvage.iter().enumerate() {
+            if *salvaged {
+                continue;
+            }
+            // Cold boot from fresh frames: the old image is abandoned
+            // (its frames stay free in the new allocator) and every
+            // preservation claim about the domain is dropped.
+            let frames = ram
+                .allocate(cfg.frames_per_domain)
+                .map_err(|e| format!("recover: dom{} cold alloc: {e}", i + 1))?;
+            let mut p2m = P2mTable::new();
+            p2m.map_contiguous(Pfn(0), &frames)
+                .map_err(|e| format!("recover: dom{} cold map: {e}", i + 1))?;
+            for (j, r) in frames.iter().enumerate() {
+                self.contents
+                    .fill_pattern(*r, 0xC01D_0000 + u64::from(i as u32) * 64 + j as u64);
+            }
+            let d = &mut self.doms[i];
+            d.p2m = p2m;
+            d.frozen_digest = None;
+            d.exec_bytes = None;
+            d.damaged = false;
+            d.cold_booted = true;
+            d.phase = Phase::Resumed;
+        }
+        self.ram = ram;
+        self.generation += 1;
+        self.vmm_down = false;
+        self.reloaded = true;
+        self.staged = false;
         Ok(())
     }
 
@@ -436,7 +598,25 @@ impl ModelState {
                     ));
                 }
             }
+            // I5: a domain whose image an injected fault damaged must
+            // never be handed back to its guest — recovery's validation
+            // has to route it to a cold boot instead.
+            if d.damaged && !d.cold_booted && matches!(d.phase, Phase::Resuming | Phase::Resumed) {
+                return Err((
+                    "I5 recovery-validation".into(),
+                    format!(
+                        "{name} was handed back with a corrupted memory image — \
+                         recovery must cold-boot it"
+                    ),
+                ));
+            }
             // I2: the frozen digest is preserved until (and through) resume.
+            // A domain the fault injector itself damaged is judged by I5
+            // instead: preservation is already broken by construction, and
+            // the question becomes what recovery does about it.
+            if d.damaged {
+                continue;
+            }
             if let Some(frozen) = d.frozen_digest {
                 let now = logical_digest(&d.p2m, &self.contents);
                 if now != frozen {
@@ -476,11 +656,14 @@ impl ModelState {
             u64::from(self.dom0_up),
             u64::from(self.vmm_down),
             u64::from(self.reloaded),
+            u64::from(self.crashed),
             self.generation,
             self.ram.free_frames(),
         ];
         for d in &self.doms {
             out.push(d.phase as u64);
+            out.push(u64::from(d.damaged));
+            out.push(u64::from(d.cold_booted));
             out.push(d.frozen_digest.unwrap_or(0));
             out.push(d.exec_bytes.unwrap_or(0));
             out.push(logical_digest(&d.p2m, &self.contents));
@@ -644,6 +827,36 @@ mod tests {
         let result = explore(&cfg).unwrap();
         let v = result.violation.expect("oversized record must be found");
         assert_eq!(v.invariant, "I3 exec-state-bounded");
+    }
+
+    #[test]
+    fn faults_mode_recovery_invariant_holds() {
+        let cfg = ProtocolConfig {
+            faults: true,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg).unwrap();
+        assert!(result.passed(), "violation: {:?}", result.violation);
+        assert!(result.completed_runs >= 1, "no run reached all-resumed");
+    }
+
+    #[test]
+    fn unsafe_recovery_produces_counterexample() {
+        let cfg = ProtocolConfig {
+            faults: true,
+            unsafe_recovery: true,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg).unwrap();
+        let v = result.violation.expect("blind salvage must be caught");
+        assert_eq!(v.invariant, "I5 recovery-validation");
+        for step in ["vmm-crash", "corrupt-frozen", "recover-microreboot"] {
+            assert!(
+                v.trace.iter().any(|e| e.starts_with(step)),
+                "trace missing {step}: {:?}",
+                v.trace
+            );
+        }
     }
 
     #[test]

@@ -189,6 +189,23 @@ impl FrameContents {
     pub fn pattern_extents(&self) -> usize {
         self.patterns.len()
     }
+
+    /// Fault injection: XORs one frame's signature in place (a scrubbed
+    /// frame becomes an explicit `xor` value). Any digest covering the
+    /// frame changes. Returns whether the frame held a value before.
+    pub fn corrupt(&mut self, mfn: Mfn, xor: u64) -> bool {
+        let mask = if xor == 0 { 1 } else { xor };
+        match self.read(mfn) {
+            Some(v) => {
+                self.write(mfn, v ^ mask);
+                true
+            }
+            None => {
+                self.write(mfn, mask);
+                false
+            }
+        }
+    }
 }
 
 /// Incrementally combines `(logical key, signature)` pairs into an

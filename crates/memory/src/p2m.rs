@@ -324,6 +324,26 @@ impl P2mTable {
         self.total = 0;
     }
 
+    /// Fault injection: XORs the machine base of the `nth` extent
+    /// (`nth` is reduced modulo the extent count) — the model of a stray
+    /// write landing in the preserved table. A zero mask is forced to 1 so
+    /// the entry always actually changes. Returns whether an extent existed
+    /// to corrupt.
+    pub fn corrupt_extent(&mut self, nth: usize, xor: u64) -> bool {
+        if self.extents.is_empty() {
+            return false;
+        }
+        let idx = nth % self.extents.len();
+        let key = match self.extents.keys().nth(idx) {
+            Some(&k) => k,
+            None => return false,
+        };
+        if let Some(ext) = self.extents.get_mut(&key) {
+            ext.mfn_start ^= if xor == 0 { 1 } else { xor };
+        }
+        true
+    }
+
     /// Checks that no two extents overlap in machine space (a corrupted
     /// table would let two PFNs alias one frame).
     pub fn check_machine_disjoint(&self) -> Result<(), String> {

@@ -360,6 +360,36 @@ mod tests {
     }
 
     #[test]
+    fn repeated_suspend_resume_cycles_do_not_leak_channels() {
+        // Recovery can suspend and resume the same guest several times
+        // (fallback retries); the table must end each cycle with exactly
+        // the standard shape — no accumulated frontends, no stale bits.
+        let mut t = EventChannelTable::standard_domu();
+        for cycle in 0..10 {
+            let virq = t
+                .channels
+                .values()
+                .find(|c| matches!(c.kind, ChannelKind::Virq(_)))
+                .map(|c| c.port)
+                .unwrap();
+            t.notify(virq).unwrap();
+            assert_eq!(t.detach_for_suspend(), 2, "cycle {cycle}");
+            t.reestablish_after_resume();
+            assert_eq!(t.len(), 5, "cycle {cycle} leaked channels");
+            let interdomain = t
+                .channels
+                .values()
+                .filter(|c| matches!(c.kind, ChannelKind::Interdomain { .. }))
+                .count();
+            assert_eq!(interdomain, 2, "cycle {cycle}");
+            assert!(
+                t.channels.values().all(|c| !c.pending),
+                "cycle {cycle} left a stale pending bit"
+            );
+        }
+    }
+
+    #[test]
     fn digest_captures_status_changes() {
         let mut t = EventChannelTable::standard_domu();
         let d0 = t.digest();

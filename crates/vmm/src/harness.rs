@@ -227,6 +227,39 @@ mod tests {
     use rh_guest::services::ServiceKind;
 
     #[test]
+    fn crash_landing_mid_warm_reboot_cancels_the_stale_run() {
+        // Regression: a VMM crash arriving while a warm reboot is in
+        // flight used to trip an assertion (and could leave the host
+        // wedged with `reboot_in_progress()` stuck true while stale
+        // reboot-step events replayed into the new run). The crash must
+        // take over the run at any offset into the pipeline.
+        for offset_s in [1.0, 5.0, 12.0, 20.0, 35.0] {
+            let mut sim = booted_host(3, ServiceKind::Ssh);
+            {
+                let (host, sched) = sim.sim.parts_mut();
+                host.warm_reboot(sched);
+            }
+            sim.run_for(SimDuration::from_secs_f64(offset_s));
+            let reports_before = sim.host().reports().len();
+            let gen_at_crash = sim.host().vmm().generation();
+            {
+                let (host, sched) = sim.sim.parts_mut();
+                host.crash_vmm(sched);
+            }
+            let ok = sim.run_until(DEFAULT_WAIT_CAP, |h| h.reports().len() > reports_before);
+            assert!(ok, "recovery stuck at offset {offset_s}s");
+            assert!(
+                !sim.host().reboot_in_progress(),
+                "run leaked at offset {offset_s}s"
+            );
+            let report = sim.host().last_report().expect("report pushed");
+            assert_eq!(report.strategy, RebootStrategy::Cold);
+            assert!(sim.host().all_services_up(), "host wedged at {offset_s}s");
+            assert_eq!(sim.host().vmm().generation(), gen_at_crash + 1);
+        }
+    }
+
+    #[test]
     fn power_on_brings_all_services_up() {
         let mut sim = HostSim::new(HostConfig::paper_testbed().with_vms(3, ServiceKind::Ssh));
         let up_at = sim.power_on_and_wait();

@@ -38,6 +38,7 @@ use rh_storage::partition::{PartitionId, PartitionTable};
 
 use crate::config::{HostConfig, RebootStrategy, SuspendOrder};
 use crate::domain::{Domain, DomainId, ExecState};
+use crate::fault::{FaultAction, FaultContext, FaultHook, InjectPoint};
 use crate::metrics::RebootMetrics;
 use crate::timing::TimingParams;
 use crate::vmm::{Vmm, VmmError};
@@ -53,8 +54,10 @@ pub enum HostEvent {
     NetWake,
     /// A lifecycle operation's fixed-latency part elapsed.
     WorkFixedDone(DomainId, WorkTag),
-    /// A step of the VMM reboot sequence.
-    Reboot(RebootStep),
+    /// A step of the VMM reboot sequence, tagged with the host epoch that
+    /// scheduled it. A crash mid-reboot bumps the epoch; queued steps from
+    /// the interrupted run arrive with a stale tag and are dropped.
+    Reboot(RebootStep, u64),
     /// Issue httperf requests for free workers.
     HttperfKick,
     /// Send a round of liveness probes.
@@ -114,16 +117,51 @@ struct WorkState {
     profile: WorkProfile,
 }
 
+/// Outcome of one fault-hook consultation (see [`Host`]'s `inject`).
+#[derive(Debug, Clone, Copy, Default)]
+struct Injected {
+    crashed: bool,
+    fail_resume: bool,
+    dom0_extra: SimDuration,
+}
+
 #[derive(Debug)]
 struct RebootRun {
     strategy: RebootStrategy,
     commanded_at: SimTime,
     dom0_shutdown_done: bool,
     reset_started: bool,
+    /// True for runs driven by crash recovery (micro-reboot or cold): a
+    /// domain that fails validation falls back to a cold boot (with bounded
+    /// retries) instead of being resumed corrupted or abandoned.
+    recovery: bool,
     pending_stops: BTreeSet<DomainId>,
     setup_queue: VecDeque<DomainId>,
     pending_setup: BTreeSet<DomainId>,
     digests: BTreeMap<DomainId, u64>,
+    /// Domains that lost their frozen image and were (or will be) rebuilt
+    /// from scratch during this run.
+    cold_fallbacks: BTreeSet<DomainId>,
+    /// Per-domain cold-boot retry counts (recovery runs only).
+    retries: BTreeMap<DomainId, u32>,
+}
+
+impl RebootRun {
+    fn new(strategy: RebootStrategy, commanded_at: SimTime) -> Self {
+        RebootRun {
+            strategy,
+            commanded_at,
+            dom0_shutdown_done: false,
+            reset_started: false,
+            recovery: false,
+            pending_stops: BTreeSet::new(),
+            setup_queue: VecDeque::new(),
+            pending_setup: BTreeSet::new(),
+            digests: BTreeMap::new(),
+            cold_fallbacks: BTreeSet::new(),
+            retries: BTreeMap::new(),
+        }
+    }
 }
 
 /// A completed reboot, summarized.
@@ -140,6 +178,10 @@ pub struct RebootReport {
     /// Domains whose post-reboot memory digest did not match the frozen
     /// image (must be empty for warm and saved reboots).
     pub corrupted: Vec<DomainId>,
+    /// Domains that lost their memory image during this reboot and came
+    /// back via a cold boot (driver domains on the warm path, and recovery
+    /// fallbacks after a VMM failure).
+    pub cold_booted: Vec<DomainId>,
 }
 
 impl RebootReport {
@@ -236,6 +278,12 @@ pub struct Host {
     partitions: PartitionTable,
     partition_of: BTreeMap<DomainId, PartitionId>,
     aging_clock: BTreeMap<DomainId, SimTime>,
+    hook: Option<Box<dyn FaultHook>>,
+    /// Bumped whenever a crash abandons an in-flight reboot; scheduled
+    /// `Reboot` events carry the epoch they were created under and stale
+    /// ones are dropped.
+    epoch: u64,
+    last_fault_at: Option<SimTime>,
 }
 
 impl Host {
@@ -317,8 +365,120 @@ impl Host {
             partitions,
             partition_of,
             aging_clock: BTreeMap::new(),
+            hook: None,
+            epoch: 0,
+            last_fault_at: None,
             cfg,
         }
+    }
+
+    /// Arms a fault-injection hook; the host consults it at every
+    /// [`InjectPoint`]. With no hook armed the host behaves byte-identically
+    /// to one built before fault injection existed.
+    pub fn arm_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Disarms the fault hook, returning it (to read hit counters).
+    pub fn disarm_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        self.hook.take()
+    }
+
+    /// When the last injected VMM failure struck, if any.
+    pub fn last_fault_at(&self) -> Option<SimTime> {
+        self.last_fault_at
+    }
+
+    /// Schedules a reboot step tagged with the current host epoch.
+    fn sched_reboot(&self, sched: &mut Scheduler<HostEvent>, delay: SimDuration, step: RebootStep) {
+        sched.schedule_in(delay, HostEvent::Reboot(step, self.epoch));
+    }
+
+    /// Consults the armed fault hook (if any) at `point` and applies the
+    /// actions it returns. With no hook armed this is a single `Option`
+    /// check. Corruption actions apply immediately; `CrashVmm` tears the
+    /// VMM down via [`fault_vmm_crash`](Self::fault_vmm_crash) and the
+    /// caller must stop its pipeline step when `crashed` comes back true.
+    fn inject(
+        &mut self,
+        sched: &mut Scheduler<HostEvent>,
+        point: InjectPoint,
+        domain: Option<DomainId>,
+    ) -> Injected {
+        let mut out = Injected::default();
+        let Some(mut hook) = self.hook.take() else {
+            return out;
+        };
+        let ctx = FaultContext {
+            now: sched.now(),
+            domain,
+        };
+        let actions = hook.consult(point, &ctx);
+        self.hook = Some(hook);
+        for action in actions {
+            match action {
+                FaultAction::CrashVmm => out.crashed = true,
+                FaultAction::CorruptStagedImage { xor } => {
+                    if self.vmm.xexec_mut().corrupt_staged_with(xor) {
+                        self.trace
+                            .log(sched.now(), "fault", "staged xexec image corrupted");
+                    }
+                }
+                FaultAction::CorruptP2m { dom, extent, xor } => {
+                    if let Some(d) = self.domains.get_mut(&dom) {
+                        if d.p2m.corrupt_extent(extent, xor) {
+                            self.trace.log(
+                                sched.now(),
+                                "fault",
+                                format!("{dom} P2M entry corrupted"),
+                            );
+                        }
+                    }
+                }
+                FaultAction::CorruptFrame { dom, page, xor } => {
+                    let Some(d) = self.domains.get(&dom) else {
+                        continue;
+                    };
+                    let total = d.p2m.total_pages();
+                    if total == 0 {
+                        continue;
+                    }
+                    let pfn = rh_memory::frame::Pfn(page % total);
+                    if let Some(mfn) = d.p2m.lookup(pfn) {
+                        self.contents.corrupt(mfn, xor);
+                        self.trace.log(
+                            sched.now(),
+                            "fault",
+                            format!("{dom} frame {} corrupted", pfn.0),
+                        );
+                    }
+                }
+                FaultAction::DropExecState { dom } => {
+                    let Some(mut d) = self.domains.remove(&dom) else {
+                        continue;
+                    };
+                    d.exec_state = None;
+                    if let Err(e) = self.vmm.release_domain_memory(&mut d, &mut self.contents) {
+                        self.errors.push(e);
+                    }
+                    self.domains.insert(dom, d);
+                    self.trace
+                        .log(sched.now(), "fault", format!("{dom} exec state lost"));
+                }
+                FaultAction::FailResume { dom } => {
+                    if domain == Some(dom) {
+                        out.fail_resume = true;
+                    }
+                }
+                FaultAction::HangDom0 { extra_ms } => {
+                    out.dom0_extra = out.dom0_extra + SimDuration::from_millis(extra_ms);
+                }
+            }
+        }
+        if out.crashed {
+            self.fault_vmm_crash(sched);
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -625,25 +785,16 @@ impl Host {
     pub fn power_on(&mut self, sched: &mut Scheduler<HostEvent>) {
         assert!(self.run.is_none(), "already powering on or rebooting");
         self.trace.log(sched.now(), "host", "power on");
-        self.run = Some(RebootRun {
-            strategy: RebootStrategy::Cold,
-            commanded_at: sched.now(),
-            dom0_shutdown_done: true,
-            reset_started: true,
-            pending_stops: BTreeSet::new(),
-            setup_queue: VecDeque::new(),
-            pending_setup: BTreeSet::new(),
-            digests: BTreeMap::new(),
-        });
+        let mut run = RebootRun::new(RebootStrategy::Cold, sched.now());
+        run.dom0_shutdown_done = true;
+        run.reset_started = true;
+        self.run = Some(run);
         self.metrics.begin(sched.now(), "dom0 boot");
         self.dom0_mut()
             .kernel
             .begin_boot()
             .expect("dom0 off at power on");
-        sched.schedule_in(
-            self.t.dom0_boot,
-            HostEvent::Reboot(RebootStep::Dom0BootDone),
-        );
+        self.sched_reboot(sched, self.t.dom0_boot, RebootStep::Dom0BootDone);
         if self.cfg.probes {
             sched.schedule_in(self.t.probe_interval, HostEvent::ProbeTick);
         }
@@ -668,30 +819,18 @@ impl Host {
             .stage_next_image(crate::xexec::XexecImage::build(next_version));
         self.trace
             .log(now, "vmm", format!("xexec staged build v{next_version}"));
-        self.run = Some(RebootRun {
-            strategy: RebootStrategy::Warm,
-            commanded_at: now,
-            dom0_shutdown_done: false,
-            reset_started: false,
-            pending_stops: BTreeSet::new(),
-            setup_queue: VecDeque::new(),
-            pending_setup: BTreeSet::new(),
-            digests: BTreeMap::new(),
-        });
+        self.run = Some(RebootRun::new(RebootStrategy::Warm, now));
+        if self.inject(sched, InjectPoint::StageImage, None).crashed {
+            return;
+        }
         self.metrics.begin(now, "dom0 shutdown");
         let dom0 = self.dom0_mut();
         dom0.kernel.begin_shutdown().expect("dom0 running");
-        sched.schedule_in(
-            self.t.dom0_shutdown,
-            HostEvent::Reboot(RebootStep::Dom0ShutdownDone),
-        );
+        self.sched_reboot(sched, self.t.dom0_shutdown, RebootStep::Dom0ShutdownDone);
         if self.cfg.suspend_order == SuspendOrder::Dom0DuringShutdown {
             // Original-Xen ordering ablation: guests suspend while dom0 is
             // still shutting down.
-            sched.schedule_in(
-                self.t.cold_guest_stop_delay,
-                HostEvent::Reboot(RebootStep::GuestsStop),
-            );
+            self.sched_reboot(sched, self.t.cold_guest_stop_delay, RebootStep::GuestsStop);
         }
     }
 
@@ -706,27 +845,12 @@ impl Host {
         self.trace.log(now, "host", "cold reboot commanded");
         self.metrics.clear();
         self.metrics.begin(now, "reboot");
-        self.run = Some(RebootRun {
-            strategy: RebootStrategy::Cold,
-            commanded_at: now,
-            dom0_shutdown_done: false,
-            reset_started: false,
-            pending_stops: BTreeSet::new(),
-            setup_queue: VecDeque::new(),
-            pending_setup: BTreeSet::new(),
-            digests: BTreeMap::new(),
-        });
+        self.run = Some(RebootRun::new(RebootStrategy::Cold, now));
         self.metrics.begin(now, "dom0 shutdown");
         let dom0 = self.dom0_mut();
         dom0.kernel.begin_shutdown().expect("dom0 running");
-        sched.schedule_in(
-            self.t.dom0_shutdown,
-            HostEvent::Reboot(RebootStep::Dom0ShutdownDone),
-        );
-        sched.schedule_in(
-            self.t.cold_guest_stop_delay,
-            HostEvent::Reboot(RebootStep::GuestsStop),
-        );
+        self.sched_reboot(sched, self.t.dom0_shutdown, RebootStep::Dom0ShutdownDone);
+        self.sched_reboot(sched, self.t.cold_guest_stop_delay, RebootStep::GuestsStop);
     }
 
     /// Initiates a saved-VM reboot (Xen's suspend-to-disk baseline).
@@ -740,16 +864,7 @@ impl Host {
         self.trace.log(now, "host", "saved reboot commanded");
         self.metrics.clear();
         self.metrics.begin(now, "reboot");
-        self.run = Some(RebootRun {
-            strategy: RebootStrategy::Saved,
-            commanded_at: now,
-            dom0_shutdown_done: false,
-            reset_started: false,
-            pending_stops: BTreeSet::new(),
-            setup_queue: VecDeque::new(),
-            pending_setup: BTreeSet::new(),
-            digests: BTreeMap::new(),
-        });
+        self.run = Some(RebootRun::new(RebootStrategy::Saved, now));
         self.metrics.begin(now, "save");
         // Original Xen: dom0 suspends and saves every guest while it is
         // still up; its own shutdown comes after the saves.
@@ -766,11 +881,15 @@ impl Host {
     /// [`RebootReport`] with `strategy == Cold` is pushed when the host is
     /// back up.
     ///
-    /// # Panics
-    ///
-    /// Panics if a reboot is already in progress.
+    /// A crash may land while a reboot is already in progress: the
+    /// interrupted run is abandoned and its queued steps are cancelled (the
+    /// epoch bump makes them arrive stale), then the usual reactive cold
+    /// recovery takes over.
     pub fn crash_vmm(&mut self, sched: &mut Scheduler<HostEvent>) {
-        assert!(self.run.is_none(), "cannot crash mid-reboot");
+        // Cancel any in-flight reboot: bump the epoch so queued Reboot
+        // events from the abandoned run are dropped on arrival.
+        self.epoch = self.epoch.wrapping_add(1);
+        self.run = None;
         let now = sched.now();
         self.trace.log(now, "host", "VMM CRASHED");
         self.metrics.clear();
@@ -813,16 +932,176 @@ impl Host {
         // Reactive recovery: watchdog-initiated hardware reset, then the
         // ordinary cold bring-up. The reset wipes the crashed domains'
         // memory wholesale.
-        self.run = Some(RebootRun {
-            strategy: RebootStrategy::Cold,
-            commanded_at: now,
-            dom0_shutdown_done: true,
-            reset_started: false,
-            pending_stops: BTreeSet::new(),
-            setup_queue: VecDeque::new(),
-            pending_setup: BTreeSet::new(),
-            digests: BTreeMap::new(),
-        });
+        let mut run = RebootRun::new(RebootStrategy::Cold, now);
+        run.dom0_shutdown_done = true;
+        self.run = Some(run);
+        self.maybe_start_reset(sched);
+    }
+
+    /// An unplanned VMM failure (the fault-injection path): the VMM dies in
+    /// place and *nothing* is driven automatically. Guest kernels are left
+    /// frozen where they sit — their memory images, P2M tables and exec
+    /// state survive in RAM exactly as at the instant of failure — while
+    /// every service becomes unreachable (the meters go down). A recovery
+    /// engine must notice ([`Vmm::is_running`] false with
+    /// [`reboot_in_progress`](Self::reboot_in_progress) false) and command
+    /// [`recover_microreboot`](Self::recover_microreboot) or
+    /// [`recover_cold`](Self::recover_cold).
+    ///
+    /// Safe to call at any instant, including mid-reboot: the interrupted
+    /// run is abandoned and its queued steps cancelled via the epoch bump.
+    pub fn fault_vmm_crash(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let now = sched.now();
+        self.epoch = self.epoch.wrapping_add(1);
+        self.run = None;
+        self.last_fault_at = Some(now);
+        self.trace.log(now, "host", "VMM FAILED");
+        self.vmm.set_down();
+        // In-flight work and I/O stall with the VMM; the frozen guests do
+        // not execute, so nothing completes.
+        self.work.clear();
+        self.disk.cancel_all(now);
+        self.disk_jobs.clear();
+        self.cpu.cancel_all(now);
+        self.cpu_jobs.clear();
+        self.net.cancel_all(now);
+        self.net_jobs.clear();
+        self.rearm_disk(sched);
+        self.rearm_cpu(sched);
+        self.rearm_net(sched);
+        let stale: Vec<u64> = self.requests.keys().copied().collect();
+        for rid in stale {
+            self.requests.remove(&rid);
+            if let Some((_, client)) = self.httperf.as_mut() {
+                client.abort();
+            }
+        }
+        self.file_reads.clear();
+        self.single_rejuvs.clear();
+        let ids: Vec<DomainId> = self.domains.keys().copied().collect();
+        for id in ids {
+            self.refresh(sched, id);
+        }
+    }
+
+    /// ReHype-style recovery (Le & Tamir): micro-reboot the failed VMM via
+    /// quick reload and salvage every domain whose memory image is still
+    /// coherent. Domains caught mid-transition (booting, shutting down,
+    /// resuming) or already dead are unsalvageable and fall back to a cold
+    /// boot; so does any salvaged domain whose post-resume digest fails
+    /// validation. Completion pushes a [`RebootReport`] whose
+    /// `cold_booted` lists the fallbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VMM is still running or a reboot is in progress — the
+    /// caller detects the failure first.
+    pub fn recover_microreboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(!self.vmm.is_running(), "recovery requires a failed VMM");
+        assert!(self.run.is_none(), "recovery already in progress");
+        let now = sched.now();
+        self.trace
+            .log(now, "host", "micro-reboot recovery commanded");
+        self.metrics.clear();
+        self.metrics.begin(now, "reboot");
+        // Recovery boots the same build that was running (no staged image
+        // survives a crash reliably; restage deterministically).
+        self.vmm
+            .stage_next_image(crate::xexec::XexecImage::build(self.vmm.running_version()));
+        let mut run = RebootRun::new(RebootStrategy::Warm, now);
+        run.recovery = true;
+        run.dom0_shutdown_done = true;
+        // Triage every domain U in place.
+        for id in self.domu_ids() {
+            let Some(mut dom) = self.domains.remove(&id) else {
+                continue;
+            };
+            let salvageable = !dom.spec.driver_domain
+                && matches!(
+                    dom.kernel.state(),
+                    rh_guest::kernel::KernelState::Running
+                        | rh_guest::kernel::KernelState::Suspending
+                        | rh_guest::kernel::KernelState::Suspended
+                );
+            let frozen = if !salvageable {
+                false
+            } else if dom.kernel.state() == rh_guest::kernel::KernelState::Suspended {
+                // Already frozen (the crash hit mid-warm-reboot); its image
+                // is intact iff the exec state survived.
+                dom.exec_state.is_some()
+            } else {
+                // Freeze the interrupted guest exactly where it stopped:
+                // the frontends never detached cleanly, so force-detach,
+                // then capture exec state from the frozen registers.
+                if dom.kernel.state() == rh_guest::kernel::KernelState::Running {
+                    let _ = dom.kernel.begin_suspend();
+                }
+                dom.channels.detach_for_suspend();
+                match self
+                    .vmm
+                    .on_memory_suspend(&mut dom, self.t.exec_state_bytes)
+                {
+                    Ok(()) => dom.kernel.finish_suspend().is_ok(),
+                    Err(e) => {
+                        self.errors.push(e);
+                        false
+                    }
+                }
+            };
+            if frozen {
+                let digest = self.vmm.domain_digest(&dom, &self.contents);
+                run.digests.insert(id, digest);
+                self.trace
+                    .log(now, "vmm", format!("{id} salvaged (frozen in place)"));
+            } else {
+                // Unsalvageable: release what is left and plan a cold boot.
+                if let Err(e) = self.vmm.destroy_domain(&mut dom, &mut self.contents) {
+                    self.errors.push(e);
+                }
+                dom.kernel.destroy();
+                if let Some(svc) = dom.service.as_mut() {
+                    svc.kill();
+                }
+                dom.cache.clear();
+                run.cold_fallbacks.insert(id);
+                self.trace
+                    .log(now, "vmm", format!("{id} lost; will cold boot"));
+            }
+            self.domains.insert(id, dom);
+        }
+        // dom0 is rebuilt from scratch on every reboot; it holds no
+        // preserved memory.
+        self.dom0_mut().kernel.destroy();
+        self.run = Some(run);
+        self.begin_quick_reload(sched);
+    }
+
+    /// Baseline reactive recovery: give up on all preserved state and drive
+    /// the ordinary crash path (hardware reset + full cold boot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VMM is still running or a reboot is in progress.
+    pub fn recover_cold(&mut self, sched: &mut Scheduler<HostEvent>) {
+        assert!(!self.vmm.is_running(), "recovery requires a failed VMM");
+        assert!(self.run.is_none(), "recovery already in progress");
+        let now = sched.now();
+        self.trace.log(now, "host", "cold recovery commanded");
+        self.metrics.clear();
+        self.metrics.begin(now, "reboot");
+        let mut run = RebootRun::new(RebootStrategy::Cold, now);
+        run.dom0_shutdown_done = true;
+        run.recovery = true;
+        for id in self.domu_ids() {
+            run.cold_fallbacks.insert(id);
+        }
+        for dom in self.domains.values_mut() {
+            if let Some(svc) = dom.service.as_mut() {
+                svc.kill();
+            }
+            dom.kernel.crash();
+        }
+        self.run = Some(run);
         self.maybe_start_reset(sched);
     }
 
@@ -1104,10 +1383,13 @@ impl Host {
 
     fn on_guest_shutdown_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
         let dom = self.dom_mut(id);
-        dom.kernel.finish_shutdown().expect("was shutting down");
+        if dom.kernel.finish_shutdown().is_err() {
+            return; // stale completion: the domain was crashed meanwhile
+        }
         if let Some(svc) = dom.service.as_mut() {
             if svc.status() == rh_guest::services::ServiceStatus::Stopping {
-                svc.finish_stop().expect("was stopping");
+                // Stopping was checked immediately above.
+                let _ = svc.finish_stop();
             }
         }
         dom.cache.clear();
@@ -1122,10 +1404,7 @@ impl Host {
         self.domains.insert(id, dom);
         if self.single_rejuvs.contains(&id) {
             // Single-domain OS rejuvenation: bring it right back.
-            sched.schedule_in(
-                self.t.domain_create,
-                HostEvent::Reboot(RebootStep::SingleSetup(id)),
-            );
+            self.sched_reboot(sched, self.t.domain_create, RebootStep::SingleSetup(id));
             return;
         }
         let Some(run) = self.run.as_mut() else {
@@ -1161,6 +1440,14 @@ impl Host {
                 dom.cache.clear();
                 dom.channels = crate::events::EventChannelTable::standard_domu();
                 self.domains.insert(id, dom);
+                if let Some(run) = self.run.as_mut() {
+                    if run.strategy != RebootStrategy::Cold {
+                        // A cold boot inside a warm/saved run means the
+                        // domain's image was lost (driver domain, dead
+                        // guest, or recovery fallback).
+                        run.cold_fallbacks.insert(id);
+                    }
+                }
                 self.trace
                     .log(sched.now(), "guest", format!("{id} created, booting"));
                 self.begin_work(sched, id, WorkTag::BootOs, linux_guest_boot());
@@ -1170,6 +1457,35 @@ impl Host {
                     .log(sched.now(), "vmm", format!("create {id} failed: {e}"));
                 self.errors.push(e);
                 self.domains.insert(id, dom);
+                // Recovery runs retry with exponential backoff before
+                // declaring the domain lost: the first attempts can race
+                // transient allocator pressure while salvage settles.
+                let retrying = self.run.as_ref().map(|r| r.recovery).unwrap_or(false);
+                if retrying {
+                    let attempts = {
+                        let Some(run) = self.run.as_mut() else {
+                            return;
+                        };
+                        let n = run.retries.entry(id).or_insert(0);
+                        *n += 1;
+                        *n
+                    };
+                    if attempts <= 3 {
+                        let delay = self.t.domain_create * (1u64 << (attempts - 1));
+                        self.trace.log(
+                            sched.now(),
+                            "host",
+                            format!("retrying cold boot of {id} (attempt {attempts})"),
+                        );
+                        self.sched_reboot(sched, delay, RebootStep::SingleSetup(id));
+                        return;
+                    }
+                    self.trace.log(
+                        sched.now(),
+                        "host",
+                        format!("{id} lost (retries exhausted)"),
+                    );
+                }
                 self.single_rejuvs.remove(&id);
                 if let Some(run) = self.run.as_mut() {
                     run.pending_setup.remove(&id);
@@ -1183,17 +1499,19 @@ impl Host {
         // Direct field access (not dom_mut) so aging_clock/trace stay borrowable.
         // lint:allow(unwrap-panic): the work pipeline only queues ops for live domains
         let dom = self.domains.get_mut(&id).expect("domain exists");
-        dom.kernel.finish_boot().expect("was booting");
+        if dom.kernel.finish_boot().is_err() {
+            return; // stale completion: the domain was crashed meanwhile
+        }
         // A fresh kernel has no aged state; a resume keeps it (Fig. 2).
         if let Some(aging) = dom.aging.as_mut() {
             aging.rejuvenate();
         }
         self.aging_clock.insert(id, sched.now());
         self.trace.log(sched.now(), "guest", format!("{id} booted"));
-        let start = dom.service.as_mut().map(|svc| {
-            svc.begin_start().expect("service stopped after boot");
-            *svc.spec()
-        });
+        let start = dom
+            .service
+            .as_mut()
+            .and_then(|svc| svc.begin_start().ok().map(|_| *svc.spec()));
         match start {
             Some(spec) => self.begin_work(sched, id, WorkTag::StartService, spec.start),
             None => self.on_domain_ready(sched, id),
@@ -1203,7 +1521,8 @@ impl Host {
     fn on_service_started(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
         let dom = self.dom_mut(id);
         if let Some(svc) = dom.service.as_mut() {
-            svc.finish_start().expect("was starting");
+            // begin_start preceded this completion; Starting is guaranteed.
+            let _ = svc.finish_start();
         }
         self.trace
             .log(sched.now(), "service", format!("{id} service up"));
@@ -1308,7 +1627,9 @@ impl Host {
             self.domains.insert(id, dom);
             return;
         }
-        dom.kernel.finish_suspend().expect("was suspending");
+        // on_memory_suspend just succeeded, so the kernel is Suspending and
+        // this transition cannot fail.
+        let _ = dom.kernel.finish_suspend();
         let digest = self.vmm.domain_digest(&dom, &self.contents);
         self.trace
             .log(sched.now(), "vmm", format!("{id} frozen on memory"));
@@ -1318,6 +1639,14 @@ impl Host {
         match strategy {
             Some(RebootStrategy::Warm) => {
                 self.domains.insert(id, dom);
+                // The image is frozen: the classic window for a stray write
+                // or a VMM failure before the reload begins.
+                if self
+                    .inject(sched, InjectPoint::SuspendEnd, Some(id))
+                    .crashed
+                {
+                    return;
+                }
                 let run = self.run_mut();
                 run.pending_stops.remove(&id);
                 if run.pending_stops.is_empty() {
@@ -1385,10 +1714,7 @@ impl Host {
         self.metrics.begin(sched.now(), "dom0 shutdown");
         let dom0 = self.dom0_mut();
         dom0.kernel.begin_shutdown().expect("dom0 running");
-        sched.schedule_in(
-            self.t.dom0_shutdown,
-            HostEvent::Reboot(RebootStep::Dom0ShutdownDone),
-        );
+        self.sched_reboot(sched, self.t.dom0_shutdown, RebootStep::Dom0ShutdownDone);
     }
 
     fn begin_quick_reload(&mut self, sched: &mut Scheduler<HostEvent>) {
@@ -1430,13 +1756,20 @@ impl Host {
         // the new instance's init; frozen memory is skipped.
         let free_gib = self.vmm.ram().free_frames() as f64 * rh_memory::frame::PAGE_SIZE as f64
             / (1u64 << 30) as f64;
-        sched.schedule_in(
+        self.sched_reboot(
+            sched,
             self.t.quick_reload(preserved_gib, free_gib),
-            HostEvent::Reboot(RebootStep::QuickReloadDone),
+            RebootStep::QuickReloadDone,
         );
     }
 
     fn on_quick_reload_done(&mut self, sched: &mut Scheduler<HostEvent>) {
+        // The new instance is coming up: a fault here models the reload
+        // itself failing (or frozen state being hit by a stray write while
+        // the allocator rebuilds around it).
+        if self.inject(sched, InjectPoint::QuickReload, None).crashed {
+            return;
+        }
         let suspended: Vec<DomainId> = self
             .domains
             .values()
@@ -1445,6 +1778,19 @@ impl Host {
             .collect();
         let result = self.vmm.quick_reload(&mut self.domains, &suspended);
         if let Err(e) = result {
+            let recovery = self.run.as_ref().map(|r| r.recovery).unwrap_or(false);
+            if self.hook.is_some() || recovery {
+                // Under fault injection a failed reload (corrupted staged
+                // image, violated preservation) is a VMM failure: abandon
+                // the run and leave the VMM down for the recovery engine.
+                self.trace
+                    .log(sched.now(), "vmm", format!("quick reload failed: {e}"));
+                self.errors.push(e);
+                self.epoch = self.epoch.wrapping_add(1);
+                self.run = None;
+                self.last_fault_at = Some(sched.now());
+                return;
+            }
             self.errors.push(e);
         }
         self.metrics.end(sched.now(), "quick reload");
@@ -1453,12 +1799,17 @@ impl Host {
             "vmm",
             format!("new VMM instance up (generation {})", self.vmm.generation()),
         );
+        let inj = self.inject(sched, InjectPoint::Dom0Boot, None);
+        if inj.crashed {
+            return;
+        }
         self.metrics.begin(sched.now(), "dom0 boot");
         let dom0 = self.dom0_mut();
         dom0.kernel.begin_boot().expect("dom0 off");
-        sched.schedule_in(
-            self.t.dom0_boot,
-            HostEvent::Reboot(RebootStep::Dom0BootDone),
+        self.sched_reboot(
+            sched,
+            self.t.dom0_boot + inj.dom0_extra,
+            RebootStep::Dom0BootDone,
         );
     }
 
@@ -1475,7 +1826,7 @@ impl Host {
         self.vmm.set_down();
         self.trace.log(sched.now(), "hw", "hardware reset");
         let reset = self.t.hw_reset(self.cfg.ram_gib());
-        sched.schedule_in(reset, HostEvent::Reboot(RebootStep::HwResetDone));
+        self.sched_reboot(sched, reset, RebootStep::HwResetDone);
     }
 
     fn on_hw_reset_done(&mut self, sched: &mut Scheduler<HostEvent>) {
@@ -1491,20 +1842,22 @@ impl Host {
                 self.vmm.generation()
             ),
         );
-        sched.schedule_in(
-            self.t.vmm_boot_hw,
-            HostEvent::Reboot(RebootStep::VmmBootDone),
-        );
+        self.sched_reboot(sched, self.t.vmm_boot_hw, RebootStep::VmmBootDone);
     }
 
     fn on_vmm_boot_done(&mut self, sched: &mut Scheduler<HostEvent>) {
         self.metrics.end(sched.now(), "vmm boot");
+        let inj = self.inject(sched, InjectPoint::Dom0Boot, None);
+        if inj.crashed {
+            return;
+        }
         self.metrics.begin(sched.now(), "dom0 boot");
         let dom0 = self.dom0_mut();
         dom0.kernel.begin_boot().expect("dom0 off after reset");
-        sched.schedule_in(
-            self.t.dom0_boot,
-            HostEvent::Reboot(RebootStep::Dom0BootDone),
+        self.sched_reboot(
+            sched,
+            self.t.dom0_boot + inj.dom0_extra,
+            RebootStep::Dom0BootDone,
         );
     }
 
@@ -1512,7 +1865,9 @@ impl Host {
         // Direct field access (not dom0_mut/run_mut) so domains stays borrowable.
         // lint:allow(unwrap-panic): dom0 is inserted in new() and never removed
         let dom0 = self.domains.get_mut(&DomainId::DOM0).expect("dom0 exists");
-        dom0.kernel.finish_boot().expect("was booting");
+        if dom0.kernel.finish_boot().is_err() {
+            return; // stale step from an abandoned run
+        }
         self.metrics.end(sched.now(), "dom0 boot");
         self.trace.log(sched.now(), "host", "dom0 up");
         // lint:allow(unwrap-panic): run-phase handlers only fire while a run is active
@@ -1534,10 +1889,7 @@ impl Host {
         if setup_empty {
             self.maybe_finish_reboot(sched);
         } else {
-            sched.schedule_in(
-                self.t.domain_create,
-                HostEvent::Reboot(RebootStep::NextDomainSetup),
-            );
+            self.sched_reboot(sched, self.t.domain_create, RebootStep::NextDomainSetup);
         }
     }
 
@@ -1552,10 +1904,7 @@ impl Host {
         // `xm restore` streams one whole image back at a time, so the next
         // restore starts only after this one's disk read completes.
         if !run.setup_queue.is_empty() && strategy != RebootStrategy::Saved {
-            sched.schedule_in(
-                self.t.domain_create,
-                HostEvent::Reboot(RebootStep::NextDomainSetup),
-            );
+            self.sched_reboot(sched, self.t.domain_create, RebootStep::NextDomainSetup);
         }
         let is_driver = self
             .domains
@@ -1569,20 +1918,20 @@ impl Host {
                 self.setup_cold_boot(sched, id)
             }
             RebootStrategy::Warm => {
-                let suspended = self
+                // A domain resumes only if it still has a frozen image and
+                // a kernel actually in the suspended state; anything else
+                // (dead before the reboot, exec state lost to a fault) is
+                // brought back cold.
+                let resumable = self
                     .domains
-                    .get(&id)
-                    .map(|d| d.exec_state.is_some())
+                    .get_mut(&id)
+                    .map(|d| d.exec_state.is_some() && d.kernel.begin_resume().is_ok())
                     .unwrap_or(false);
-                if suspended {
-                    let dom = self.dom_mut(id);
-                    dom.kernel.begin_resume().expect("was suspended");
+                if resumable {
                     self.trace
                         .log(sched.now(), "guest", format!("{id} resuming"));
                     self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
                 } else {
-                    // The guest was already dead before the reboot (e.g.
-                    // wedged by VMM aging): bring it back cold.
                     self.setup_cold_boot(sched, id);
                 }
             }
@@ -1592,13 +1941,13 @@ impl Host {
                     // reboot): bring it back cold and keep the serial
                     // restore chain moving.
                     self.setup_cold_boot(sched, id);
-                    if let Some(run) = self.run.as_ref() {
-                        if !run.setup_queue.is_empty() {
-                            sched.schedule_in(
-                                self.t.domain_create,
-                                HostEvent::Reboot(RebootStep::NextDomainSetup),
-                            );
-                        }
+                    let more = self
+                        .run
+                        .as_ref()
+                        .map(|r| !r.setup_queue.is_empty())
+                        .unwrap_or(false);
+                    if more {
+                        self.sched_reboot(sched, self.t.domain_create, RebootStep::NextDomainSetup);
                     }
                     return;
                 };
@@ -1622,9 +1971,10 @@ impl Host {
                         run.pending_setup.remove(&id);
                         let more = !run.setup_queue.is_empty();
                         if more {
-                            sched.schedule_in(
+                            self.sched_reboot(
+                                sched,
                                 self.t.domain_create,
-                                HostEvent::Reboot(RebootStep::NextDomainSetup),
+                                RebootStep::NextDomainSetup,
                             );
                         }
                         self.maybe_finish_reboot(sched);
@@ -1645,7 +1995,8 @@ impl Host {
         let restored = match saved.image.restore(&dom.p2m, &mut self.contents) {
             Ok(()) => {
                 dom.exec_state = Some(saved.exec);
-                dom.kernel.begin_resume().expect("snapshot was suspended");
+                // The snapshot was captured frozen (Suspended).
+                let _ = dom.kernel.begin_resume();
                 self.trace
                     .log(sched.now(), "vmm", format!("{id} image restored"));
                 self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
@@ -1669,13 +2020,13 @@ impl Host {
         };
         // Serial restore: kick the next domain's restore now that this
         // image is fully read back.
-        if let Some(run) = self.run.as_ref() {
-            if !run.setup_queue.is_empty() {
-                sched.schedule_in(
-                    self.t.domain_create,
-                    HostEvent::Reboot(RebootStep::NextDomainSetup),
-                );
-            }
+        let more = self
+            .run
+            .as_ref()
+            .map(|r| !r.setup_queue.is_empty())
+            .unwrap_or(false);
+        if more {
+            self.sched_reboot(sched, self.t.domain_create, RebootStep::NextDomainSetup);
         }
         if !restored {
             self.maybe_finish_reboot(sched);
@@ -1688,12 +2039,24 @@ impl Host {
             self.finish_file_read(sched, id);
             return;
         }
+        let inj = self.inject(sched, InjectPoint::ResumeStart, Some(id));
+        if inj.crashed {
+            return;
+        }
         let Some(mut dom) = self.domains.remove(&id) else {
             return;
         };
-        match self.vmm.on_memory_resume(&mut dom) {
-            Ok(_exec) => {
-                dom.kernel.finish_resume().expect("was resuming");
+        let result = if inj.fail_resume {
+            Err(VmmError::BadDomainState(id, "resume failed (injected)"))
+        } else {
+            self.vmm.on_memory_resume(&mut dom).map(|_exec| ())
+        };
+        let failed = result.is_err();
+        match result {
+            Ok(()) => {
+                // on_memory_resume only succeeds from Resuming; this
+                // transition cannot fail.
+                let _ = dom.kernel.finish_resume();
                 // Re-establish the communication channels to the VMM and
                 // re-attach the detached devices (§4.2).
                 dom.channels.reestablish_after_resume();
@@ -1711,6 +2074,37 @@ impl Host {
         let expected = self.run.as_ref().and_then(|r| r.digests.get(&id)).copied();
         let actual = self.domain_digest(id);
         let corrupted = matches!((expected, actual), (Some(e), Some(a)) if e != a);
+        let recovery = self.run.as_ref().map(|r| r.recovery).unwrap_or(false);
+        if recovery && (failed || corrupted) {
+            // Recovery invariant: a domain is never handed back corrupted.
+            // Tear it down and rebuild from scratch instead.
+            self.trace.log(
+                sched.now(),
+                "vmm",
+                format!("{id} failed validation; falling back to cold boot"),
+            );
+            if let Some(mut dom) = self.domains.remove(&id) {
+                if let Err(e) = self.vmm.destroy_domain(&mut dom, &mut self.contents) {
+                    self.errors.push(e);
+                }
+                dom.kernel.destroy();
+                // The process dies with its domain; the cold boot starts a
+                // fresh one (and a fresh generation — sessions are lost).
+                if let Some(svc) = dom.service.as_mut() {
+                    svc.kill();
+                }
+                dom.cache.clear();
+                self.domains.insert(id, dom);
+            }
+            if let Some(run) = self.run.as_mut() {
+                run.digests.remove(&id);
+                run.cold_fallbacks.insert(id);
+                // pending_setup keeps the id: the cold boot completes it.
+            }
+            self.sched_reboot(sched, self.t.domain_create, RebootStep::SingleSetup(id));
+            self.refresh(sched, id);
+            return;
+        }
         if corrupted {
             self.trace
                 .log(sched.now(), "vmm", format!("{id} MEMORY IMAGE CORRUPTED"));
@@ -1729,7 +2123,9 @@ impl Host {
 
     fn on_dom0_shutdown_done(&mut self, sched: &mut Scheduler<HostEvent>) {
         let dom0 = self.dom0_mut();
-        dom0.kernel.finish_shutdown().expect("was shutting down");
+        if dom0.kernel.finish_shutdown().is_err() {
+            return; // stale step from an abandoned run
+        }
         self.metrics.end(sched.now(), "dom0 shutdown");
         self.trace.log(sched.now(), "host", "dom0 down");
         let run = self.run_mut();
@@ -1791,6 +2187,7 @@ impl Host {
             completed_at: sched.now(),
             downtime,
             corrupted,
+            cold_booted: run.cold_fallbacks.iter().copied().collect(),
         });
     }
 
@@ -1959,23 +2356,28 @@ impl World for Host {
                     self.work_fixed_done(sched, id, tag);
                 }
             }
-            HostEvent::Reboot(step) => match step {
-                RebootStep::GuestsStop => {
-                    if self.run.as_ref().map(|r| r.strategy) == Some(RebootStrategy::Cold) {
-                        self.metrics.begin(sched.now(), "guest shutdown");
-                    } else {
-                        self.metrics.begin(sched.now(), "suspend");
-                    }
-                    self.begin_guest_stops(sched);
+            HostEvent::Reboot(step, epoch) => {
+                if epoch != self.epoch {
+                    return; // queued by a run a crash has since abandoned
                 }
-                RebootStep::Dom0ShutdownDone => self.on_dom0_shutdown_done(sched),
-                RebootStep::QuickReloadDone => self.on_quick_reload_done(sched),
-                RebootStep::HwResetDone => self.on_hw_reset_done(sched),
-                RebootStep::VmmBootDone => self.on_vmm_boot_done(sched),
-                RebootStep::Dom0BootDone => self.on_dom0_boot_done(sched),
-                RebootStep::NextDomainSetup => self.on_next_domain_setup(sched),
-                RebootStep::SingleSetup(id) => self.on_single_setup(sched, id),
-            },
+                match step {
+                    RebootStep::GuestsStop => {
+                        if self.run.as_ref().map(|r| r.strategy) == Some(RebootStrategy::Cold) {
+                            self.metrics.begin(sched.now(), "guest shutdown");
+                        } else {
+                            self.metrics.begin(sched.now(), "suspend");
+                        }
+                        self.begin_guest_stops(sched);
+                    }
+                    RebootStep::Dom0ShutdownDone => self.on_dom0_shutdown_done(sched),
+                    RebootStep::QuickReloadDone => self.on_quick_reload_done(sched),
+                    RebootStep::HwResetDone => self.on_hw_reset_done(sched),
+                    RebootStep::VmmBootDone => self.on_vmm_boot_done(sched),
+                    RebootStep::Dom0BootDone => self.on_dom0_boot_done(sched),
+                    RebootStep::NextDomainSetup => self.on_next_domain_setup(sched),
+                    RebootStep::SingleSetup(id) => self.on_single_setup(sched, id),
+                }
+            }
             HostEvent::HttperfKick => self.on_httperf_kick(sched),
             HostEvent::ProbeTick => self.on_probe_tick(sched),
             HostEvent::DirtyTick(id) => self.on_dirty_tick(sched, id),

@@ -15,8 +15,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use rh_memory::contents::FrameContents;
+use rh_sim::time::SimTime;
 
 use crate::domain::{Domain, DomainId, ExecState};
+use crate::fault::{FaultAction, FaultContext, FaultHook, InjectPoint};
 use crate::vmm::{Vmm, VmmError};
 use crate::xexec::XexecImage;
 
@@ -160,6 +162,52 @@ pub fn dispatch(
             })
         }
     }
+}
+
+/// [`dispatch`] with a fault hook consulted at [`InjectPoint::Hypercall`]
+/// before the call is routed. Supported actions: `CrashVmm` (the VMM dies
+/// mid-call; the caller gets [`VmmError::BadDomainState`]),
+/// `CorruptStagedImage`, and `DropExecState`. Other actions are ignored at
+/// this boundary — they belong to the host pipeline's points.
+///
+/// # Errors
+///
+/// As [`dispatch`], plus [`HypercallError::Vmm`] when an injected crash
+/// takes the VMM down before the call completes.
+pub fn dispatch_hooked(
+    vmm: &mut Vmm,
+    domains: &mut BTreeMap<DomainId, Domain>,
+    contents: &mut FrameContents,
+    caller: DomainId,
+    call: Hypercall,
+    hook: &mut dyn FaultHook,
+    now: SimTime,
+) -> Result<HypercallResult, HypercallError> {
+    let ctx = FaultContext {
+        now,
+        domain: Some(caller),
+    };
+    for action in hook.consult(InjectPoint::Hypercall, &ctx) {
+        match action {
+            FaultAction::CrashVmm => {
+                vmm.set_down();
+                return Err(HypercallError::Vmm(VmmError::BadDomainState(
+                    caller,
+                    "complete a hypercall into a crashed VMM",
+                )));
+            }
+            FaultAction::CorruptStagedImage { xor } => {
+                vmm.xexec_mut().corrupt_staged_with(xor);
+            }
+            FaultAction::DropExecState { dom } => {
+                if let Some(d) = domains.get_mut(&dom) {
+                    d.exec_state = None;
+                }
+            }
+            _ => {}
+        }
+    }
+    dispatch(vmm, domains, contents, caller, call)
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@
 pub mod config;
 pub mod domain;
 pub mod events;
+pub mod fault;
 pub mod harness;
 pub mod host;
 pub mod hypercall;
@@ -57,9 +58,10 @@ pub mod xexec;
 pub use config::{HostConfig, RebootStrategy, SuspendOrder};
 pub use domain::{Domain, DomainId, DomainSpec, ExecState};
 pub use events::{ChannelError, ChannelKind, EventChannel, EventChannelTable};
+pub use fault::{FaultAction, FaultContext, FaultHook, InjectPoint};
 pub use harness::{booted_host, HostSim};
 pub use host::{FileReadResult, Host, HostEvent, RebootReport};
-pub use hypercall::{dispatch, Hypercall, HypercallError, HypercallResult};
+pub use hypercall::{dispatch, dispatch_hooked, Hypercall, HypercallError, HypercallResult};
 pub use metrics::{PhaseSpan, RebootMetrics};
 pub use timing::TimingParams;
 pub use vmm::{Vmm, VmmError, VmmState};

@@ -148,6 +148,20 @@ impl XexecState {
         }
     }
 
+    /// Like [`corrupt_staged`](Self::corrupt_staged) with a caller-chosen
+    /// mask (fault injection draws it from a seeded stream). Returns whether
+    /// an image was staged to corrupt. A zero mask is forced to `0xDEAD`
+    /// so the call always actually flips bits.
+    pub fn corrupt_staged_with(&mut self, xor: u64) -> bool {
+        match self.staged.as_mut() {
+            Some((image, _)) => {
+                image.initrd_digest ^= if xor == 0 { 0xDEAD } else { xor };
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The reboot path: verifies and consumes the staged image, returning
     /// it so the new instance can report its version.
     ///

@@ -26,6 +26,14 @@ cargo run -q --release -p rh-lint --offline -- --check
 echo "==> rh-lint protocol (warm-reboot interleaving checker)"
 cargo run -q --release -p rh-lint --offline -- protocol --domains 3
 
+echo "==> rh-lint protocol --faults (crash-recovery invariant I5)"
+cargo run -q --release -p rh-lint --offline -- protocol --domains 3 --faults
+if cargo run -q --release -p rh-lint --offline -- \
+    protocol --domains 3 --faults --unsafe-recovery >/dev/null 2>&1; then
+    echo "FAIL: --unsafe-recovery must produce an I5 counterexample" >&2
+    exit 1
+fi
+
 echo "==> all --jobs 2 determinism smoke (reduced range, DESIGN.md §10)"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -48,6 +56,17 @@ for json in par seq; do
         exit 1
     fi
 done
+
+echo "==> faults --jobs 2 determinism smoke (reliability fault sweep)"
+cargo run -q --release -p rh-bench --bin faults --offline -- \
+    --jobs 2 --quick > "$smoke_dir/faults_par.txt"
+cargo run -q --release -p rh-bench --bin faults --offline -- \
+    --jobs 1 --quick > "$smoke_dir/faults_seq.txt"
+if ! cmp -s "$smoke_dir/faults_seq.txt" "$smoke_dir/faults_par.txt"; then
+    echo "FAIL: faults --jobs 2 output differs from --jobs 1" >&2
+    diff "$smoke_dir/faults_seq.txt" "$smoke_dir/faults_par.txt" >&2 || true
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
