@@ -10,9 +10,13 @@
 //! * `--quick` — reduced fig8 corpus (500 files instead of 10 000) and a
 //!   6 h reliability horizon instead of 24 h.
 //! * `--json PATH` — machine-readable run record (per-point wall time +
-//!   headline figures). Default `BENCH_repro.json`; `-` disables. Wall
-//!   times are the only nondeterministic output, and they go only here,
-//!   never to stdout.
+//!   per-phase wall spans + headline figures). Default `BENCH_repro.json`;
+//!   `-` disables. Wall times are the only nondeterministic output, and
+//!   they go only here, never to stdout.
+//! * `--trace-jsonl PATH` — dump the typed rh-obs event stream of a
+//!   canonical 2-domain warm and cold reboot as JSON Lines. Byte-identical
+//!   for every `--jobs` count (the traced reboots run through the same
+//!   deterministic executor).
 
 use std::time::{Duration, Instant};
 
@@ -20,13 +24,15 @@ use rh_bench::exec::{self, PointResult, Sweep, DEFAULT_SEED};
 use rh_guest::services::ServiceKind;
 use rh_vmm::config::RebootStrategy;
 
-const USAGE: &str = "usage: all [--jobs N] [--max-n N] [--quick] [--json PATH]";
+const USAGE: &str =
+    "usage: all [--jobs N] [--max-n N] [--quick] [--json PATH] [--trace-jsonl PATH]";
 
 struct Options {
     jobs: usize,
     max_n: u32,
     quick: bool,
     json: Option<String>,
+    trace_jsonl: Option<String>,
 }
 
 impl Options {
@@ -36,6 +42,7 @@ impl Options {
             max_n: 11,
             quick: false,
             json: Some("BENCH_repro.json".to_string()),
+            trace_jsonl: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -58,6 +65,7 @@ impl Options {
                     let path = value("--json")?;
                     opts.json = if path == "-" { None } else { Some(path) };
                 }
+                "--trace-jsonl" => opts.trace_jsonl = Some(value("--trace-jsonl")?),
                 other => return Err(format!("unknown argument {other:?}; {USAGE}")),
             }
         }
@@ -69,6 +77,7 @@ impl Options {
 struct Record {
     name: String,
     wall: Duration,
+    profile: rh_obs::WallProfile,
     ok: bool,
 }
 
@@ -79,6 +88,7 @@ fn record<T>(records: &mut Vec<Record>, results: &[PointResult<T>]) {
         records.push(Record {
             name: r.name.clone(),
             wall: r.wall,
+            profile: r.profile.clone(),
             ok: r.outcome.is_ok(),
         });
         if let Err(e) = &r.outcome {
@@ -129,10 +139,23 @@ fn write_repro_json(
     let points: Vec<String> = records
         .iter()
         .map(|r| {
+            let spans: Vec<String> = r
+                .profile
+                .spans()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "\"{}_ms\":{}",
+                        json_escape(&s.label),
+                        json_f64(s.elapsed.as_secs_f64() * 1e3)
+                    )
+                })
+                .collect();
             format!(
-                "    {{\"name\":\"{}\",\"wall_ms\":{},\"ok\":{}}}",
+                "    {{\"name\":\"{}\",\"wall_ms\":{},\"spans\":{{{}}},\"ok\":{}}}",
                 json_escape(&r.name),
                 json_f64(r.wall.as_secs_f64() * 1e3),
+                spans.join(","),
                 r.ok
             )
         })
@@ -319,6 +342,24 @@ fn main() {
         rh_bench::reliability::run(4, rh_sim::time::SimDuration::from_secs(horizon_secs))
     }) {
         println!("{}", rh_bench::reliability::render(&rel));
+    }
+
+    if let Some(path) = &opts.trace_jsonl {
+        // Typed event streams of a canonical warm and cold reboot, dumped
+        // as JSON Lines. Runs through the executor so any `--jobs` count
+        // produces byte-identical output (the verify.sh determinism gate).
+        let mut sweep = Sweep::new(DEFAULT_SEED);
+        for strategy in [RebootStrategy::Warm, RebootStrategy::Cold] {
+            sweep.point(format!("trace/{strategy}"), move |_rng| {
+                let mut sim = rh_vmm::harness::booted_host(2, ServiceKind::Ssh);
+                sim.reboot_and_wait(strategy);
+                sim.host().trace.to_jsonl()
+            });
+        }
+        let logs = run_sweep(&mut records, sweep, jobs);
+        if let Err(e) = std::fs::write(path, logs.concat()) {
+            eprintln!("all: failed to write {path}: {e}");
+        }
     }
 
     if let Some(path) = &opts.json {

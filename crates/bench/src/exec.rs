@@ -44,6 +44,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use rh_obs::WallProfile;
 use rh_sim::rng::SimRng;
 
 /// Default experiment seed for sweeps whose points ignore their RNG
@@ -83,6 +84,10 @@ pub struct PointResult<T> {
     pub name: String,
     /// Wall-clock time the point took on its worker.
     pub wall: Duration,
+    /// Per-phase wall-clock spans: `"wait"` (batch start to claim) and
+    /// `"run"` (the closure itself). Nondeterministic — quarantined to
+    /// `BENCH_repro.json`, never stdout (DESIGN.md §10).
+    pub profile: WallProfile,
     /// The value, or why the point failed.
     pub outcome: Result<T, PointError>,
 }
@@ -171,6 +176,7 @@ impl<T: Send + 'static> Sweep<T> {
         let results: Vec<Mutex<Option<PointResult<T>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let batch_start = Instant::now();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -182,12 +188,18 @@ impl<T: Send + 'static> Sweep<T> {
                     let Some((point, rng)) = lock_ok(&tasks[i]).take() else {
                         continue; // claimed twice (cannot happen); skip
                     };
+                    let wait = batch_start.elapsed();
                     let start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| (point.run)(rng)))
                         .map_err(|payload| PointError::Panicked(panic_message(payload.as_ref())));
+                    let run = start.elapsed();
+                    let mut profile = WallProfile::new();
+                    profile.record("wait", wait);
+                    profile.record("run", run);
                     *lock_ok(&results[i]) = Some(PointResult {
                         name: point.name,
-                        wall: start.elapsed(),
+                        wall: run,
+                        profile,
                         outcome,
                     });
                 });
@@ -203,6 +215,7 @@ impl<T: Send + 'static> Sweep<T> {
                     .unwrap_or(PointResult {
                         name,
                         wall: Duration::ZERO,
+                        profile: WallProfile::new(),
                         outcome: Err(PointError::NotRun),
                     })
             })
@@ -409,5 +422,14 @@ mod tests {
         });
         let results = sweep.run(1);
         assert!(results[0].wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn wall_profile_records_wait_and_run_spans() {
+        let results = square_sweep(3).run(2);
+        for r in &results {
+            assert!(r.profile.duration_of("wait").is_some(), "{}", r.name);
+            assert_eq!(r.profile.duration_of("run"), Some(r.wall), "{}", r.name);
+        }
     }
 }

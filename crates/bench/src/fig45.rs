@@ -7,6 +7,7 @@
 //!   on-memory suspend/resume stays orders of magnitude below the rest.
 
 use rh_guest::services::ServiceKind;
+use rh_obs::Phase;
 use rh_vmm::config::RebootStrategy;
 use rh_vmm::harness::HostSim;
 
@@ -31,10 +32,10 @@ pub struct TaskTimes {
     pub boot: f64,
 }
 
-fn span(sim: &HostSim, name: &str) -> f64 {
+fn span(sim: &HostSim, phase: Phase) -> f64 {
     sim.host()
         .metrics
-        .duration_of(name)
+        .duration_of(phase)
         .map(|d| d.as_secs_f64())
         .unwrap_or(f64::NAN)
 }
@@ -49,12 +50,12 @@ pub fn measure_tasks(make: impl Fn() -> HostSim) -> TaskTimes {
     let mut cold = make();
     cold.reboot_and_wait(RebootStrategy::Cold);
     TaskTimes {
-        onmem_suspend: span(&warm, "suspend"),
-        onmem_resume: span(&warm, "resume"),
-        save: span(&saved, "save"),
-        restore: span(&saved, "restore"),
-        shutdown: span(&cold, "guest shutdown"),
-        boot: span(&cold, "guest boot"),
+        onmem_suspend: span(&warm, Phase::Suspend),
+        onmem_resume: span(&warm, Phase::Resume),
+        save: span(&saved, Phase::Save),
+        restore: span(&saved, Phase::Restore),
+        shutdown: span(&cold, Phase::GuestShutdown),
+        boot: span(&cold, Phase::GuestBoot),
     }
 }
 

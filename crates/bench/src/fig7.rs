@@ -144,7 +144,7 @@ pub fn render_phases(trace: &Fig7Trace) -> String {
             let rel_e = end.saturating_duration_since(trace.command_at);
             out.push_str(&format!(
                 "  {:<16} +{:>7.1}s .. +{:>7.1}s\n",
-                s.name,
+                s.name(),
                 rel_s.as_secs_f64(),
                 rel_e.as_secs_f64()
             ));

@@ -6,6 +6,7 @@
 //! **59 s** with a hardware reset — a 48 s saving.
 
 use rh_guest::services::ServiceKind;
+use rh_obs::Phase;
 use rh_vmm::config::RebootStrategy;
 
 use crate::util::booted_single_vm;
@@ -36,21 +37,21 @@ pub fn run() -> QuickReloadResult {
     let quick = warm
         .host()
         .metrics
-        .duration_of("quick reload")
+        .duration_of(Phase::QuickReload)
         .map(|d| d.as_secs_f64())
         .unwrap_or(f64::NAN);
     let mut cold = booted_single_vm(1, ServiceKind::Ssh);
     cold.reboot_and_wait(RebootStrategy::Cold);
-    let cspan = |name: &str| {
+    let cspan = |phase: Phase| {
         cold.host()
             .metrics
-            .duration_of(name)
+            .duration_of(phase)
             .map(|d| d.as_secs_f64())
             .unwrap_or(f64::NAN)
     };
     QuickReloadResult {
         quick_reload: quick,
-        hardware_reset: cspan("hardware reset") + cspan("vmm boot"),
+        hardware_reset: cspan(Phase::HardwareReset) + cspan(Phase::VmmBoot),
     }
 }
 

@@ -13,6 +13,7 @@
 //! lines, and compares coefficient by coefficient.
 
 use rh_guest::services::ServiceKind;
+use rh_obs::Phase;
 use rh_rejuv::fit::{fit_model, ComponentMeasurements, FitError};
 use rh_rejuv::model::DowntimeModel;
 use rh_vmm::config::RebootStrategy;
@@ -52,31 +53,31 @@ pub struct PhasePoint {
 pub fn measure_point(n: u32) -> PhasePoint {
     let mut warm = booted_n_vms(n, ServiceKind::Ssh);
     warm.reboot_and_wait(RebootStrategy::Warm);
-    let wspan = |name: &str| {
+    let wspan = |phase: Phase| {
         warm.host()
             .metrics
-            .duration_of(name)
+            .duration_of(phase)
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0)
     };
     // reboot_vmm(n): the VMM-only part of the warm reboot — quick
     // reload plus dom0 boot.
-    let reboot_vmm = wspan("quick reload") + wspan("dom0 boot");
+    let reboot_vmm = wspan(Phase::QuickReload) + wspan(Phase::Dom0Boot);
     // resume(n): on-memory suspend + resume of n VMs.
-    let resume = wspan("suspend") + wspan("resume");
+    let resume = wspan(Phase::Suspend) + wspan(Phase::Resume);
 
     let mut cold = booted_n_vms(n, ServiceKind::Ssh);
     cold.reboot_and_wait(RebootStrategy::Cold);
-    let cspan = |name: &str| {
+    let cspan = |phase: Phase| {
         cold.host()
             .metrics
-            .duration_of(name)
+            .duration_of(phase)
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0)
     };
-    let shutdown = cspan("guest shutdown");
-    let boot = cspan("guest boot");
-    let reset = cspan("hardware reset");
+    let shutdown = cspan(Phase::GuestShutdown);
+    let boot = cspan(Phase::GuestBoot);
+    let reset = cspan(Phase::HardwareReset);
     PhasePoint {
         n,
         reboot_vmm,

@@ -76,3 +76,48 @@ fn panicking_point_is_reported_as_failed_named_point() {
     assert_eq!(results[2].name, "good/after");
     assert_eq!(results[2].value(), Some(&3));
 }
+
+#[test]
+fn per_point_metrics_snapshots_merge_jobs_invariantly() {
+    use rh_obs::Metrics;
+    use rh_sim::time::SimDuration;
+
+    // The rh-obs aggregation pattern under the executor: every point
+    // accumulates into a private registry and returns a snapshot; the
+    // caller folds the snapshots in submission order. The folded registry
+    // must not depend on the worker count — counters add, timers merge.
+    fn merged(jobs: usize) -> Metrics {
+        let mut sweep = Sweep::new(DEFAULT_SEED);
+        for i in 0..12u64 {
+            sweep.point(format!("metrics/{i}"), move |mut rng| {
+                let mut m = Metrics::new();
+                for _ in 0..=(i % 5) {
+                    m.inc("points.work_items");
+                }
+                m.record(
+                    "points.latency",
+                    SimDuration::from_micros(rng.below(1_000_000)),
+                );
+                m.snapshot()
+            });
+        }
+        let mut total = Metrics::new();
+        for r in sweep.run(jobs) {
+            total.merge(r.value().expect("no point panicked"));
+        }
+        total
+    }
+
+    let seq = merged(1);
+    let par = merged(4);
+    assert_eq!(seq, par, "metrics registry diverged across worker counts");
+    assert_eq!(seq.render(), par.render());
+    assert_eq!(
+        seq.counter("points.work_items"),
+        (0..12u64).map(|i| i % 5 + 1).sum::<u64>()
+    );
+    assert_eq!(
+        seq.timer("points.latency").expect("timer exists").count(),
+        12
+    );
+}

@@ -11,6 +11,7 @@
 //! simple [`LoadBalancer`] model.
 
 use rh_guest::services::ServiceKind;
+use rh_obs::{Event, EventLog, Metrics};
 use rh_sim::series::TimeSeries;
 use rh_sim::time::{SimDuration, SimTime};
 use rh_vmm::config::RebootStrategy;
@@ -93,6 +94,12 @@ pub struct RollingReport {
     pub service_never_fully_down: bool,
     /// Requests lost versus the all-up ideal.
     pub capacity_loss: f64,
+    /// Typed cluster timeline: a [`HostDown`](Event::HostDown) /
+    /// [`HostUp`](Event::HostUp) pair per rejuvenated host.
+    pub events: EventLog,
+    /// Cluster-level counters and timers (hosts rebooted per strategy,
+    /// per-host downtime distribution).
+    pub stats: Metrics,
 }
 
 /// Rejuvenates every host of an `m`-host cluster in turn, `stagger` apart,
@@ -115,6 +122,8 @@ pub fn rolling_rejuvenation(
     assert!(hosts > 0, "cluster needs at least one host");
     let mut per_host_downtime = Vec::new();
     let mut outages = Vec::new();
+    let mut events = EventLog::new();
+    let mut stats = Metrics::new();
     for i in 0..hosts {
         // Every host is identical; simulate its reboot live.
         let mut sim = booted_host(vms, service);
@@ -122,6 +131,10 @@ pub fn rolling_rejuvenation(
         let down = report.max_downtime();
         per_host_downtime.push(report.mean_downtime());
         let start = SimTime::ZERO + stagger * i as u64;
+        events.emit(start, Event::HostDown { host: i });
+        events.emit(start + down, Event::HostUp { host: i });
+        stats.inc(&format!("cluster.reboots.{strategy}"));
+        stats.record("cluster.host_downtime", down);
         outages.push(HostOutage {
             host: i,
             start,
@@ -135,6 +148,7 @@ pub fn rolling_rejuvenation(
     let series = lb.throughput_series(hosts, &outages, horizon);
     let ideal = hosts as f64 * per_host_throughput * horizon.as_secs_f64();
     let capacity_loss = ideal - series.integral(SimTime::ZERO, SimTime::ZERO + horizon);
+    stats.set_gauge("cluster.hosts", i64::from(hosts));
     RollingReport {
         hosts,
         per_host_downtime,
@@ -142,6 +156,8 @@ pub fn rolling_rejuvenation(
         outages,
         series,
         capacity_loss,
+        events,
+        stats,
     }
 }
 
@@ -258,6 +274,32 @@ mod tests {
             cold.capacity_loss
         );
         assert!(warm.service_never_fully_down && cold.service_never_fully_down);
+    }
+
+    #[test]
+    fn rolling_report_carries_typed_events_and_stats() {
+        let report = rolling_rejuvenation(
+            2,
+            1,
+            ServiceKind::Ssh,
+            RebootStrategy::Warm,
+            secs(600),
+            100.0,
+        );
+        // One HostDown/HostUp pair per host, matching the outage windows.
+        let records = report.events.records();
+        assert_eq!(records.len(), 4);
+        for o in &report.outages {
+            assert!(records
+                .iter()
+                .any(|r| r.at == o.start && r.event == Event::HostDown { host: o.host }));
+            assert!(records
+                .iter()
+                .any(|r| r.at == o.end && r.event == Event::HostUp { host: o.host }));
+        }
+        assert_eq!(report.stats.counter("cluster.reboots.warm"), 2);
+        let timer = report.stats.timer("cluster.host_downtime").unwrap();
+        assert_eq!(timer.count(), 2);
     }
 
     #[test]

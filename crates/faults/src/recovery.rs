@@ -151,14 +151,17 @@ pub fn watch_and_recover(sim: &mut HostSim, cfg: &RecoveryConfig) -> Option<Reco
     if !settled {
         // Unrecoverable within the cap: report the incident as a total
         // loss so callers can still account for it.
-        return Some(RecoveryReport {
+        let incident = RecoveryReport {
             fault_at,
             detected_at,
             recovered_at: detected_at,
             policy: cfg.policy,
             salvaged: Vec::new(),
             lost: sim.host().domu_ids(),
-        });
+        };
+        account(sim, &incident);
+        sim.host_mut().stats.inc("recovery.unsettled");
+        return Some(incident);
     }
 
     // The settled predicate guarantees a report exists.
@@ -170,14 +173,28 @@ pub fn watch_and_recover(sim: &mut HostSim, cfg: &RecoveryConfig) -> Option<Reco
         .into_iter()
         .filter(|d| !lost.contains(d))
         .collect();
-    Some(RecoveryReport {
+    let incident = RecoveryReport {
         fault_at,
         detected_at,
         recovered_at: report.completed_at,
         policy: cfg.policy,
         salvaged,
         lost,
-    })
+    };
+    account(sim, &incident);
+    Some(incident)
+}
+
+/// Folds one handled incident into the host's metrics registry: incident
+/// counter, salvaged/lost domain counts, and the detection-latency and
+/// MTTR timers the reliability sweep reads back.
+fn account(sim: &mut HostSim, incident: &RecoveryReport) {
+    let stats = &mut sim.host_mut().stats;
+    stats.inc("recovery.incident");
+    stats.add("recovery.salvaged_domains", incident.salvaged.len() as u64);
+    stats.add("recovery.lost_domains", incident.lost.len() as u64);
+    stats.record("recovery.detection", incident.detection_latency());
+    stats.record("recovery.mttr", incident.mttr());
 }
 
 /// The detection predicate: the VMM is down and nobody is already

@@ -1,0 +1,145 @@
+//! Golden typed-event traces: pins the exact event sequence a canonical
+//! 2-domain warm reboot emits, and the recovery sequence of a
+//! crash-during-suspend incident driven through `watch_and_recover`. Any
+//! reordering of the warm-reboot lifecycle — or a silent change to what
+//! the host reports — shows up here as a readable diff of typed events.
+
+use rh_faults::plan::{FaultKind, FaultPlan, Trigger};
+use rh_faults::recovery::{watch_and_recover, RecoveryConfig, RecoveryPolicy};
+use rh_faults::Injector;
+use rh_guest::services::ServiceKind;
+use rh_obs::{DomId, Event, Phase, RecoveryKind, StrategyKind};
+use rh_vmm::harness::{booted_host, HostSim};
+use rh_vmm::{InjectPoint, RebootStrategy};
+
+/// The trace tail starting at the first occurrence of `anchor`.
+fn events_from(sim: &HostSim, anchor: &Event) -> Vec<Event> {
+    let records = sim.host().trace.records();
+    let start = records
+        .iter()
+        .position(|r| r.event == *anchor)
+        .expect("anchor event present in trace");
+    records[start..].iter().map(|r| r.event.clone()).collect()
+}
+
+/// The quick-reload accounting note for two standard 1 GiB guests.
+fn reload_note() -> Event {
+    Event::note(
+        "vmm",
+        "quick reload (2 GiB frozen; 4096 KiB of P2M tables + 32 KiB exec state preserved)",
+    )
+}
+
+#[test]
+fn warm_reboot_emits_the_canonical_typed_sequence() {
+    let mut sim = booted_host(2, ServiceKind::Ssh);
+    sim.reboot_and_wait(RebootStrategy::Warm);
+
+    // Note the xexec quirk: staging completes *logically* at command time
+    // (its PhaseEnd is emitted eagerly, timestamped 1 s later), so the
+    // XexecLoad span closes in the log before `XexecStaged` appears.
+    let expected = vec![
+        Event::RebootCommanded(StrategyKind::Warm),
+        Event::PhaseBegin(Phase::Reboot),
+        Event::PhaseBegin(Phase::XexecLoad),
+        Event::PhaseEnd(Phase::XexecLoad),
+        Event::XexecStaged { version: 2 },
+        Event::PhaseBegin(Phase::Dom0Shutdown),
+        Event::PhaseEnd(Phase::Dom0Shutdown),
+        Event::Dom0Down,
+        Event::PhaseBegin(Phase::Suspend),
+        Event::Suspending(DomId(1)),
+        Event::Suspending(DomId(2)),
+        Event::Frozen(DomId(1)),
+        Event::Frozen(DomId(2)),
+        Event::PhaseEnd(Phase::Suspend),
+        Event::PhaseBegin(Phase::QuickReload),
+        reload_note(),
+        Event::PhaseEnd(Phase::QuickReload),
+        Event::VmmUp { generation: 2 },
+        Event::PhaseBegin(Phase::Dom0Boot),
+        Event::PhaseEnd(Phase::Dom0Boot),
+        Event::Dom0Up,
+        Event::PhaseBegin(Phase::Resume),
+        Event::Resuming(DomId(1)),
+        Event::Resumed(DomId(1)),
+        Event::Resuming(DomId(2)),
+        Event::Resumed(DomId(2)),
+        Event::PhaseEnd(Phase::Resume),
+        Event::PhaseEnd(Phase::Reboot),
+        Event::RebootComplete(StrategyKind::Warm),
+    ];
+    let actual = events_from(&sim, &Event::RebootCommanded(StrategyKind::Warm));
+    assert_eq!(
+        actual, expected,
+        "warm-reboot typed trace diverged from the golden sequence"
+    );
+}
+
+#[test]
+fn recovery_from_crash_during_suspend_emits_the_golden_sequence() {
+    // A VMM crash while domU1 is already frozen but domU2 is not: the
+    // watchdog detects the silent failure, ReHype microreboots the VMM in
+    // place, and both domains are salvaged (frozen memory plus the still-
+    // running domU2 suspended state survive the reload).
+    let plan = FaultPlan::new(7).arm(
+        InjectPoint::SuspendEnd,
+        Trigger::Always,
+        FaultKind::VmmCrash,
+    );
+    let mut sim = booted_host(2, ServiceKind::Ssh);
+    sim.host_mut()
+        .arm_fault_hook(Box::new(Injector::new(&plan)));
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.warm_reboot(sched);
+    }
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(RecoveryPolicy::Microreboot))
+        .expect("Always-trigger fires on the first suspend");
+    assert_eq!(report.salvaged.len(), 2);
+    assert!(report.lost.is_empty());
+
+    let expected = vec![
+        Event::VmmFailed,
+        Event::RecoveryCommanded(RecoveryKind::Microreboot),
+        Event::PhaseBegin(Phase::Reboot),
+        Event::Salvaged(DomId(1)),
+        Event::Salvaged(DomId(2)),
+        Event::PhaseBegin(Phase::QuickReload),
+        reload_note(),
+        Event::PhaseEnd(Phase::QuickReload),
+        Event::VmmUp { generation: 2 },
+        Event::PhaseBegin(Phase::Dom0Boot),
+        Event::PhaseEnd(Phase::Dom0Boot),
+        Event::Dom0Up,
+        Event::PhaseBegin(Phase::Resume),
+        Event::Resuming(DomId(1)),
+        Event::Resumed(DomId(1)),
+        Event::Resuming(DomId(2)),
+        Event::Resumed(DomId(2)),
+        Event::PhaseEnd(Phase::Resume),
+        Event::PhaseEnd(Phase::Reboot),
+        Event::RebootComplete(StrategyKind::Warm),
+    ];
+    let actual = events_from(&sim, &Event::VmmFailed);
+    assert_eq!(
+        actual, expected,
+        "recovery typed trace diverged from the golden sequence"
+    );
+
+    // Only domU1 froze before the crash — the trace shows the partial
+    // suspend the recovery had to cope with.
+    let reboot = events_from(&sim, &Event::RebootCommanded(StrategyKind::Warm));
+    let frozen: Vec<&Event> = reboot
+        .iter()
+        .filter(|e| matches!(e, Event::Frozen(_)))
+        .collect();
+    assert_eq!(frozen, vec![&Event::Frozen(DomId(1))]);
+
+    // Recovery accounting landed in the host metrics registry.
+    let stats = &sim.host().stats;
+    assert_eq!(stats.counter("recovery.incident"), 1);
+    assert_eq!(stats.counter("recovery.salvaged_domains"), 2);
+    assert_eq!(stats.counter("recovery.lost_domains"), 0);
+    assert_eq!(stats.timer("recovery.mttr").expect("mttr timer").count(), 1);
+}

@@ -147,7 +147,14 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
                 json_escape(&v.detail),
                 v.trace
                     .iter()
-                    .map(|e| format!("\"{}\"", json_escape(e)))
+                    .map(|e| {
+                        format!(
+                            "{{\"category\":\"{}\",\"kind\":\"{}\",\"message\":\"{}\"}}",
+                            json_escape(e.category()),
+                            e.kind(),
+                            json_escape(&e.message())
+                        )
+                    })
                     .collect::<Vec<_>>()
                     .join(",")
             ),

@@ -145,6 +145,53 @@ impl fmt::Display for Event {
     }
 }
 
+/// Translates a model-event path into the typed [`rh_obs::Event`] stream
+/// the rest of the repo renders and queries. Counterexample traces print
+/// through the same [`rh_obs::render_numbered`] renderer as host traces,
+/// so a checker finding reads exactly like a simulator trace.
+///
+/// The mapper is stateful where the obs events carry payloads the model
+/// leaves implicit: the staged-build version counts up from 1 per
+/// [`Event::StageImage`], and the VMM generation counts up from 1 per
+/// [`Event::QuickReload`] / [`Event::Recover`] (mirroring the model's own
+/// `generation` counter). Model domain indices are 0-based; obs domains
+/// are the 1-based `domU<n>`.
+pub fn to_obs_trace(events: &[Event]) -> Vec<rh_obs::Event> {
+    let dom = |d: u32| rh_obs::DomId(d + 1);
+    let mut version: u64 = 1;
+    let mut generation: u64 = 1;
+    events
+        .iter()
+        .map(|e| match *e {
+            Event::Suspend(d) => rh_obs::Event::Suspending(dom(d)),
+            Event::SuspendDone(d) => rh_obs::Event::Frozen(dom(d)),
+            Event::StageImage => {
+                let staged = rh_obs::Event::XexecStaged { version };
+                version += 1;
+                staged
+            }
+            Event::Dom0Shutdown => rh_obs::Event::Dom0Down,
+            Event::QuickReload => {
+                generation += 1;
+                rh_obs::Event::VmmUp { generation }
+            }
+            Event::Dom0Boot => rh_obs::Event::Dom0Up,
+            Event::Resume(d) => rh_obs::Event::Resuming(dom(d)),
+            Event::ResumeDone(d) => rh_obs::Event::Resumed(dom(d)),
+            Event::VmmScratch => rh_obs::Event::note("vmm", "scratch scribble"),
+            Event::Crash => rh_obs::Event::VmmCrashed,
+            Event::CorruptFrozen(d) => rh_obs::Event::FrameCorrupted {
+                dom: dom(d),
+                pfn: 0,
+            },
+            Event::Recover => {
+                generation += 1;
+                rh_obs::Event::RecoveryCommanded(rh_obs::RecoveryKind::Microreboot)
+            }
+        })
+        .collect()
+}
+
 /// Lifecycle phase of one model domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -191,18 +238,16 @@ pub struct Violation {
     pub invariant: String,
     /// What exactly went wrong.
     pub detail: String,
-    /// Events from the initial state to the violating state, in order.
-    pub trace: Vec<String>,
+    /// Typed events from the initial state to the violating state, in
+    /// order ([`to_obs_trace`] of the model-event path).
+    pub trace: Vec<rh_obs::Event>,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "invariant {} violated: {}", self.invariant, self.detail)?;
         writeln!(f, "counterexample trace ({} events):", self.trace.len())?;
-        for (i, e) in self.trace.iter().enumerate() {
-            writeln!(f, "  {:>3}. {e}", i + 1)?;
-        }
-        Ok(())
+        f.write_str(&rh_obs::render_numbered(&self.trace))
     }
 }
 
@@ -722,11 +767,11 @@ pub fn explore(cfg: &ProtocolConfig) -> Result<Exploration, String> {
             result.transitions += 1;
             if let Err((invariant, detail)) = next.check_invariants() {
                 let mut trace = trace_to(&nodes, idx);
-                trace.push(event.to_string());
+                trace.push(event);
                 result.violation = Some(Violation {
                     invariant,
                     detail,
-                    trace,
+                    trace: to_obs_trace(&trace),
                 });
                 return Ok(result);
             }
@@ -749,39 +794,38 @@ pub fn explore(cfg: &ProtocolConfig) -> Result<Exploration, String> {
 /// any invariant fails afterwards. Internal model failures are folded into
 /// the violation detail.
 pub fn replay(cfg: &ProtocolConfig, events: &[Event]) -> Result<(), Violation> {
-    let fail = |invariant: &str, detail: String, trace: Vec<String>| Violation {
+    let fail = |invariant: &str, detail: String, trace: &[Event]| Violation {
         invariant: invariant.to_string(),
         detail,
-        trace,
+        trace: to_obs_trace(trace),
     };
-    let mut state = ModelState::init(cfg).map_err(|e| fail("model-init", e, Vec::new()))?;
-    let mut trace: Vec<String> = Vec::new();
+    let mut state = ModelState::init(cfg).map_err(|e| fail("model-init", e, &[]))?;
+    let mut trace: Vec<Event> = Vec::new();
     for event in events {
+        trace.push(*event);
         if !state.enabled_events(cfg).contains(event) {
-            trace.push(event.to_string());
             return Err(fail(
                 "guard",
                 format!("event {event} fired while its guard is false"),
-                trace,
+                &trace,
             ));
         }
-        trace.push(event.to_string());
         if let Err(e) = state.apply(*event, cfg) {
-            return Err(fail("model-apply", e, trace));
+            return Err(fail("model-apply", e, &trace));
         }
         if let Err((invariant, detail)) = state.check_invariants() {
-            return Err(fail(&invariant, detail, trace));
+            return Err(fail(&invariant, detail, &trace));
         }
     }
     Ok(())
 }
 
-fn trace_to(nodes: &[(ModelState, usize, Option<Event>)], mut idx: usize) -> Vec<String> {
+fn trace_to(nodes: &[(ModelState, usize, Option<Event>)], mut idx: usize) -> Vec<Event> {
     let mut rev = Vec::new();
     while idx != 0 {
         let (_, parent, event) = &nodes[idx];
         if let Some(e) = event {
-            rev.push(e.to_string());
+            rev.push(*e);
         }
         idx = *parent;
     }
@@ -815,7 +859,11 @@ mod tests {
         let result = explore(&cfg).unwrap();
         let v = result.violation.expect("§4.3 hazard must be found");
         assert_eq!(v.invariant, "I2 digest-preservation");
-        assert_eq!(v.trace.last().map(String::as_str), Some("quick-reload"));
+        assert!(
+            matches!(v.trace.last(), Some(rh_obs::Event::VmmUp { .. })),
+            "violation must land on the quick reload: {:?}",
+            v.trace.last()
+        );
     }
 
     #[test]
@@ -850,13 +898,27 @@ mod tests {
         let result = explore(&cfg).unwrap();
         let v = result.violation.expect("blind salvage must be caught");
         assert_eq!(v.invariant, "I5 recovery-validation");
-        for step in ["vmm-crash", "corrupt-frozen", "recover-microreboot"] {
+        let has = |pred: fn(&rh_obs::Event) -> bool, what: &str| {
             assert!(
-                v.trace.iter().any(|e| e.starts_with(step)),
-                "trace missing {step}: {:?}",
+                v.trace.iter().any(pred),
+                "trace missing {what}: {:?}",
                 v.trace
             );
-        }
+        };
+        has(|e| matches!(e, rh_obs::Event::VmmCrashed), "the VMM crash");
+        has(
+            |e| matches!(e, rh_obs::Event::FrameCorrupted { .. }),
+            "the frozen-image corruption",
+        );
+        has(
+            |e| {
+                matches!(
+                    e,
+                    rh_obs::Event::RecoveryCommanded(rh_obs::RecoveryKind::Microreboot)
+                )
+            },
+            "the micro-reboot recovery",
+        );
     }
 
     #[test]
@@ -883,6 +945,50 @@ mod tests {
         let events = vec![Event::Suspend(0), Event::SuspendDone(0), Event::Resume(0)];
         let v = replay(&cfg, &events).unwrap_err();
         assert_eq!(v.invariant, "guard");
+        // The offending event closes the typed trace.
+        assert_eq!(
+            v.trace.last(),
+            Some(&rh_obs::Event::Resuming(rh_obs::DomId(1)))
+        );
+    }
+
+    #[test]
+    fn obs_trace_mapping_counts_versions_and_generations() {
+        let events = [
+            Event::StageImage,
+            Event::Suspend(0),
+            Event::SuspendDone(0),
+            Event::Dom0Shutdown,
+            Event::QuickReload,
+            Event::Crash,
+            Event::Recover,
+            Event::StageImage,
+        ];
+        let obs = to_obs_trace(&events);
+        assert_eq!(obs[0], rh_obs::Event::XexecStaged { version: 1 });
+        assert_eq!(obs[1], rh_obs::Event::Suspending(rh_obs::DomId(1)));
+        assert_eq!(obs[2], rh_obs::Event::Frozen(rh_obs::DomId(1)));
+        assert_eq!(obs[3], rh_obs::Event::Dom0Down);
+        assert_eq!(obs[4], rh_obs::Event::VmmUp { generation: 2 });
+        assert_eq!(obs[5], rh_obs::Event::VmmCrashed);
+        assert_eq!(
+            obs[6],
+            rh_obs::Event::RecoveryCommanded(rh_obs::RecoveryKind::Microreboot)
+        );
+        assert_eq!(obs[7], rh_obs::Event::XexecStaged { version: 2 });
+    }
+
+    #[test]
+    fn violation_renders_through_the_shared_numbered_renderer() {
+        let v = Violation {
+            invariant: "I2 digest-preservation".to_string(),
+            detail: "demo".to_string(),
+            trace: to_obs_trace(&[Event::Suspend(0), Event::QuickReload]),
+        };
+        let rendered = v.to_string();
+        assert!(rendered.contains("counterexample trace (2 events):"));
+        assert!(rendered.contains("    1. guest    domU1 suspending"));
+        assert!(rendered.contains("    2. vmm      new VMM instance up (generation 2)"));
     }
 
     #[test]

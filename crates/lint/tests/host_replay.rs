@@ -2,48 +2,33 @@
 //! reboot is accepted by the protocol checker's transition table.
 //!
 //! The checker explores an abstract model; this test closes the loop by
-//! translating the concrete trace of `HostSim::reboot_and_wait(Warm)` into
-//! protocol events and replaying them through the same guards and
-//! invariants. If the host ever reorders the lifecycle (for example,
-//! resuming a guest before the quick reload), `replay` rejects the trace.
+//! translating the concrete **typed** rh-obs trace of
+//! `HostSim::reboot_and_wait(Warm)` into protocol events and replaying
+//! them through the same guards and invariants. If the host ever reorders
+//! the lifecycle (for example, resuming a guest before the quick reload),
+//! `replay` rejects the trace. No string matching: the mapping is a match
+//! on `rh_obs::Event` variants.
 
 use rh_guest::services::ServiceKind;
 use rh_lint::protocol::{replay, Event, ProtocolConfig};
 use rh_vmm::config::{HostConfig, RebootStrategy};
 use rh_vmm::harness::HostSim;
 
-/// Maps one host trace message to a protocol event, if it corresponds to
-/// one. `domains` is the guest count, used to translate `domU<n>` names to
-/// 0-based model indices.
-fn event_for(message: &str, domains: u32) -> Option<Event> {
-    if message.starts_with("xexec staged build") {
-        return Some(Event::StageImage);
+/// Maps one typed host event to a protocol event, if it corresponds to
+/// one. Obs domains are 1-based `domU<n>`; the model indexes guests from 0.
+fn event_for(event: &rh_obs::Event) -> Option<Event> {
+    let idx = |dom: rh_obs::DomId| dom.0.checked_sub(1);
+    match event {
+        rh_obs::Event::XexecStaged { .. } => Some(Event::StageImage),
+        rh_obs::Event::Dom0Down => Some(Event::Dom0Shutdown),
+        rh_obs::Event::VmmUp { .. } => Some(Event::QuickReload),
+        rh_obs::Event::Dom0Up => Some(Event::Dom0Boot),
+        rh_obs::Event::Suspending(d) => idx(*d).map(Event::Suspend),
+        rh_obs::Event::Frozen(d) => idx(*d).map(Event::SuspendDone),
+        rh_obs::Event::Resuming(d) => idx(*d).map(Event::Resume),
+        rh_obs::Event::Resumed(d) => idx(*d).map(Event::ResumeDone),
+        _ => None,
     }
-    if message == "dom0 down" {
-        return Some(Event::Dom0Shutdown);
-    }
-    if message.starts_with("new VMM instance up") {
-        return Some(Event::QuickReload);
-    }
-    if message == "dom0 up" {
-        return Some(Event::Dom0Boot);
-    }
-    for idx in 0..domains {
-        let name = format!("domU{}", idx + 1);
-        if *message == format!("{name} suspending") {
-            return Some(Event::Suspend(idx));
-        }
-        if *message == format!("{name} frozen on memory") {
-            return Some(Event::SuspendDone(idx));
-        }
-        if *message == format!("{name} resuming") {
-            return Some(Event::Resume(idx));
-        }
-        if *message == format!("{name} resumed") {
-            return Some(Event::ResumeDone(idx));
-        }
-    }
-    None
 }
 
 #[test]
@@ -56,15 +41,15 @@ fn warm_reboot_trace_is_accepted_by_the_protocol_checker() {
     assert!(report.corrupted.is_empty(), "warm reboot corrupted memory");
 
     // Only the reboot portion of the trace maps to protocol events; boot
-    // messages before the command (e.g. the power-on "dom0 up") do not.
-    let entries = sim.host().trace.entries();
-    let start = entries
+    // events before the command (e.g. the power-on "dom0 up") do not.
+    let records = sim.host().trace.records();
+    let start = records
         .iter()
-        .position(|e| e.message.contains("warm reboot commanded"))
+        .position(|r| r.event == rh_obs::Event::RebootCommanded(rh_obs::StrategyKind::Warm))
         .expect("trace records the reboot command");
-    let events: Vec<Event> = entries[start..]
+    let events: Vec<Event> = records[start..]
         .iter()
-        .filter_map(|e| event_for(&e.message, DOMAINS))
+        .filter_map(|r| event_for(&r.event))
         .collect();
 
     assert!(

@@ -1,0 +1,748 @@
+//! The typed event model.
+//!
+//! Every observable occurrence in the simulated testbed — reboot phase
+//! transitions, suspend/resume hypercalls per domain, fault injections,
+//! recovery incidents, cluster hosts going up and down — is an [`Event`]
+//! variant. The legacy [`Trace`](rh_sim::trace::Trace) recorded free-form
+//! `(category, message)` string pairs; [`Event::message`] and
+//! [`Event::category`] reproduce those strings byte-for-byte, and
+//! [`Event::from_legacy`] parses them back, so the conversion is lossless
+//! in both directions (anything unrecognised survives verbatim as
+//! [`Event::Note`]).
+
+use std::fmt;
+
+use crate::phase::Phase;
+
+/// A domain identifier as the observability layer sees it: `0` is the
+/// privileged dom0, anything else a guest domU.
+///
+/// This mirrors `rh_vmm::DomainId` (which rh-obs cannot depend on without
+/// a cycle) including its display format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomId(pub u32);
+
+impl DomId {
+    /// The privileged control domain.
+    pub const DOM0: DomId = DomId(0);
+
+    /// True for the privileged dom0.
+    pub const fn is_dom0(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses the display form (`"dom0"` / `"domU7"`).
+    pub fn parse(s: &str) -> Option<DomId> {
+        if s == "dom0" {
+            return Some(DomId::DOM0);
+        }
+        let n: u32 = s.strip_prefix("domU")?.parse().ok()?;
+        if n == 0 {
+            None
+        } else {
+            Some(DomId(n))
+        }
+    }
+}
+
+impl fmt::Display for DomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dom0() {
+            write!(f, "dom0")
+        } else {
+            write!(f, "domU{}", self.0)
+        }
+    }
+}
+
+/// The reboot strategy named in commanded/complete events (mirrors
+/// `rh_vmm::RebootStrategy`, including its display form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Warm-VM reboot: guests frozen on memory across the VMM swap.
+    Warm,
+    /// Saved reboot: guests suspended to disk.
+    Saved,
+    /// Cold reboot: full hardware reset, guests rebuilt from disk.
+    Cold,
+}
+
+impl StrategyKind {
+    /// All strategies.
+    pub const ALL: [StrategyKind; 3] =
+        [StrategyKind::Warm, StrategyKind::Saved, StrategyKind::Cold];
+
+    /// The legacy display name (`"warm"` / `"saved"` / `"cold"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Warm => "warm",
+            StrategyKind::Saved => "saved",
+            StrategyKind::Cold => "cold",
+        }
+    }
+
+    /// Parses the display name.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The recovery policy named in a recovery-commanded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryKind {
+    /// ReHype-style micro-reboot: new VMM under the frozen domains.
+    Microreboot,
+    /// Baseline cold recovery: hardware reset, domains rebuilt.
+    Cold,
+}
+
+/// One typed observable occurrence.
+///
+/// `category()` and `message()` reproduce the legacy free-form trace
+/// strings byte-for-byte; `from_legacy` inverts them. Computed messages
+/// that embed measurements or error text (e.g. the quick-reload size
+/// summary) stay free-form as [`Event::Note`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    // --- host lifecycle -------------------------------------------------
+    /// The machine was powered on.
+    PowerOn,
+    /// A rejuvenation reboot was commanded.
+    RebootCommanded(StrategyKind),
+    /// The commanded reboot finished; all domains are back in service.
+    RebootComplete(StrategyKind),
+    /// An injected fault crashed the VMM mid-flight.
+    VmmCrashed,
+    /// The VMM failed (detected failure, recovery not yet commanded).
+    VmmFailed,
+    /// A recovery was commanded for a failed VMM.
+    RecoveryCommanded(RecoveryKind),
+    /// Guest-OS rejuvenation (reboot of a single domU) was commanded.
+    OsRejuvenation(DomId),
+    /// Guest-OS rejuvenation was skipped because the domain is down.
+    OsRejuvenationSkipped(DomId),
+    /// A failed cold boot is being retried with backoff.
+    ColdBootRetry {
+        /// The domain being rebuilt.
+        dom: DomId,
+        /// 1-based retry attempt.
+        attempt: u32,
+    },
+    /// A domain was abandoned after exhausting cold-boot retries.
+    RetriesExhausted(DomId),
+    /// dom0 finished booting.
+    Dom0Up,
+    /// dom0 finished shutting down.
+    Dom0Down,
+
+    // --- VMM / xexec ----------------------------------------------------
+    /// The next VMM build was staged into the xexec region.
+    XexecStaged {
+        /// Build version of the staged image.
+        version: u64,
+    },
+    /// A fresh VMM instance is up after a quick reload.
+    VmmUp {
+        /// VMM generation counter after the swap.
+        generation: u64,
+    },
+    /// The VMM is booting after a hardware reset.
+    VmmBooting {
+        /// VMM generation counter after the reset.
+        generation: u64,
+    },
+    /// A frozen domain was salvaged in place during recovery.
+    Salvaged(DomId),
+    /// A frozen domain could not be salvaged and will cold boot.
+    LostColdBoot(DomId),
+    /// A domain's memory image is frozen on memory (suspend finished).
+    Frozen(DomId),
+    /// Writing a domain's image to disk began (saved reboot).
+    SaveStarted(DomId),
+    /// A domain's image finished writing to disk.
+    Saved(DomId),
+    /// Reading a domain's image from disk began (saved reboot).
+    RestoreStarted(DomId),
+    /// A domain's image finished reading from disk.
+    Restored(DomId),
+    /// A frozen domain failed digest validation on recovery.
+    ValidationFailed(DomId),
+    /// A frozen domain's memory image was found corrupted on resume.
+    Corrupted(DomId),
+
+    // --- guest lifecycle ------------------------------------------------
+    /// A guest OS began shutting down.
+    GuestShuttingDown(DomId),
+    /// A guest OS finished shutting down.
+    GuestOff(DomId),
+    /// A guest domain was created and its OS is booting.
+    GuestCreated(DomId),
+    /// A guest OS finished booting.
+    GuestBooted(DomId),
+    /// A guest began its suspend handler (freeze onto memory).
+    Suspending(DomId),
+    /// A guest began its resume handler.
+    Resuming(DomId),
+    /// A guest finished resuming and is running again.
+    Resumed(DomId),
+    /// A guest's service came back up.
+    ServiceUp(DomId),
+
+    // --- hardware -------------------------------------------------------
+    /// The machine's hardware reset line was pulled (cold reboot).
+    HardwareReset,
+
+    // --- fault injection ------------------------------------------------
+    /// An injected fault corrupted the staged xexec image.
+    StagedImageCorrupted,
+    /// An injected fault corrupted a domain's P2M entry.
+    P2mCorrupted(DomId),
+    /// An injected fault corrupted one frame of a domain's memory.
+    FrameCorrupted {
+        /// The domain owning the frame.
+        dom: DomId,
+        /// The corrupted pseudo-physical frame number.
+        pfn: u64,
+    },
+    /// An injected fault dropped a domain's saved execution state.
+    ExecStateLost(DomId),
+
+    // --- phases ---------------------------------------------------------
+    /// A reboot phase opened.
+    PhaseBegin(Phase),
+    /// A reboot phase closed.
+    PhaseEnd(Phase),
+
+    // --- cluster --------------------------------------------------------
+    /// A cluster host returned to service.
+    HostUp {
+        /// Cluster host index.
+        host: u32,
+    },
+    /// A cluster host left service (rejuvenation outage).
+    HostDown {
+        /// Cluster host index.
+        host: u32,
+    },
+
+    // --- escape hatch ---------------------------------------------------
+    /// A free-form legacy entry that has no typed variant (computed
+    /// measurements, error text). Kept verbatim so conversion from the
+    /// legacy trace is lossless.
+    Note {
+        /// Legacy category string.
+        category: String,
+        /// Legacy message string.
+        message: String,
+    },
+}
+
+impl Event {
+    /// A free-form note (the lossless escape hatch).
+    pub fn note(category: impl Into<String>, message: impl Into<String>) -> Event {
+        Event::Note {
+            category: category.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The legacy category string this event is filed under.
+    pub fn category(&self) -> &str {
+        match self {
+            Event::PowerOn
+            | Event::RebootCommanded(_)
+            | Event::RebootComplete(_)
+            | Event::VmmCrashed
+            | Event::VmmFailed
+            | Event::RecoveryCommanded(_)
+            | Event::OsRejuvenation(_)
+            | Event::OsRejuvenationSkipped(_)
+            | Event::ColdBootRetry { .. }
+            | Event::RetriesExhausted(_)
+            | Event::Dom0Up
+            | Event::Dom0Down => "host",
+            Event::XexecStaged { .. }
+            | Event::VmmUp { .. }
+            | Event::VmmBooting { .. }
+            | Event::Salvaged(_)
+            | Event::LostColdBoot(_)
+            | Event::Frozen(_)
+            | Event::SaveStarted(_)
+            | Event::Saved(_)
+            | Event::RestoreStarted(_)
+            | Event::Restored(_)
+            | Event::ValidationFailed(_)
+            | Event::Corrupted(_) => "vmm",
+            Event::GuestShuttingDown(_)
+            | Event::GuestOff(_)
+            | Event::GuestCreated(_)
+            | Event::GuestBooted(_)
+            | Event::Suspending(_)
+            | Event::Resuming(_)
+            | Event::Resumed(_) => "guest",
+            Event::ServiceUp(_) => "service",
+            Event::HardwareReset => "hw",
+            Event::StagedImageCorrupted
+            | Event::P2mCorrupted(_)
+            | Event::FrameCorrupted { .. }
+            | Event::ExecStateLost(_) => "fault",
+            Event::PhaseBegin(_) | Event::PhaseEnd(_) => "phase",
+            Event::HostUp { .. } | Event::HostDown { .. } => "cluster",
+            Event::Note { category, .. } => category,
+        }
+    }
+
+    /// The legacy message string, byte-identical to what the free-form
+    /// trace used to record.
+    pub fn message(&self) -> String {
+        match self {
+            Event::PowerOn => "power on".to_string(),
+            Event::RebootCommanded(s) => format!("{s} reboot commanded"),
+            Event::RebootComplete(s) => format!("{s} reboot complete"),
+            Event::VmmCrashed => "VMM CRASHED".to_string(),
+            Event::VmmFailed => "VMM FAILED".to_string(),
+            Event::RecoveryCommanded(RecoveryKind::Microreboot) => {
+                "micro-reboot recovery commanded".to_string()
+            }
+            Event::RecoveryCommanded(RecoveryKind::Cold) => "cold recovery commanded".to_string(),
+            Event::OsRejuvenation(id) => format!("OS rejuvenation of {id}"),
+            Event::OsRejuvenationSkipped(id) => format!("OS rejuvenation of {id} skipped (down)"),
+            Event::ColdBootRetry { dom, attempt } => {
+                format!("retrying cold boot of {dom} (attempt {attempt})")
+            }
+            Event::RetriesExhausted(id) => format!("{id} lost (retries exhausted)"),
+            Event::Dom0Up => "dom0 up".to_string(),
+            Event::Dom0Down => "dom0 down".to_string(),
+            Event::XexecStaged { version } => format!("xexec staged build v{version}"),
+            Event::VmmUp { generation } => {
+                format!("new VMM instance up (generation {generation})")
+            }
+            Event::VmmBooting { generation } => {
+                format!("VMM booting after reset (generation {generation})")
+            }
+            Event::Salvaged(id) => format!("{id} salvaged (frozen in place)"),
+            Event::LostColdBoot(id) => format!("{id} lost; will cold boot"),
+            Event::Frozen(id) => format!("{id} frozen on memory"),
+            Event::SaveStarted(id) => format!("{id} image save started"),
+            Event::Saved(id) => format!("{id} image saved"),
+            Event::RestoreStarted(id) => format!("{id} image restore started"),
+            Event::Restored(id) => format!("{id} image restored"),
+            Event::ValidationFailed(id) => {
+                format!("{id} failed validation; falling back to cold boot")
+            }
+            Event::Corrupted(id) => format!("{id} MEMORY IMAGE CORRUPTED"),
+            Event::GuestShuttingDown(id) => format!("{id} shutting down"),
+            Event::GuestOff(id) => format!("{id} off"),
+            Event::GuestCreated(id) => format!("{id} created, booting"),
+            Event::GuestBooted(id) => format!("{id} booted"),
+            Event::Suspending(id) => format!("{id} suspending"),
+            Event::Resuming(id) => format!("{id} resuming"),
+            Event::Resumed(id) => format!("{id} resumed"),
+            Event::ServiceUp(id) => format!("{id} service up"),
+            Event::HardwareReset => "hardware reset".to_string(),
+            Event::StagedImageCorrupted => "staged xexec image corrupted".to_string(),
+            Event::P2mCorrupted(id) => format!("{id} P2M entry corrupted"),
+            Event::FrameCorrupted { dom, pfn } => format!("{dom} frame {pfn} corrupted"),
+            Event::ExecStateLost(id) => format!("{id} exec state lost"),
+            Event::PhaseBegin(p) => format!("begin {p}"),
+            Event::PhaseEnd(p) => format!("end {p}"),
+            Event::HostUp { host } => format!("host {host} up"),
+            Event::HostDown { host } => format!("host {host} down"),
+            Event::Note { message, .. } => message.clone(),
+        }
+    }
+
+    /// A stable machine-readable variant name (for JSONL export).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PowerOn => "PowerOn",
+            Event::RebootCommanded(_) => "RebootCommanded",
+            Event::RebootComplete(_) => "RebootComplete",
+            Event::VmmCrashed => "VmmCrashed",
+            Event::VmmFailed => "VmmFailed",
+            Event::RecoveryCommanded(_) => "RecoveryCommanded",
+            Event::OsRejuvenation(_) => "OsRejuvenation",
+            Event::OsRejuvenationSkipped(_) => "OsRejuvenationSkipped",
+            Event::ColdBootRetry { .. } => "ColdBootRetry",
+            Event::RetriesExhausted(_) => "RetriesExhausted",
+            Event::Dom0Up => "Dom0Up",
+            Event::Dom0Down => "Dom0Down",
+            Event::XexecStaged { .. } => "XexecStaged",
+            Event::VmmUp { .. } => "VmmUp",
+            Event::VmmBooting { .. } => "VmmBooting",
+            Event::Salvaged(_) => "Salvaged",
+            Event::LostColdBoot(_) => "LostColdBoot",
+            Event::Frozen(_) => "Frozen",
+            Event::SaveStarted(_) => "SaveStarted",
+            Event::Saved(_) => "Saved",
+            Event::RestoreStarted(_) => "RestoreStarted",
+            Event::Restored(_) => "Restored",
+            Event::ValidationFailed(_) => "ValidationFailed",
+            Event::Corrupted(_) => "Corrupted",
+            Event::GuestShuttingDown(_) => "GuestShuttingDown",
+            Event::GuestOff(_) => "GuestOff",
+            Event::GuestCreated(_) => "GuestCreated",
+            Event::GuestBooted(_) => "GuestBooted",
+            Event::Suspending(_) => "Suspending",
+            Event::Resuming(_) => "Resuming",
+            Event::Resumed(_) => "Resumed",
+            Event::ServiceUp(_) => "ServiceUp",
+            Event::HardwareReset => "HardwareReset",
+            Event::StagedImageCorrupted => "StagedImageCorrupted",
+            Event::P2mCorrupted(_) => "P2mCorrupted",
+            Event::FrameCorrupted { .. } => "FrameCorrupted",
+            Event::ExecStateLost(_) => "ExecStateLost",
+            Event::PhaseBegin(_) => "PhaseBegin",
+            Event::PhaseEnd(_) => "PhaseEnd",
+            Event::HostUp { .. } => "HostUp",
+            Event::HostDown { .. } => "HostDown",
+            Event::Note { .. } => "Note",
+        }
+    }
+
+    /// The domain this event concerns, if it concerns exactly one.
+    pub fn domain(&self) -> Option<DomId> {
+        match self {
+            Event::OsRejuvenation(id)
+            | Event::OsRejuvenationSkipped(id)
+            | Event::RetriesExhausted(id)
+            | Event::Salvaged(id)
+            | Event::LostColdBoot(id)
+            | Event::Frozen(id)
+            | Event::SaveStarted(id)
+            | Event::Saved(id)
+            | Event::RestoreStarted(id)
+            | Event::Restored(id)
+            | Event::ValidationFailed(id)
+            | Event::Corrupted(id)
+            | Event::GuestShuttingDown(id)
+            | Event::GuestOff(id)
+            | Event::GuestCreated(id)
+            | Event::GuestBooted(id)
+            | Event::Suspending(id)
+            | Event::Resuming(id)
+            | Event::Resumed(id)
+            | Event::ServiceUp(id)
+            | Event::P2mCorrupted(id)
+            | Event::ExecStateLost(id) => Some(*id),
+            Event::ColdBootRetry { dom, .. } | Event::FrameCorrupted { dom, .. } => Some(*dom),
+            _ => None,
+        }
+    }
+
+    /// Parses a legacy `(category, message)` pair back into a typed event.
+    ///
+    /// Every string produced by [`category`](Event::category) /
+    /// [`message`](Event::message) parses back to the originating variant;
+    /// anything unrecognised is preserved verbatim as [`Event::Note`], so
+    /// the conversion never loses information.
+    pub fn from_legacy(category: &str, message: &str) -> Event {
+        let note = || Event::note(category, message);
+        match category {
+            "host" => parse_host(message).unwrap_or_else(note),
+            "vmm" => parse_vmm(message).unwrap_or_else(note),
+            "guest" => parse_guest(message).unwrap_or_else(note),
+            "service" => message
+                .strip_suffix(" service up")
+                .and_then(DomId::parse)
+                .map(Event::ServiceUp)
+                .unwrap_or_else(note),
+            "hw" if message == "hardware reset" => Event::HardwareReset,
+            "fault" => parse_fault(message).unwrap_or_else(note),
+            "phase" => parse_phase(message).unwrap_or_else(note),
+            "cluster" => parse_cluster(message).unwrap_or_else(note),
+            _ => note(),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<8} {}", self.category(), self.message())
+    }
+}
+
+fn parse_host(m: &str) -> Option<Event> {
+    match m {
+        "power on" => return Some(Event::PowerOn),
+        "VMM CRASHED" => return Some(Event::VmmCrashed),
+        "VMM FAILED" => return Some(Event::VmmFailed),
+        "micro-reboot recovery commanded" => {
+            return Some(Event::RecoveryCommanded(RecoveryKind::Microreboot))
+        }
+        "cold recovery commanded" => return Some(Event::RecoveryCommanded(RecoveryKind::Cold)),
+        "dom0 up" => return Some(Event::Dom0Up),
+        "dom0 down" => return Some(Event::Dom0Down),
+        _ => {}
+    }
+    if let Some(s) = m.strip_suffix(" reboot commanded") {
+        return StrategyKind::parse(s).map(Event::RebootCommanded);
+    }
+    if let Some(s) = m.strip_suffix(" reboot complete") {
+        return StrategyKind::parse(s).map(Event::RebootComplete);
+    }
+    if let Some(rest) = m.strip_prefix("OS rejuvenation of ") {
+        if let Some(id) = rest.strip_suffix(" skipped (down)") {
+            return DomId::parse(id).map(Event::OsRejuvenationSkipped);
+        }
+        return DomId::parse(rest).map(Event::OsRejuvenation);
+    }
+    if let Some(rest) = m.strip_prefix("retrying cold boot of ") {
+        let (id, attempt) = rest.split_once(" (attempt ")?;
+        let attempt: u32 = attempt.strip_suffix(')')?.parse().ok()?;
+        return Some(Event::ColdBootRetry {
+            dom: DomId::parse(id)?,
+            attempt,
+        });
+    }
+    if let Some(id) = m.strip_suffix(" lost (retries exhausted)") {
+        return DomId::parse(id).map(Event::RetriesExhausted);
+    }
+    None
+}
+
+fn parse_vmm(m: &str) -> Option<Event> {
+    if let Some(v) = m.strip_prefix("xexec staged build v") {
+        return Some(Event::XexecStaged {
+            version: v.parse().ok()?,
+        });
+    }
+    if let Some(g) = m.strip_prefix("new VMM instance up (generation ") {
+        return Some(Event::VmmUp {
+            generation: g.strip_suffix(')')?.parse().ok()?,
+        });
+    }
+    if let Some(g) = m.strip_prefix("VMM booting after reset (generation ") {
+        return Some(Event::VmmBooting {
+            generation: g.strip_suffix(')')?.parse().ok()?,
+        });
+    }
+    let per_dom: [(&str, fn(DomId) -> Event); 9] = [
+        (" salvaged (frozen in place)", Event::Salvaged),
+        (" lost; will cold boot", Event::LostColdBoot),
+        (" frozen on memory", Event::Frozen),
+        (" image save started", Event::SaveStarted),
+        (" image saved", Event::Saved),
+        (" image restore started", Event::RestoreStarted),
+        (" image restored", Event::Restored),
+        (
+            " failed validation; falling back to cold boot",
+            Event::ValidationFailed,
+        ),
+        (" MEMORY IMAGE CORRUPTED", Event::Corrupted),
+    ];
+    for (suffix, make) in per_dom {
+        if let Some(id) = m.strip_suffix(suffix) {
+            return DomId::parse(id).map(make);
+        }
+    }
+    None
+}
+
+fn parse_guest(m: &str) -> Option<Event> {
+    let per_dom: [(&str, fn(DomId) -> Event); 7] = [
+        (" shutting down", Event::GuestShuttingDown),
+        (" off", Event::GuestOff),
+        (" created, booting", Event::GuestCreated),
+        (" booted", Event::GuestBooted),
+        (" suspending", Event::Suspending),
+        (" resuming", Event::Resuming),
+        (" resumed", Event::Resumed),
+    ];
+    for (suffix, make) in per_dom {
+        if let Some(id) = m.strip_suffix(suffix) {
+            if let Some(id) = DomId::parse(id) {
+                return Some(make(id));
+            }
+        }
+    }
+    None
+}
+
+fn parse_fault(m: &str) -> Option<Event> {
+    if m == "staged xexec image corrupted" {
+        return Some(Event::StagedImageCorrupted);
+    }
+    if let Some(id) = m.strip_suffix(" P2M entry corrupted") {
+        return DomId::parse(id).map(Event::P2mCorrupted);
+    }
+    if let Some(id) = m.strip_suffix(" exec state lost") {
+        return DomId::parse(id).map(Event::ExecStateLost);
+    }
+    if let Some(rest) = m.strip_suffix(" corrupted") {
+        let (id, pfn) = rest.split_once(" frame ")?;
+        return Some(Event::FrameCorrupted {
+            dom: DomId::parse(id)?,
+            pfn: pfn.parse().ok()?,
+        });
+    }
+    None
+}
+
+fn parse_phase(m: &str) -> Option<Event> {
+    if let Some(name) = m.strip_prefix("begin ") {
+        return Phase::parse(name).map(Event::PhaseBegin);
+    }
+    if let Some(name) = m.strip_prefix("end ") {
+        return Phase::parse(name).map(Event::PhaseEnd);
+    }
+    None
+}
+
+fn parse_cluster(m: &str) -> Option<Event> {
+    let rest = m.strip_prefix("host ")?;
+    if let Some(h) = rest.strip_suffix(" up") {
+        return Some(Event::HostUp {
+            host: h.parse().ok()?,
+        });
+    }
+    let h = rest.strip_suffix(" down")?;
+    Some(Event::HostDown {
+        host: h.parse().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplars() -> Vec<Event> {
+        let d = DomId(3);
+        let mut out = vec![
+            Event::PowerOn,
+            Event::VmmCrashed,
+            Event::VmmFailed,
+            Event::RecoveryCommanded(RecoveryKind::Microreboot),
+            Event::RecoveryCommanded(RecoveryKind::Cold),
+            Event::OsRejuvenation(d),
+            Event::OsRejuvenationSkipped(d),
+            Event::ColdBootRetry { dom: d, attempt: 2 },
+            Event::RetriesExhausted(d),
+            Event::Dom0Up,
+            Event::Dom0Down,
+            Event::XexecStaged { version: 7 },
+            Event::VmmUp { generation: 2 },
+            Event::VmmBooting { generation: 2 },
+            Event::Salvaged(d),
+            Event::LostColdBoot(d),
+            Event::Frozen(d),
+            Event::SaveStarted(d),
+            Event::Saved(d),
+            Event::RestoreStarted(d),
+            Event::Restored(d),
+            Event::ValidationFailed(d),
+            Event::Corrupted(d),
+            Event::GuestShuttingDown(d),
+            Event::GuestOff(d),
+            Event::GuestCreated(d),
+            Event::GuestBooted(d),
+            Event::Suspending(d),
+            Event::Resuming(d),
+            Event::Resumed(d),
+            Event::ServiceUp(d),
+            Event::HardwareReset,
+            Event::StagedImageCorrupted,
+            Event::P2mCorrupted(d),
+            Event::FrameCorrupted { dom: d, pfn: 4096 },
+            Event::ExecStateLost(d),
+            Event::HostUp { host: 1 },
+            Event::HostDown { host: 1 },
+            Event::note("vmm", "quick reload (11 GiB frozen)"),
+        ];
+        for s in StrategyKind::ALL {
+            out.push(Event::RebootCommanded(s));
+            out.push(Event::RebootComplete(s));
+        }
+        for p in Phase::ALL {
+            out.push(Event::PhaseBegin(p));
+            out.push(Event::PhaseEnd(p));
+        }
+        out
+    }
+
+    #[test]
+    fn legacy_round_trip_is_lossless() {
+        for e in exemplars() {
+            let back = Event::from_legacy(e.category(), &e.message());
+            assert_eq!(
+                back,
+                e,
+                "category {:?} message {:?}",
+                e.category(),
+                e.message()
+            );
+        }
+    }
+
+    #[test]
+    fn messages_match_legacy_strings() {
+        assert_eq!(
+            Event::RebootCommanded(StrategyKind::Warm).message(),
+            "warm reboot commanded"
+        );
+        assert_eq!(
+            Event::VmmUp { generation: 2 }.message(),
+            "new VMM instance up (generation 2)"
+        );
+        assert_eq!(Event::Frozen(DomId(1)).message(), "domU1 frozen on memory");
+        assert_eq!(
+            Event::Salvaged(DomId(2)).message(),
+            "domU2 salvaged (frozen in place)"
+        );
+        assert_eq!(
+            Event::FrameCorrupted {
+                dom: DomId(1),
+                pfn: 77
+            }
+            .message(),
+            "domU1 frame 77 corrupted"
+        );
+        assert_eq!(Event::ServiceUp(DomId(4)).message(), "domU4 service up");
+    }
+
+    #[test]
+    fn unknown_strings_survive_as_notes() {
+        let e = Event::from_legacy("vmm", "quick reload failed: disk on fire");
+        assert_eq!(e, Event::note("vmm", "quick reload failed: disk on fire"));
+        // And the note round-trips too.
+        assert_eq!(Event::from_legacy(e.category(), &e.message()), e);
+    }
+
+    #[test]
+    fn dom_id_display_and_parse() {
+        assert_eq!(DomId(0).to_string(), "dom0");
+        assert_eq!(DomId(5).to_string(), "domU5");
+        assert_eq!(DomId::parse("dom0"), Some(DomId(0)));
+        assert_eq!(DomId::parse("domU12"), Some(DomId(12)));
+        assert_eq!(DomId::parse("domU0"), None);
+        assert_eq!(DomId::parse("dom1"), None);
+    }
+
+    #[test]
+    fn domain_accessor_names_the_right_domain() {
+        assert_eq!(Event::Resumed(DomId(3)).domain(), Some(DomId(3)));
+        assert_eq!(
+            Event::ColdBootRetry {
+                dom: DomId(2),
+                attempt: 1
+            }
+            .domain(),
+            Some(DomId(2))
+        );
+        assert_eq!(Event::Dom0Up.domain(), None);
+    }
+
+    #[test]
+    fn guest_off_does_not_shadow_longer_suffixes() {
+        // "domU1 image saved" must not parse as GuestOff via a careless
+        // suffix order; categories keep the namespaces apart.
+        let e = Event::from_legacy("vmm", "domU1 image saved");
+        assert_eq!(e, Event::Saved(DomId(1)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Wall-clock span profiles for the sweep executor.
+//!
+//! The parallel experiment executor measures real elapsed time per point
+//! and per phase (queue wait, closure run). That data is useful for
+//! profiling the harness itself but is nondeterministic, so — like PR 3's
+//! per-point wall times — it is quarantined out of stdout and lands only
+//! in `BENCH_repro.json`.
+//!
+//! This module deliberately stores *already-measured* [`Duration`]s: the
+//! measuring (`Instant::now()`) stays in `rh-bench`, the one crate the
+//! wall-clock lint permits to read the real clock.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One labelled wall-clock span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallSpan {
+    /// What was timed (e.g. `"wait"`, `"run"`).
+    pub label: String,
+    /// Real elapsed time.
+    pub elapsed: Duration,
+}
+
+/// An ordered collection of labelled wall-clock spans for one unit of
+/// work (one sweep point).
+///
+/// # Examples
+///
+/// ```
+/// use rh_obs::WallProfile;
+/// use std::time::Duration;
+///
+/// let mut p = WallProfile::new();
+/// p.record("wait", Duration::from_millis(2));
+/// p.record("run", Duration::from_millis(40));
+/// assert_eq!(p.duration_of("run"), Some(Duration::from_millis(40)));
+/// assert_eq!(p.total(), Duration::from_millis(42));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WallProfile {
+    spans: Vec<WallSpan>,
+}
+
+impl WallProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        WallProfile::default()
+    }
+
+    /// Appends a labelled span.
+    pub fn record(&mut self, label: impl Into<String>, elapsed: Duration) {
+        self.spans.push(WallSpan {
+            label: label.into(),
+            elapsed,
+        });
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[WallSpan] {
+        &self.spans
+    }
+
+    /// The most recent span with this label.
+    pub fn duration_of(&self, label: &str) -> Option<Duration> {
+        self.spans
+            .iter()
+            .rev()
+            .find(|s| s.label == label)
+            .map(|s| s.elapsed)
+    }
+
+    /// Sum of every span.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|s| s.elapsed).sum()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+impl fmt::Display for WallProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{}={:.1}ms", s.label, s.elapsed.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut p = WallProfile::new();
+        assert!(p.is_empty());
+        p.record("wait", Duration::from_millis(1));
+        p.record("run", Duration::from_millis(10));
+        p.record("run", Duration::from_millis(20));
+        assert_eq!(p.duration_of("run"), Some(Duration::from_millis(20)));
+        assert_eq!(p.duration_of("wait"), Some(Duration::from_millis(1)));
+        assert_eq!(p.duration_of("absent"), None);
+        assert_eq!(p.total(), Duration::from_millis(31));
+        assert_eq!(p.spans().len(), 3);
+    }
+
+    #[test]
+    fn display_lists_spans_in_order() {
+        let mut p = WallProfile::new();
+        p.record("wait", Duration::from_millis(2));
+        p.record("run", Duration::from_micros(41_500));
+        assert_eq!(p.to_string(), "wait=2.0ms run=41.5ms");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for [`LatencyHistogram::merge`]: merging per-worker
+//! histograms must be indistinguishable from recording every sample into
+//! one histogram, in any merge order. This is the algebraic fact the
+//! parallel sweep executor and the rh-obs metrics registry lean on when
+//! they snapshot per-worker timers and fold them together.
+
+use rh_sim::histogram::LatencyHistogram;
+use rh_sim::testkit::{check, Config, Gen};
+use rh_sim::time::SimDuration;
+use rh_sim::{prop_ensure, prop_ensure_eq};
+
+/// Draws a latency spanning the histogram's interesting range: from
+/// sub-microsecond (clamps into bucket 0) to minutes.
+fn arb_latency(g: &mut Gen) -> SimDuration {
+    SimDuration::from_micros(g.u64_in(0, 120_000_000))
+}
+
+#[test]
+fn merge_of_split_equals_record_all() {
+    check(
+        "merge_of_split_equals_record_all",
+        &Config::default(),
+        |g| {
+            let samples = g.vec_of(0, 64, arb_latency);
+            let cut = g.u64_in(0, samples.len() as u64 + 1) as usize;
+
+            let mut all = LatencyHistogram::new();
+            for &d in &samples {
+                all.record(d);
+            }
+            let mut left = LatencyHistogram::new();
+            for &d in &samples[..cut] {
+                left.record(d);
+            }
+            let mut right = LatencyHistogram::new();
+            for &d in &samples[cut..] {
+                right.record(d);
+            }
+            left.merge(&right);
+
+            // Buckets, count, sum, min and max are all additive, so the merged
+            // histogram is *structurally* equal — not merely similar.
+            prop_ensure_eq!(left, all, "merge(split) != record-all");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_is_commutative() {
+    check("merge_is_commutative", &Config::default(), |g| {
+        let xs = g.vec_of(0, 48, arb_latency);
+        let ys = g.vec_of(0, 48, arb_latency);
+        let mut a = LatencyHistogram::new();
+        for &d in &xs {
+            a.record(d);
+        }
+        let mut b = LatencyHistogram::new();
+        for &d in &ys {
+            b.record(d);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_ensure_eq!(ab, ba, "merge order changed the histogram");
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_preserves_quantile_bounds() {
+    check(
+        "merge_preserves_quantile_bounds",
+        &Config::with_cases(48),
+        |g| {
+            let xs = g.vec_of(1, 48, arb_latency);
+            let ys = g.vec_of(1, 48, arb_latency);
+            let mut a = LatencyHistogram::new();
+            for &d in &xs {
+                a.record(d);
+            }
+            let mut b = LatencyHistogram::new();
+            for &d in &ys {
+                b.record(d);
+            }
+            a.merge(&b);
+            // Percentiles of the merged histogram stay within the global
+            // extremes (the bucket upper bound can overshoot max by <2x).
+            let min = a.min().expect("non-empty");
+            let max = a.max().expect("non-empty");
+            for p in [1.0, 50.0, 99.0, 100.0] {
+                let q = a.percentile(p).expect("non-empty");
+                prop_ensure!(q >= min, "p{p} {q} below min {min}");
+                prop_ensure!(
+                    q.as_micros() <= max.as_micros().saturating_mul(2).max(1),
+                    "p{p} {q} above 2x max {max}"
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -30,6 +30,16 @@ impl std::fmt::Display for RebootStrategy {
     }
 }
 
+impl From<RebootStrategy> for rh_obs::StrategyKind {
+    fn from(s: RebootStrategy) -> Self {
+        match s {
+            RebootStrategy::Warm => rh_obs::StrategyKind::Warm,
+            RebootStrategy::Saved => rh_obs::StrategyKind::Saved,
+            RebootStrategy::Cold => rh_obs::StrategyKind::Cold,
+        }
+    }
+}
+
 /// Who initiates the on-memory suspend, and when (a DESIGN.md ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuspendOrder {

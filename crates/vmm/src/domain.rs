@@ -39,6 +39,12 @@ impl fmt::Display for DomainId {
     }
 }
 
+impl From<DomainId> for rh_obs::DomId {
+    fn from(id: DomainId) -> Self {
+        rh_obs::DomId(id.0)
+    }
+}
+
 /// The execution state saved by the suspend hypercall (§4.2): "execution
 /// context such as CPU registers and shared information such as the status
 /// of event channels", plus the domain configuration. 16 KB in total.

@@ -588,11 +588,23 @@ mod tests {
         // §5.2: 11 s vs 59 s.
         let mut warm = booted_host(1, ServiceKind::Ssh);
         warm.reboot_and_wait(RebootStrategy::Warm);
-        let reload = warm.host().metrics.duration_of("quick reload").unwrap();
+        let reload = warm
+            .host()
+            .metrics
+            .duration_of(rh_obs::Phase::QuickReload)
+            .unwrap();
         let mut cold = booted_host(1, ServiceKind::Ssh);
         cold.reboot_and_wait(RebootStrategy::Cold);
-        let reset = cold.host().metrics.duration_of("hardware reset").unwrap();
-        let vmm_boot = cold.host().metrics.duration_of("vmm boot").unwrap();
+        let reset = cold
+            .host()
+            .metrics
+            .duration_of(rh_obs::Phase::HardwareReset)
+            .unwrap();
+        let vmm_boot = cold
+            .host()
+            .metrics
+            .duration_of(rh_obs::Phase::VmmBoot)
+            .unwrap();
         let hw_path = (reset + vmm_boot).as_secs_f64();
         let reload_s = reload.as_secs_f64();
         assert!(

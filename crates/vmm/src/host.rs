@@ -26,12 +26,12 @@ use rh_memory::contents::FrameContents;
 use rh_memory::frame::frames_for_bytes;
 use rh_net::downtime::{DowntimeMeter, ProbeLog};
 use rh_net::httperf::HttperfClient;
+use rh_obs::{Event, EventLog, Metrics, Phase, RecoveryKind};
 use rh_sim::engine::{Scheduler, World};
 use rh_sim::histogram::LatencyHistogram;
 use rh_sim::resource::{JobId, PsResource, Retick};
 use rh_sim::rng::SimRng;
 use rh_sim::time::{SimDuration, SimTime};
-use rh_sim::trace::Trace;
 use rh_storage::disk::{Disk, IoKind};
 use rh_storage::image::MemoryImage;
 use rh_storage::partition::{PartitionId, PartitionTable};
@@ -267,8 +267,12 @@ pub struct Host {
     file_read_results: Vec<FileReadResult>,
     /// Phase timeline of the most recent reboot (Fig. 7 data).
     pub metrics: RebootMetrics,
-    /// Structured event trace.
-    pub trace: Trace,
+    /// Typed structured event trace.
+    pub trace: EventLog,
+    /// Counters and timers accumulated across the host's whole life
+    /// (reboot counts per strategy, per-strategy duration histograms,
+    /// guest suspend/resume tallies, fault and recovery tallies).
+    pub stats: Metrics,
     reports: Vec<RebootReport>,
     errors: Vec<VmmError>,
     single_rejuvs: BTreeSet<DomainId>,
@@ -316,9 +320,9 @@ impl Host {
             probes.insert(id, ProbeLog::new(t.probe_interval));
         }
         let trace = if cfg.trace {
-            Trace::new()
+            EventLog::new()
         } else {
-            Trace::disabled()
+            EventLog::disabled()
         };
         // One physical partition per VM on the 36.7 GB disk (paper §5).
         let mut partitions = PartitionTable::new(36_700_000_000);
@@ -356,6 +360,7 @@ impl Host {
             file_read_results: Vec::new(),
             metrics: RebootMetrics::new(),
             trace,
+            stats: Metrics::new(),
             reports: Vec::new(),
             errors: Vec::new(),
             single_rejuvs: BTreeSet::new(),
@@ -394,6 +399,28 @@ impl Host {
         sched.schedule_in(delay, HostEvent::Reboot(step, self.epoch));
     }
 
+    /// Opens `phase` on the Fig. 7 timeline and mirrors the transition
+    /// into the event trace.
+    fn phase_begin(&mut self, at: SimTime, phase: Phase) {
+        self.metrics.begin(at, phase);
+        self.trace.emit(at, Event::PhaseBegin(phase));
+    }
+
+    /// Closes `phase` on the timeline and mirrors the transition into the
+    /// event trace.
+    fn phase_end(&mut self, at: SimTime, phase: Phase) {
+        self.metrics.end(at, phase);
+        self.trace.emit(at, Event::PhaseEnd(phase));
+    }
+
+    /// Closes `phase` if it is open; the end event is emitted only when a
+    /// span was actually closed.
+    fn phase_end_if_open(&mut self, at: SimTime, phase: Phase) {
+        if self.metrics.end_if_open(at, phase) {
+            self.trace.emit(at, Event::PhaseEnd(phase));
+        }
+    }
+
     /// Consults the armed fault hook (if any) at `point` and applies the
     /// actions it returns. With no hook armed this is a single `Option`
     /// check. Corruption actions apply immediately; `CrashVmm` tears the
@@ -420,18 +447,16 @@ impl Host {
                 FaultAction::CrashVmm => out.crashed = true,
                 FaultAction::CorruptStagedImage { xor } => {
                     if self.vmm.xexec_mut().corrupt_staged_with(xor) {
-                        self.trace
-                            .log(sched.now(), "fault", "staged xexec image corrupted");
+                        self.stats.inc("fault.injected");
+                        self.trace.emit(sched.now(), Event::StagedImageCorrupted);
                     }
                 }
                 FaultAction::CorruptP2m { dom, extent, xor } => {
                     if let Some(d) = self.domains.get_mut(&dom) {
                         if d.p2m.corrupt_extent(extent, xor) {
-                            self.trace.log(
-                                sched.now(),
-                                "fault",
-                                format!("{dom} P2M entry corrupted"),
-                            );
+                            self.stats.inc("fault.injected");
+                            self.trace
+                                .emit(sched.now(), Event::P2mCorrupted(dom.into()));
                         }
                     }
                 }
@@ -446,10 +471,13 @@ impl Host {
                     let pfn = rh_memory::frame::Pfn(page % total);
                     if let Some(mfn) = d.p2m.lookup(pfn) {
                         self.contents.corrupt(mfn, xor);
-                        self.trace.log(
+                        self.stats.inc("fault.injected");
+                        self.trace.emit(
                             sched.now(),
-                            "fault",
-                            format!("{dom} frame {} corrupted", pfn.0),
+                            Event::FrameCorrupted {
+                                dom: dom.into(),
+                                pfn: pfn.0,
+                            },
                         );
                     }
                 }
@@ -462,8 +490,9 @@ impl Host {
                         self.errors.push(e);
                     }
                     self.domains.insert(dom, d);
+                    self.stats.inc("fault.injected");
                     self.trace
-                        .log(sched.now(), "fault", format!("{dom} exec state lost"));
+                        .emit(sched.now(), Event::ExecStateLost(dom.into()));
                 }
                 FaultAction::FailResume { dom } => {
                     if domain == Some(dom) {
@@ -784,16 +813,21 @@ impl Host {
     /// [`all_services_up`](Self::all_services_up).
     pub fn power_on(&mut self, sched: &mut Scheduler<HostEvent>) {
         assert!(self.run.is_none(), "already powering on or rebooting");
-        self.trace.log(sched.now(), "host", "power on");
+        self.trace.emit(sched.now(), Event::PowerOn);
+        if self.dom0_mut().kernel.begin_boot().is_err() {
+            // dom0 is not off: a repeated power-on. Record and refuse
+            // rather than panicking.
+            self.errors.push(VmmError::BadDomainState(
+                DomainId::DOM0,
+                "dom0 not off at power on",
+            ));
+            return;
+        }
         let mut run = RebootRun::new(RebootStrategy::Cold, sched.now());
         run.dom0_shutdown_done = true;
         run.reset_started = true;
         self.run = Some(run);
-        self.metrics.begin(sched.now(), "dom0 boot");
-        self.dom0_mut()
-            .kernel
-            .begin_boot()
-            .expect("dom0 off at power on");
+        self.phase_begin(sched.now(), Phase::Dom0Boot);
         self.sched_reboot(sched, self.t.dom0_boot, RebootStep::Dom0BootDone);
         if self.cfg.probes {
             sched.schedule_in(self.t.probe_interval, HostEvent::ProbeTick);
@@ -808,24 +842,38 @@ impl Host {
     pub fn warm_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
         assert!(self.run.is_none(), "reboot already in progress");
         let now = sched.now();
-        self.trace.log(now, "host", "warm reboot commanded");
+        self.trace
+            .emit(now, Event::RebootCommanded(RebootStrategy::Warm.into()));
+        self.stats.inc("reboot.commanded.warm");
         self.metrics.clear();
-        self.metrics.begin(now, "reboot");
-        // xexec: load the new VMM executable while everything still runs.
-        self.metrics.begin(now, "xexec load");
-        self.metrics.end(now + self.t.xexec_load, "xexec load");
+        self.phase_begin(now, Phase::Reboot);
+        // xexec: load the new VMM executable while everything still runs;
+        // its end event is recorded eagerly with its completion timestamp.
+        self.phase_begin(now, Phase::XexecLoad);
+        self.phase_end(now + self.t.xexec_load, Phase::XexecLoad);
         let next_version = self.vmm.running_version() + 1;
         self.vmm
             .stage_next_image(crate::xexec::XexecImage::build(next_version));
-        self.trace
-            .log(now, "vmm", format!("xexec staged build v{next_version}"));
+        self.trace.emit(
+            now,
+            Event::XexecStaged {
+                version: u64::from(next_version),
+            },
+        );
         self.run = Some(RebootRun::new(RebootStrategy::Warm, now));
         if self.inject(sched, InjectPoint::StageImage, None).crashed {
             return;
         }
-        self.metrics.begin(now, "dom0 shutdown");
-        let dom0 = self.dom0_mut();
-        dom0.kernel.begin_shutdown().expect("dom0 running");
+        if self.dom0_mut().kernel.begin_shutdown().is_err() {
+            // dom0 was not running: abandon the reboot instead of panicking.
+            self.errors.push(VmmError::BadDomainState(
+                DomainId::DOM0,
+                "dom0 not running at warm reboot",
+            ));
+            self.run = None;
+            return;
+        }
+        self.phase_begin(now, Phase::Dom0Shutdown);
         self.sched_reboot(sched, self.t.dom0_shutdown, RebootStep::Dom0ShutdownDone);
         if self.cfg.suspend_order == SuspendOrder::Dom0DuringShutdown {
             // Original-Xen ordering ablation: guests suspend while dom0 is
@@ -842,13 +890,22 @@ impl Host {
     pub fn cold_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
         assert!(self.run.is_none(), "reboot already in progress");
         let now = sched.now();
-        self.trace.log(now, "host", "cold reboot commanded");
+        self.trace
+            .emit(now, Event::RebootCommanded(RebootStrategy::Cold.into()));
+        self.stats.inc("reboot.commanded.cold");
         self.metrics.clear();
-        self.metrics.begin(now, "reboot");
+        self.phase_begin(now, Phase::Reboot);
         self.run = Some(RebootRun::new(RebootStrategy::Cold, now));
-        self.metrics.begin(now, "dom0 shutdown");
-        let dom0 = self.dom0_mut();
-        dom0.kernel.begin_shutdown().expect("dom0 running");
+        if self.dom0_mut().kernel.begin_shutdown().is_err() {
+            // dom0 was not running: abandon the reboot instead of panicking.
+            self.errors.push(VmmError::BadDomainState(
+                DomainId::DOM0,
+                "dom0 not running at cold reboot",
+            ));
+            self.run = None;
+            return;
+        }
+        self.phase_begin(now, Phase::Dom0Shutdown);
         self.sched_reboot(sched, self.t.dom0_shutdown, RebootStep::Dom0ShutdownDone);
         self.sched_reboot(sched, self.t.cold_guest_stop_delay, RebootStep::GuestsStop);
     }
@@ -861,11 +918,13 @@ impl Host {
     pub fn saved_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
         assert!(self.run.is_none(), "reboot already in progress");
         let now = sched.now();
-        self.trace.log(now, "host", "saved reboot commanded");
+        self.trace
+            .emit(now, Event::RebootCommanded(RebootStrategy::Saved.into()));
+        self.stats.inc("reboot.commanded.saved");
         self.metrics.clear();
-        self.metrics.begin(now, "reboot");
+        self.phase_begin(now, Phase::Reboot);
         self.run = Some(RebootRun::new(RebootStrategy::Saved, now));
-        self.metrics.begin(now, "save");
+        self.phase_begin(now, Phase::Save);
         // Original Xen: dom0 suspends and saves every guest while it is
         // still up; its own shutdown comes after the saves.
         self.begin_guest_stops(sched);
@@ -891,9 +950,10 @@ impl Host {
         self.epoch = self.epoch.wrapping_add(1);
         self.run = None;
         let now = sched.now();
-        self.trace.log(now, "host", "VMM CRASHED");
+        self.trace.emit(now, Event::VmmCrashed);
+        self.stats.inc("fault.vmm_crash");
         self.metrics.clear();
-        self.metrics.begin(now, "reboot");
+        self.phase_begin(now, Phase::Reboot);
         // Everything running dies instantly: no clean shutdowns, no
         // suspend handlers, no flushed caches.
         self.vmm.set_down();
@@ -955,7 +1015,8 @@ impl Host {
         self.epoch = self.epoch.wrapping_add(1);
         self.run = None;
         self.last_fault_at = Some(now);
-        self.trace.log(now, "host", "VMM FAILED");
+        self.trace.emit(now, Event::VmmFailed);
+        self.stats.inc("fault.vmm_failed");
         self.vmm.set_down();
         // In-flight work and I/O stall with the VMM; the frozen guests do
         // not execute, so nothing completes.
@@ -1001,9 +1062,9 @@ impl Host {
         assert!(self.run.is_none(), "recovery already in progress");
         let now = sched.now();
         self.trace
-            .log(now, "host", "micro-reboot recovery commanded");
+            .emit(now, Event::RecoveryCommanded(RecoveryKind::Microreboot));
         self.metrics.clear();
-        self.metrics.begin(now, "reboot");
+        self.phase_begin(now, Phase::Reboot);
         // Recovery boots the same build that was running (no staged image
         // survives a crash reliably; restage deterministically).
         self.vmm
@@ -1051,8 +1112,8 @@ impl Host {
             if frozen {
                 let digest = self.vmm.domain_digest(&dom, &self.contents);
                 run.digests.insert(id, digest);
-                self.trace
-                    .log(now, "vmm", format!("{id} salvaged (frozen in place)"));
+                self.stats.inc("recovery.salvaged");
+                self.trace.emit(now, Event::Salvaged(id.into()));
             } else {
                 // Unsalvageable: release what is left and plan a cold boot.
                 if let Err(e) = self.vmm.destroy_domain(&mut dom, &mut self.contents) {
@@ -1064,8 +1125,8 @@ impl Host {
                 }
                 dom.cache.clear();
                 run.cold_fallbacks.insert(id);
-                self.trace
-                    .log(now, "vmm", format!("{id} lost; will cold boot"));
+                self.stats.inc("recovery.cold_fallback");
+                self.trace.emit(now, Event::LostColdBoot(id.into()));
             }
             self.domains.insert(id, dom);
         }
@@ -1086,9 +1147,10 @@ impl Host {
         assert!(!self.vmm.is_running(), "recovery requires a failed VMM");
         assert!(self.run.is_none(), "recovery already in progress");
         let now = sched.now();
-        self.trace.log(now, "host", "cold recovery commanded");
+        self.trace
+            .emit(now, Event::RecoveryCommanded(RecoveryKind::Cold));
         self.metrics.clear();
-        self.metrics.begin(now, "reboot");
+        self.phase_begin(now, Phase::Reboot);
         let mut run = RebootRun::new(RebootStrategy::Cold, now);
         run.dom0_shutdown_done = true;
         run.recovery = true;
@@ -1124,15 +1186,12 @@ impl Host {
         if !running {
             // Nothing to rejuvenate: the guest is already down (e.g. wedged
             // by heap exhaustion). Leave it to crash recovery.
-            self.trace.log(
-                sched.now(),
-                "host",
-                format!("OS rejuvenation of {id} skipped (down)"),
-            );
+            self.trace
+                .emit(sched.now(), Event::OsRejuvenationSkipped(id.into()));
             return;
         }
         self.trace
-            .log(sched.now(), "host", format!("OS rejuvenation of {id}"));
+            .emit(sched.now(), Event::OsRejuvenation(id.into()));
         self.single_rejuvs.insert(id);
         self.begin_guest_shutdown(sched, id);
     }
@@ -1369,14 +1428,13 @@ impl Host {
         dom.kernel.begin_shutdown().expect("running checked");
         let mut profile = linux_guest_shutdown();
         if let Some(svc) = dom.service.as_mut() {
-            if svc.is_running() {
+            if svc.is_running() && svc.begin_stop().is_ok() {
                 // The clean service stop is part of the shutdown scripts.
                 profile.fixed += svc.spec().stop.fixed;
-                svc.begin_stop().expect("running service");
             }
         }
         self.trace
-            .log(sched.now(), "guest", format!("{id} shutting down"));
+            .emit(sched.now(), Event::GuestShuttingDown(id.into()));
         self.refresh(sched, id);
         self.begin_work(sched, id, WorkTag::ShutdownOs, profile);
     }
@@ -1393,7 +1451,7 @@ impl Host {
             }
         }
         dom.cache.clear();
-        self.trace.log(sched.now(), "guest", format!("{id} off"));
+        self.trace.emit(sched.now(), Event::GuestOff(id.into()));
         // Release its memory.
         let Some(mut dom) = self.domains.remove(&id) else {
             return;
@@ -1415,7 +1473,7 @@ impl Host {
             return;
         }
         let strategy = run.strategy;
-        self.metrics.end_if_open(sched.now(), "guest shutdown");
+        self.phase_end_if_open(sched.now(), Phase::GuestShutdown);
         match strategy {
             RebootStrategy::Warm => self.begin_quick_reload(sched),
             RebootStrategy::Saved => self.after_saves(sched),
@@ -1436,7 +1494,21 @@ impl Host {
         };
         match self.vmm.create_domain(&mut dom, &mut self.contents) {
             Ok(()) => {
-                dom.kernel.begin_boot().expect("domain off");
+                if dom.kernel.begin_boot().is_err() {
+                    // The shell is not off (crashed underneath the setup):
+                    // count this one as lost rather than panicking.
+                    self.errors.push(VmmError::BadDomainState(
+                        id,
+                        "cold boot from non-off kernel",
+                    ));
+                    self.domains.insert(id, dom);
+                    self.single_rejuvs.remove(&id);
+                    if let Some(run) = self.run.as_mut() {
+                        run.pending_setup.remove(&id);
+                    }
+                    self.maybe_finish_reboot(sched);
+                    return;
+                }
                 dom.cache.clear();
                 dom.channels = crate::events::EventChannelTable::standard_domu();
                 self.domains.insert(id, dom);
@@ -1448,13 +1520,14 @@ impl Host {
                         run.cold_fallbacks.insert(id);
                     }
                 }
-                self.trace
-                    .log(sched.now(), "guest", format!("{id} created, booting"));
+                self.trace.emit(sched.now(), Event::GuestCreated(id.into()));
                 self.begin_work(sched, id, WorkTag::BootOs, linux_guest_boot());
             }
             Err(e) => {
-                self.trace
-                    .log(sched.now(), "vmm", format!("create {id} failed: {e}"));
+                self.trace.emit(
+                    sched.now(),
+                    Event::note("vmm", format!("create {id} failed: {e}")),
+                );
                 self.errors.push(e);
                 self.domains.insert(id, dom);
                 // Recovery runs retry with exponential backoff before
@@ -1472,19 +1545,19 @@ impl Host {
                     };
                     if attempts <= 3 {
                         let delay = self.t.domain_create * (1u64 << (attempts - 1));
-                        self.trace.log(
+                        self.trace.emit(
                             sched.now(),
-                            "host",
-                            format!("retrying cold boot of {id} (attempt {attempts})"),
+                            Event::ColdBootRetry {
+                                dom: id.into(),
+                                attempt: attempts,
+                            },
                         );
                         self.sched_reboot(sched, delay, RebootStep::SingleSetup(id));
                         return;
                     }
-                    self.trace.log(
-                        sched.now(),
-                        "host",
-                        format!("{id} lost (retries exhausted)"),
-                    );
+                    self.stats.inc("recovery.lost");
+                    self.trace
+                        .emit(sched.now(), Event::RetriesExhausted(id.into()));
                 }
                 self.single_rejuvs.remove(&id);
                 if let Some(run) = self.run.as_mut() {
@@ -1507,7 +1580,7 @@ impl Host {
             aging.rejuvenate();
         }
         self.aging_clock.insert(id, sched.now());
-        self.trace.log(sched.now(), "guest", format!("{id} booted"));
+        self.trace.emit(sched.now(), Event::GuestBooted(id.into()));
         let start = dom
             .service
             .as_mut()
@@ -1524,8 +1597,7 @@ impl Host {
             // begin_start preceded this completion; Starting is guaranteed.
             let _ = svc.finish_start();
         }
-        self.trace
-            .log(sched.now(), "service", format!("{id} service up"));
+        self.trace.emit(sched.now(), Event::ServiceUp(id.into()));
         self.on_domain_ready(sched, id);
     }
 
@@ -1585,8 +1657,8 @@ impl Host {
                     }
                     // lint:allow(unwrap-panic): running checked at the top of the loop
                     dom.kernel.begin_suspend().expect("running checked");
-                    self.trace
-                        .log(sched.now(), "guest", format!("{id} suspending"));
+                    self.stats.inc("guest.suspended");
+                    self.trace.emit(sched.now(), Event::Suspending(id.into()));
                     self.refresh(sched, id);
                     let mut profile = suspend_handler();
                     profile.fixed += self.t.suspend_hypercall;
@@ -1604,7 +1676,7 @@ impl Host {
                 RebootStrategy::Warm => self.begin_quick_reload(sched),
                 RebootStrategy::Saved => self.after_saves(sched),
                 RebootStrategy::Cold => {
-                    self.metrics.end_if_open(sched.now(), "guest shutdown");
+                    self.phase_end_if_open(sched.now(), Phase::GuestShutdown);
                     self.maybe_start_reset(sched);
                 }
             }
@@ -1631,8 +1703,7 @@ impl Host {
         // this transition cannot fail.
         let _ = dom.kernel.finish_suspend();
         let digest = self.vmm.domain_digest(&dom, &self.contents);
-        self.trace
-            .log(sched.now(), "vmm", format!("{id} frozen on memory"));
+        self.trace.emit(sched.now(), Event::Frozen(id.into()));
         if let Some(run) = self.run.as_mut() {
             run.digests.insert(id, digest);
         }
@@ -1675,8 +1746,7 @@ impl Host {
                 let job = self.disk.submit(sched.now(), IoKind::Write, bytes);
                 self.disk_jobs.insert(job, DiskPurpose::SaveImage(id));
                 self.rearm_disk(sched);
-                self.trace
-                    .log(sched.now(), "vmm", format!("{id} image save started"));
+                self.trace.emit(sched.now(), Event::SaveStarted(id.into()));
             }
             _ => {
                 self.domains.insert(id, dom);
@@ -1700,8 +1770,7 @@ impl Host {
             self.errors.push(e);
         }
         self.domains.insert(id, dom);
-        self.trace
-            .log(sched.now(), "vmm", format!("{id} image saved"));
+        self.trace.emit(sched.now(), Event::Saved(id.into()));
         let run = self.run_mut();
         run.pending_stops.remove(&id);
         if run.pending_stops.is_empty() {
@@ -1710,10 +1779,11 @@ impl Host {
     }
 
     fn after_saves(&mut self, sched: &mut Scheduler<HostEvent>) {
-        self.metrics.end(sched.now(), "save");
-        self.metrics.begin(sched.now(), "dom0 shutdown");
-        let dom0 = self.dom0_mut();
-        dom0.kernel.begin_shutdown().expect("dom0 running");
+        if self.dom0_mut().kernel.begin_shutdown().is_err() {
+            return; // stale step from an abandoned run
+        }
+        self.phase_end(sched.now(), Phase::Save);
+        self.phase_begin(sched.now(), Phase::Dom0Shutdown);
         self.sched_reboot(sched, self.t.dom0_shutdown, RebootStep::Dom0ShutdownDone);
     }
 
@@ -1724,8 +1794,8 @@ impl Host {
         if !run.dom0_shutdown_done || !run.pending_stops.is_empty() {
             return; // the other precondition will trigger us again
         }
-        self.metrics.end_if_open(sched.now(), "suspend");
-        self.metrics.begin(sched.now(), "quick reload");
+        self.phase_end_if_open(sched.now(), Phase::Suspend);
+        self.phase_begin(sched.now(), Phase::QuickReload);
         self.vmm.set_down();
         let preserved_gib: f64 = self
             .domains
@@ -1743,13 +1813,15 @@ impl Host {
             .collect();
         let layout =
             rh_memory::layout::MemoryLayout::plan(64 << 20, &frozen, self.t.exec_state_bytes);
-        self.trace.log(
+        self.trace.emit(
             sched.now(),
-            "vmm",
-            format!(
-                "quick reload ({preserved_gib:.0} GiB frozen; {} KiB of P2M tables + {} KiB exec state preserved)",
-                layout.p2m_bytes() / 1024,
-                layout.exec_state_bytes() / 1024
+            Event::note(
+                "vmm",
+                format!(
+                    "quick reload ({preserved_gib:.0} GiB frozen; {} KiB of P2M tables + {} KiB exec state preserved)",
+                    layout.p2m_bytes() / 1024,
+                    layout.exec_state_bytes() / 1024
+                ),
             ),
         );
         // Free memory (from the allocator's live view) gets scrubbed by
@@ -1783,8 +1855,10 @@ impl Host {
                 // Under fault injection a failed reload (corrupted staged
                 // image, violated preservation) is a VMM failure: abandon
                 // the run and leave the VMM down for the recovery engine.
-                self.trace
-                    .log(sched.now(), "vmm", format!("quick reload failed: {e}"));
+                self.trace.emit(
+                    sched.now(),
+                    Event::note("vmm", format!("quick reload failed: {e}")),
+                );
                 self.errors.push(e);
                 self.epoch = self.epoch.wrapping_add(1);
                 self.run = None;
@@ -1793,19 +1867,21 @@ impl Host {
             }
             self.errors.push(e);
         }
-        self.metrics.end(sched.now(), "quick reload");
-        self.trace.log(
+        self.phase_end(sched.now(), Phase::QuickReload);
+        self.trace.emit(
             sched.now(),
-            "vmm",
-            format!("new VMM instance up (generation {})", self.vmm.generation()),
+            Event::VmmUp {
+                generation: self.vmm.generation(),
+            },
         );
         let inj = self.inject(sched, InjectPoint::Dom0Boot, None);
         if inj.crashed {
             return;
         }
-        self.metrics.begin(sched.now(), "dom0 boot");
-        let dom0 = self.dom0_mut();
-        dom0.kernel.begin_boot().expect("dom0 off");
+        if self.dom0_mut().kernel.begin_boot().is_err() {
+            return; // stale step from an abandoned run
+        }
+        self.phase_begin(sched.now(), Phase::Dom0Boot);
         self.sched_reboot(
             sched,
             self.t.dom0_boot + inj.dom0_extra,
@@ -1822,9 +1898,9 @@ impl Host {
             return;
         }
         run.reset_started = true;
-        self.metrics.begin(sched.now(), "hardware reset");
+        self.phase_begin(sched.now(), Phase::HardwareReset);
         self.vmm.set_down();
-        self.trace.log(sched.now(), "hw", "hardware reset");
+        self.trace.emit(sched.now(), Event::HardwareReset);
         let reset = self.t.hw_reset(self.cfg.ram_gib());
         self.sched_reboot(sched, reset, RebootStep::HwResetDone);
     }
@@ -1832,28 +1908,27 @@ impl Host {
     fn on_hw_reset_done(&mut self, sched: &mut Scheduler<HostEvent>) {
         self.vmm
             .hardware_reset(&mut self.domains, &mut self.contents);
-        self.metrics.end(sched.now(), "hardware reset");
-        self.metrics.begin(sched.now(), "vmm boot");
-        self.trace.log(
+        self.phase_end(sched.now(), Phase::HardwareReset);
+        self.phase_begin(sched.now(), Phase::VmmBoot);
+        self.trace.emit(
             sched.now(),
-            "vmm",
-            format!(
-                "VMM booting after reset (generation {})",
-                self.vmm.generation()
-            ),
+            Event::VmmBooting {
+                generation: self.vmm.generation(),
+            },
         );
         self.sched_reboot(sched, self.t.vmm_boot_hw, RebootStep::VmmBootDone);
     }
 
     fn on_vmm_boot_done(&mut self, sched: &mut Scheduler<HostEvent>) {
-        self.metrics.end(sched.now(), "vmm boot");
+        self.phase_end(sched.now(), Phase::VmmBoot);
         let inj = self.inject(sched, InjectPoint::Dom0Boot, None);
         if inj.crashed {
             return;
         }
-        self.metrics.begin(sched.now(), "dom0 boot");
-        let dom0 = self.dom0_mut();
-        dom0.kernel.begin_boot().expect("dom0 off after reset");
+        if self.dom0_mut().kernel.begin_boot().is_err() {
+            return; // stale step from an abandoned run
+        }
+        self.phase_begin(sched.now(), Phase::Dom0Boot);
         self.sched_reboot(
             sched,
             self.t.dom0_boot + inj.dom0_extra,
@@ -1868,8 +1943,8 @@ impl Host {
         if dom0.kernel.finish_boot().is_err() {
             return; // stale step from an abandoned run
         }
-        self.metrics.end(sched.now(), "dom0 boot");
-        self.trace.log(sched.now(), "host", "dom0 up");
+        self.phase_end(sched.now(), Phase::Dom0Boot);
+        self.trace.emit(sched.now(), Event::Dom0Up);
         // lint:allow(unwrap-panic): run-phase handlers only fire while a run is active
         let run = self.run.as_mut().expect("run active");
         run.setup_queue = self
@@ -1881,11 +1956,11 @@ impl Host {
         run.pending_setup = run.setup_queue.iter().copied().collect();
         let setup_empty = run.setup_queue.is_empty();
         let phase = match run.strategy {
-            RebootStrategy::Warm => "resume",
-            RebootStrategy::Saved => "restore",
-            RebootStrategy::Cold => "guest boot",
+            RebootStrategy::Warm => Phase::Resume,
+            RebootStrategy::Saved => Phase::Restore,
+            RebootStrategy::Cold => Phase::GuestBoot,
         };
-        self.metrics.begin(sched.now(), phase);
+        self.phase_begin(sched.now(), phase);
         if setup_empty {
             self.maybe_finish_reboot(sched);
         } else {
@@ -1928,8 +2003,7 @@ impl Host {
                     .map(|d| d.exec_state.is_some() && d.kernel.begin_resume().is_ok())
                     .unwrap_or(false);
                 if resumable {
-                    self.trace
-                        .log(sched.now(), "guest", format!("{id} resuming"));
+                    self.trace.emit(sched.now(), Event::Resuming(id.into()));
                     self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
                 } else {
                     self.setup_cold_boot(sched, id);
@@ -1962,7 +2036,7 @@ impl Host {
                         self.disk_jobs.insert(job, DiskPurpose::RestoreImage(id));
                         self.rearm_disk(sched);
                         self.trace
-                            .log(sched.now(), "vmm", format!("{id} image restore started"));
+                            .emit(sched.now(), Event::RestoreStarted(id.into()));
                     }
                     Err(e) => {
                         self.errors.push(e);
@@ -1997,8 +2071,7 @@ impl Host {
                 dom.exec_state = Some(saved.exec);
                 // The snapshot was captured frozen (Suspended).
                 let _ = dom.kernel.begin_resume();
-                self.trace
-                    .log(sched.now(), "vmm", format!("{id} image restored"));
+                self.trace.emit(sched.now(), Event::Restored(id.into()));
                 self.begin_work(sched, id, WorkTag::ResumeHandler, resume_handler());
                 true
             }
@@ -2007,10 +2080,9 @@ impl Host {
                 // geometry; surface the error instead of resuming garbage.
                 self.errors
                     .push(VmmError::BadDomainState(id, "restore geometry mismatch"));
-                self.trace.log(
+                self.trace.emit(
                     sched.now(),
-                    "vmm",
-                    format!("{id} image restore failed: {e}"),
+                    Event::note("vmm", format!("{id} image restore failed: {e}")),
                 );
                 if let Some(run) = self.run.as_mut() {
                     run.pending_setup.remove(&id);
@@ -2060,8 +2132,8 @@ impl Host {
                 // Re-establish the communication channels to the VMM and
                 // re-attach the detached devices (§4.2).
                 dom.channels.reestablish_after_resume();
-                self.trace
-                    .log(sched.now(), "guest", format!("{id} resumed"));
+                self.stats.inc("guest.resumed");
+                self.trace.emit(sched.now(), Event::Resumed(id.into()));
             }
             Err(e) => {
                 self.errors.push(e);
@@ -2078,11 +2150,9 @@ impl Host {
         if recovery && (failed || corrupted) {
             // Recovery invariant: a domain is never handed back corrupted.
             // Tear it down and rebuild from scratch instead.
-            self.trace.log(
-                sched.now(),
-                "vmm",
-                format!("{id} failed validation; falling back to cold boot"),
-            );
+            self.stats.inc("recovery.cold_fallback");
+            self.trace
+                .emit(sched.now(), Event::ValidationFailed(id.into()));
             if let Some(mut dom) = self.domains.remove(&id) {
                 if let Err(e) = self.vmm.destroy_domain(&mut dom, &mut self.contents) {
                     self.errors.push(e);
@@ -2106,8 +2176,7 @@ impl Host {
             return;
         }
         if corrupted {
-            self.trace
-                .log(sched.now(), "vmm", format!("{id} MEMORY IMAGE CORRUPTED"));
+            self.trace.emit(sched.now(), Event::Corrupted(id.into()));
         }
         if let Some(run) = self.run.as_mut() {
             if corrupted {
@@ -2126,8 +2195,8 @@ impl Host {
         if dom0.kernel.finish_shutdown().is_err() {
             return; // stale step from an abandoned run
         }
-        self.metrics.end(sched.now(), "dom0 shutdown");
-        self.trace.log(sched.now(), "host", "dom0 down");
+        self.phase_end(sched.now(), Phase::Dom0Shutdown);
+        self.trace.emit(sched.now(), Event::Dom0Down);
         let run = self.run_mut();
         run.dom0_shutdown_done = true;
         match run.strategy {
@@ -2139,7 +2208,7 @@ impl Host {
                     .values()
                     .any(|d| !d.id.is_dom0() && d.kernel.is_running());
                 if any_running {
-                    self.metrics.begin(sched.now(), "suspend");
+                    self.phase_begin(sched.now(), Phase::Suspend);
                     self.begin_guest_stops(sched);
                 } else {
                     self.begin_quick_reload(sched);
@@ -2157,13 +2226,13 @@ impl Host {
             return;
         }
         let phase = match run.strategy {
-            RebootStrategy::Warm => "resume",
-            RebootStrategy::Saved => "restore",
-            RebootStrategy::Cold => "guest boot",
+            RebootStrategy::Warm => Phase::Resume,
+            RebootStrategy::Saved => Phase::Restore,
+            RebootStrategy::Cold => Phase::GuestBoot,
         };
-        self.metrics.end_if_open(sched.now(), phase);
+        self.phase_end_if_open(sched.now(), phase);
         // Power-on flows through here too and opens no "reboot" span.
-        self.metrics.end_if_open(sched.now(), "reboot");
+        self.phase_end_if_open(sched.now(), Phase::Reboot);
         let mut downtime = BTreeMap::new();
         for (id, m) in &self.meters {
             if let Some(outage) = m.outages().iter().rev().find(|o| o.end >= run.commanded_at) {
@@ -2176,10 +2245,13 @@ impl Host {
             .filter(|(_, &d)| d == u64::MAX)
             .map(|(&id, _)| id)
             .collect();
-        self.trace.log(
-            sched.now(),
-            "host",
-            format!("{} reboot complete", run.strategy),
+        self.trace
+            .emit(sched.now(), Event::RebootComplete(run.strategy.into()));
+        self.stats
+            .inc(&format!("reboot.completed.{}", run.strategy));
+        self.stats.record(
+            &format!("reboot.duration.{}", run.strategy),
+            sched.now() - run.commanded_at,
         );
         self.reports.push(RebootReport {
             strategy: run.strategy,
@@ -2363,9 +2435,9 @@ impl World for Host {
                 match step {
                     RebootStep::GuestsStop => {
                         if self.run.as_ref().map(|r| r.strategy) == Some(RebootStrategy::Cold) {
-                            self.metrics.begin(sched.now(), "guest shutdown");
+                            self.phase_begin(sched.now(), Phase::GuestShutdown);
                         } else {
-                            self.metrics.begin(sched.now(), "suspend");
+                            self.phase_begin(sched.now(), Phase::Suspend);
                         }
                         self.begin_guest_stops(sched);
                     }

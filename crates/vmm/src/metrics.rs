@@ -1,226 +1,12 @@
 //! Reboot phase metrics — the data behind Fig. 7.
 //!
 //! Figure 7 superimposes "the time needed for each operation during the
-//! reboot" onto the throughput trace. [`RebootMetrics`] records named phase
-//! spans (dom0 shutdown, suspend, quick reload, hardware reset, dom0 boot,
-//! resume, guest boot, ...) and renders them as a timeline.
+//! reboot" onto the throughput trace. The recorder itself now lives in
+//! `rh-obs` as the typed [`Timeline`](rh_obs::Timeline): spans are keyed
+//! by the closed [`Phase`] set instead of free-form
+//! strings, so producers (the host driver) and consumers (the figure
+//! harnesses) cannot drift apart. This module re-exports it under the
+//! historical `RebootMetrics` name; rendering is byte-identical to the
+//! old string-keyed recorder.
 
-use std::fmt;
-
-use rh_sim::time::{SimDuration, SimTime};
-
-/// One named phase of a reboot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PhaseSpan {
-    /// Phase name (e.g. `"quick reload"`).
-    pub name: String,
-    /// Phase start.
-    pub start: SimTime,
-    /// Phase end; `None` while still open.
-    pub end: Option<SimTime>,
-}
-
-impl PhaseSpan {
-    /// Duration of a closed phase.
-    pub fn duration(&self) -> Option<SimDuration> {
-        self.end.map(|e| e - self.start)
-    }
-}
-
-/// Accumulates phase spans for one reboot.
-///
-/// # Examples
-///
-/// ```
-/// use rh_sim::time::SimTime;
-/// use rh_vmm::metrics::RebootMetrics;
-///
-/// let mut m = RebootMetrics::new();
-/// m.begin(SimTime::from_secs(20), "dom0 shutdown");
-/// m.end(SimTime::from_secs(34), "dom0 shutdown");
-/// assert_eq!(m.duration_of("dom0 shutdown").unwrap().as_secs_f64(), 14.0);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct RebootMetrics {
-    spans: Vec<PhaseSpan>,
-}
-
-impl RebootMetrics {
-    /// Creates an empty recorder.
-    pub fn new() -> Self {
-        RebootMetrics::default()
-    }
-
-    /// Opens a phase. Phases may overlap; re-opening a name creates a new
-    /// span.
-    pub fn begin(&mut self, at: SimTime, name: impl Into<String>) {
-        self.spans.push(PhaseSpan {
-            name: name.into(),
-            start: at,
-            end: None,
-        });
-    }
-
-    /// Closes the most recent open span with this name.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no open span with `name` exists — that is a sequencing bug
-    /// in the reboot driver.
-    pub fn end(&mut self, at: SimTime, name: &str) {
-        let span = self
-            .spans
-            .iter_mut()
-            .rev()
-            .find(|s| s.name == name && s.end.is_none())
-            // lint:allow(unwrap-panic): documented panicking variant; end_if_open is the fallible form
-            .unwrap_or_else(|| panic!("no open phase named {name:?}"));
-        span.end = Some(at);
-    }
-
-    /// Closes the most recent open span with this name, if one exists.
-    /// Returns `true` if a span was closed.
-    pub fn end_if_open(&mut self, at: SimTime, name: &str) -> bool {
-        match self
-            .spans
-            .iter_mut()
-            .rev()
-            .find(|s| s.name == name && s.end.is_none())
-        {
-            Some(span) => {
-                span.end = Some(at);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// All spans, in opening order.
-    pub fn spans(&self) -> &[PhaseSpan] {
-        &self.spans
-    }
-
-    /// Duration of the most recent closed span with this name.
-    pub fn duration_of(&self, name: &str) -> Option<SimDuration> {
-        self.spans
-            .iter()
-            .rev()
-            .find(|s| s.name == name && s.end.is_some())
-            .and_then(|s| s.duration())
-    }
-
-    /// Start time of the most recent span with this name.
-    pub fn start_of(&self, name: &str) -> Option<SimTime> {
-        self.spans
-            .iter()
-            .rev()
-            .find(|s| s.name == name)
-            .map(|s| s.start)
-    }
-
-    /// True if any span is still open.
-    pub fn has_open_spans(&self) -> bool {
-        self.spans.iter().any(|s| s.end.is_none())
-    }
-
-    /// Discards all spans.
-    pub fn clear(&mut self) {
-        self.spans.clear();
-    }
-
-    /// Renders the timeline, one line per span.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for s in &self.spans {
-            match s.end {
-                Some(e) => out.push_str(&format!(
-                    "{:<18} {:>9} .. {:>9}  ({})\n",
-                    s.name,
-                    s.start.to_string(),
-                    e.to_string(),
-                    (e - s.start)
-                )),
-                None => out.push_str(&format!(
-                    "{:<18} {:>9} .. (open)\n",
-                    s.name,
-                    s.start.to_string()
-                )),
-            }
-        }
-        out
-    }
-}
-
-impl fmt::Display for RebootMetrics {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn t(s: u64) -> SimTime {
-        SimTime::from_secs(s)
-    }
-
-    #[test]
-    fn begin_end_and_duration() {
-        let mut m = RebootMetrics::new();
-        m.begin(t(10), "suspend");
-        m.end(t(14), "suspend");
-        assert_eq!(m.duration_of("suspend"), Some(SimDuration::from_secs(4)));
-        assert_eq!(m.start_of("suspend"), Some(t(10)));
-        assert!(!m.has_open_spans());
-    }
-
-    #[test]
-    fn overlapping_phases_allowed() {
-        let mut m = RebootMetrics::new();
-        m.begin(t(0), "reboot");
-        m.begin(t(1), "suspend");
-        m.end(t(2), "suspend");
-        m.end(t(5), "reboot");
-        assert_eq!(m.spans().len(), 2);
-        assert_eq!(m.duration_of("reboot"), Some(SimDuration::from_secs(5)));
-    }
-
-    #[test]
-    fn repeated_phase_names_take_latest() {
-        let mut m = RebootMetrics::new();
-        m.begin(t(0), "boot");
-        m.end(t(1), "boot");
-        m.begin(t(10), "boot");
-        m.end(t(13), "boot");
-        assert_eq!(m.duration_of("boot"), Some(SimDuration::from_secs(3)));
-    }
-
-    #[test]
-    #[should_panic(expected = "no open phase")]
-    fn ending_unopened_phase_panics() {
-        let mut m = RebootMetrics::new();
-        m.end(t(0), "ghost");
-    }
-
-    #[test]
-    fn render_lists_every_span() {
-        let mut m = RebootMetrics::new();
-        m.begin(t(0), "hardware reset");
-        m.end(t(47), "hardware reset");
-        m.begin(t(47), "vmm boot");
-        let r = m.render();
-        assert!(r.contains("hardware reset"));
-        assert!(r.contains("(open)"));
-        assert_eq!(r.lines().count(), 2);
-        assert_eq!(m.to_string(), r);
-    }
-
-    #[test]
-    fn clear_empties() {
-        let mut m = RebootMetrics::new();
-        m.begin(t(0), "x");
-        m.clear();
-        assert!(m.spans().is_empty());
-    }
-}
+pub use rh_obs::{Phase, PhaseSpan, Timeline as RebootMetrics};

@@ -39,9 +39,11 @@ smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run -q --release -p rh-bench --bin all --offline -- \
     --jobs 2 --max-n 3 --quick --json "$smoke_dir/par.json" \
+    --trace-jsonl "$smoke_dir/par.jsonl" \
     > "$smoke_dir/par.txt"
 cargo run -q --release -p rh-bench --bin all --offline -- \
     --jobs 1 --max-n 3 --quick --json "$smoke_dir/seq.json" \
+    --trace-jsonl "$smoke_dir/seq.jsonl" \
     > "$smoke_dir/seq.txt"
 par_digest=$(cksum < "$smoke_dir/par.txt")
 seq_digest=$(cksum < "$smoke_dir/seq.txt")
@@ -56,6 +58,27 @@ for json in par seq; do
         exit 1
     fi
 done
+
+echo "==> observability gate (typed trace determinism + zero overhead)"
+# The typed event stream must be byte-identical at any worker count.
+if ! cmp -s "$smoke_dir/seq.jsonl" "$smoke_dir/par.jsonl"; then
+    echo "FAIL: --trace-jsonl output differs between --jobs 1 and --jobs 2" >&2
+    diff "$smoke_dir/seq.jsonl" "$smoke_dir/par.jsonl" >&2 || true
+    exit 1
+fi
+if ! grep -q '"kind":"RebootComplete"' "$smoke_dir/seq.jsonl"; then
+    echo "FAIL: trace JSONL is missing the RebootComplete event" >&2
+    exit 1
+fi
+# Observability must be free: disabling the trace dump cannot change the
+# benchmark report on stdout (profiling stays quarantined in the JSON).
+cargo run -q --release -p rh-bench --bin all --offline -- \
+    --jobs 1 --max-n 3 --quick --json - > "$smoke_dir/notrace.txt"
+if ! cmp -s "$smoke_dir/seq.txt" "$smoke_dir/notrace.txt"; then
+    echo "FAIL: enabling --trace-jsonl changed the report on stdout" >&2
+    diff "$smoke_dir/notrace.txt" "$smoke_dir/seq.txt" >&2 || true
+    exit 1
+fi
 
 echo "==> faults --jobs 2 determinism smoke (reliability fault sweep)"
 cargo run -q --release -p rh-bench --bin faults --offline -- \

@@ -64,4 +64,5 @@ pub mod prelude {
     pub use rh_vmm::domain::{DomainId, DomainSpec};
     pub use rh_vmm::harness::{booted_host, HostSim};
     pub use rh_vmm::host::RebootReport;
+    pub use rh_vmm::metrics::Phase;
 }

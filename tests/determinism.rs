@@ -77,7 +77,7 @@ fn identical_runs_render_byte_identical_reports() {
                 .metrics
                 .spans()
                 .iter()
-                .map(|s| (s.name.clone(), s.start, s.end))
+                .map(|s| (s.name(), s.start, s.end))
                 .collect::<Vec<_>>()
         )
         .into_bytes()
@@ -94,8 +94,41 @@ fn replaying_a_trace_reproduces_phase_timings() {
             .metrics
             .spans()
             .iter()
-            .map(|s| (s.name.clone(), s.start, s.end))
+            .map(|s| (s.name(), s.start, s.end))
             .collect::<Vec<_>>()
     };
     assert_eq!(measure(), measure());
+}
+
+/// Observability must be free: disabling the event log changes nothing
+/// about the simulation itself. The log is append-only bookkeeping — it
+/// never draws from the RNG or schedules work — so a traced run and an
+/// untraced run of the same configuration produce identical reports.
+#[test]
+fn tracing_has_zero_behavioral_overhead() {
+    fn run_one(trace: bool, strategy: RebootStrategy) -> (Vec<f64>, f64, u64) {
+        let cfg = HostConfig::paper_testbed()
+            .with_vms(4, ServiceKind::Ssh)
+            .with_trace(trace);
+        let mut sim = HostSim::new(cfg);
+        sim.power_on_and_wait();
+        let report = sim.reboot_and_wait(strategy);
+        let downtimes: Vec<f64> = report.downtime.values().map(|d| d.as_secs_f64()).collect();
+        let digest_sum: u64 = sim
+            .host()
+            .domu_ids()
+            .iter()
+            .map(|id| sim.host().domain_digest(*id).unwrap())
+            .fold(0u64, |a, d| a.wrapping_add(d));
+        (downtimes, sim.now().as_secs_f64(), digest_sum)
+    }
+    for strategy in [
+        RebootStrategy::Warm,
+        RebootStrategy::Cold,
+        RebootStrategy::Saved,
+    ] {
+        let traced = run_one(true, strategy);
+        let untraced = run_one(false, strategy);
+        assert_eq!(traced, untraced, "{strategy}: tracing perturbed the run");
+    }
 }

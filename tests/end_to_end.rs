@@ -168,7 +168,7 @@ fn eleven_gib_single_vm_suspend_is_memory_size_independent() {
         sim.reboot_and_wait(RebootStrategy::Warm);
         sim.host()
             .metrics
-            .duration_of("suspend")
+            .duration_of(Phase::Suspend)
             .unwrap()
             .as_secs_f64()
     };
@@ -180,7 +180,7 @@ fn eleven_gib_single_vm_suspend_is_memory_size_independent() {
         sim.reboot_and_wait(RebootStrategy::Warm);
         sim.host()
             .metrics
-            .duration_of("suspend")
+            .duration_of(Phase::Suspend)
             .unwrap()
             .as_secs_f64()
     };
