@@ -22,6 +22,12 @@
 //! `microbench` binary — the hermetic replacement for the former Criterion
 //! benches (README §"Hermetic build").
 //!
+//! The [`core`] module is the engine-throughput suite behind the
+//! `corebench` binary: fixed-size DES and digest workloads, the
+//! `BENCH_core.json` document, and the regression gate that
+//! `scripts/verify.sh` runs against the committed baseline
+//! (PERFORMANCE.md).
+//!
 //! The [`exec`] module is the deterministic parallel experiment executor:
 //! every sweep above is a set of independent fixed-seed simulations, so the
 //! sweep modules express their points as closures over [`exec::Sweep`] and
@@ -33,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod core;
 pub mod exec;
 pub mod fig45;
 pub mod fig6;

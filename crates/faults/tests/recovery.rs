@@ -143,6 +143,36 @@ fn corrupted_domain_is_cold_booted_never_resumed() {
 }
 
 #[test]
+fn corruption_defeats_the_digest_early_out() {
+    // Regression for the epoch-stamp early-out: flipping a frozen frame
+    // between suspend and resume must force the full rehash (the dirty
+    // log records the write, so the early-out cannot fire for the victim)
+    // and the corruption must still be detected. Without recovery the
+    // domain is flagged in the report rather than cold-booted.
+    let plan = FaultPlan::new(23).arm(
+        InjectPoint::QuickReload,
+        Trigger::Always,
+        FaultKind::FrameCorruption(DomainId(1)),
+    );
+    let mut sim = booted_host(3, ServiceKind::Ssh);
+    sim.host_mut()
+        .arm_fault_hook(Box::new(Injector::new(&plan)));
+    let report = sim.reboot_and_wait(RebootStrategy::Warm);
+
+    assert_eq!(report.corrupted, vec![DomainId(1)], "corruption missed");
+    let stats = &sim.host().stats;
+    assert!(
+        stats.counter("digest.full_rehash") >= 1,
+        "the corrupted domain must pay the full rehash"
+    );
+    assert_eq!(
+        stats.counter("digest.early_out"),
+        2,
+        "the two untouched domains still early-out"
+    );
+}
+
+#[test]
 fn injected_resume_failure_falls_back_without_leaking_channels() {
     let mut sim = booted_host(3, ServiceKind::Ssh);
     let channels_before: Vec<usize> = sim

@@ -13,7 +13,7 @@
 //! digest a domain's memory (in pseudo-physical page order) before the
 //! reboot and after resume, and compare.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use rh_sim::rng::splitmix64;
 
@@ -21,6 +21,11 @@ use crate::frame::{FrameRange, Mfn};
 
 /// Marker mixed into digests for unreadable (scrubbed) frames.
 const ABSENT: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+/// How many dirty ranges [`FrameContents`] remembers for
+/// [`unchanged_since`](FrameContents::unchanged_since). Mutation bursts
+/// longer than this window force a conservative "changed" answer.
+pub const DIRTY_WINDOW: usize = 64;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PatternExt {
@@ -50,6 +55,11 @@ struct PatternExt {
 pub struct FrameContents {
     explicit: BTreeMap<u64, u64>,
     patterns: BTreeMap<u64, PatternExt>,
+    /// Monotonic mutation counter; bumped once per mutating call.
+    epoch: u64,
+    /// The last [`DIRTY_WINDOW`] mutations as `(epoch, range)`; `None`
+    /// means "everything" (a [`scrub_all`](Self::scrub_all)).
+    dirty: VecDeque<(u64, Option<FrameRange>)>,
 }
 
 impl FrameContents {
@@ -58,9 +68,79 @@ impl FrameContents {
         FrameContents::default()
     }
 
+    /// Records one mutation affecting `range` (`None` = all frames).
+    fn mark_dirty(&mut self, range: Option<FrameRange>) {
+        self.epoch += 1;
+        if self.dirty.len() == DIRTY_WINDOW {
+            self.dirty.pop_front();
+        }
+        self.dirty.push_back((self.epoch, range));
+    }
+
+    /// The mutation epoch: increments on every mutating call (`write`,
+    /// `fill_pattern*`, `scrub`, `scrub_all`, `corrupt`). Equal epochs
+    /// guarantee identical contents; see
+    /// [`unchanged_since`](Self::unchanged_since) for the range-scoped
+    /// variant that tolerates unrelated mutations.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if no frame inside any of `ranges` can have changed since the
+    /// observed `epoch`.
+    ///
+    /// Sound but conservative: a `true` answer is a guarantee (every
+    /// mutation since `epoch` is on record and none intersected `ranges`);
+    /// a `false` answer means "changed, or too many mutations ago to
+    /// know" — the dirty log only spans the last [`DIRTY_WINDOW`]
+    /// mutations. This is what lets the VMM's resume path skip a full
+    /// O(frames) digest recomputation when a domain's memory provably sat
+    /// untouched across a reboot (`PERFORMANCE.md` §digest maintenance).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rh_memory::contents::FrameContents;
+    /// use rh_memory::frame::{FrameRange, Mfn};
+    ///
+    /// let mut mem = FrameContents::new();
+    /// mem.fill_pattern(FrameRange::new(Mfn(0), 100), 1);
+    /// let epoch = mem.epoch();
+    /// let mine = [FrameRange::new(Mfn(0), 100)];
+    ///
+    /// // A write elsewhere does not disturb the observed range...
+    /// mem.write(Mfn(5000), 7);
+    /// assert!(mem.unchanged_since(epoch, &mine));
+    ///
+    /// // ...but one inside it does.
+    /// mem.write(Mfn(50), 7);
+    /// assert!(!mem.unchanged_since(epoch, &mine));
+    /// ```
+    pub fn unchanged_since(&self, epoch: u64, ranges: &[FrameRange]) -> bool {
+        if epoch == self.epoch {
+            return true;
+        }
+        if epoch > self.epoch {
+            return false; // stamp from a different instance: never claim clean
+        }
+        // Every epoch in (epoch, self.epoch] must still be on record.
+        match self.dirty.front() {
+            Some(&(oldest, _)) if oldest <= epoch + 1 => {}
+            _ => return false,
+        }
+        self.dirty
+            .iter()
+            .filter(|&&(e, _)| e > epoch)
+            .all(|(_, dirtied)| match dirtied {
+                None => false,
+                Some(d) => !ranges.iter().any(|r| r.overlaps(d)),
+            })
+    }
+
     /// Writes a signature to one frame.
     pub fn write(&mut self, mfn: Mfn, value: u64) {
         self.explicit.insert(mfn.0, value);
+        self.mark_dirty(Some(FrameRange::new(mfn, 1)));
     }
 
     /// Reads a frame's signature: an explicit write wins, then any covering
@@ -88,7 +168,7 @@ impl FrameContents {
     /// index — used when restoring a saved image onto *different* machine
     /// frames so the pseudo-physical view is byte-identical.
     pub fn fill_pattern_with_base(&mut self, range: FrameRange, salt: u64, base: u64) {
-        self.scrub(range);
+        self.scrub_unlogged(range);
         self.patterns.insert(
             range.start.0,
             PatternExt {
@@ -97,10 +177,18 @@ impl FrameContents {
                 base,
             },
         );
+        self.mark_dirty(Some(range));
     }
 
     /// Erases the contents of `range` (explicit writes and patterns).
     pub fn scrub(&mut self, range: FrameRange) {
+        self.scrub_unlogged(range);
+        self.mark_dirty(Some(range));
+    }
+
+    /// [`scrub`](Self::scrub) without the epoch bump — for compound
+    /// mutations that log one dirty entry for the whole operation.
+    fn scrub_unlogged(&mut self, range: FrameRange) {
         let lo = range.start.0;
         let hi = range.end().0;
         // Remove explicit entries.
@@ -148,6 +236,7 @@ impl FrameContents {
     pub fn scrub_all(&mut self) {
         self.explicit.clear();
         self.patterns.clear();
+        self.mark_dirty(None);
     }
 
     /// Number of explicitly written frames.
@@ -232,6 +321,67 @@ impl DigestBuilder {
         let v = value.unwrap_or(ABSENT);
         self.acc = splitmix64(self.acc ^ splitmix64(key) ^ v);
         self.count += 1;
+    }
+
+    /// Mixes in `count` consecutive frames of one pattern run, starting at
+    /// logical key `key0` with logical pattern index `base0`.
+    ///
+    /// Exactly equivalent to — and the batched fast path for — calling
+    /// [`add`](Self::add) per frame with the value a pattern extent
+    /// produces, but without the two B-tree probes
+    /// [`FrameContents::read`] pays per frame. This is what makes the
+    /// extent-walking `logical_digest` in `rh-storage` fast.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rh_memory::contents::{DigestBuilder, FrameContents};
+    /// use rh_memory::frame::{FrameRange, Mfn};
+    ///
+    /// let mut mem = FrameContents::new();
+    /// mem.fill_pattern(FrameRange::new(Mfn(0), 8), 42);
+    ///
+    /// let mut per_frame = DigestBuilder::new();
+    /// for i in 0..8 {
+    ///     per_frame.add(i, mem.read(Mfn(i)));
+    /// }
+    /// let mut batched = DigestBuilder::new();
+    /// batched.add_pattern_run(0, 42, 0, 8);
+    /// assert_eq!(per_frame.finish(), batched.finish());
+    /// ```
+    pub fn add_pattern_run(&mut self, key0: u64, salt: u64, base0: u64, count: u64) {
+        let mut acc = self.acc;
+        for i in 0..count {
+            acc = splitmix64(acc ^ splitmix64(key0 + i) ^ splitmix64(salt ^ (base0 + i)));
+        }
+        self.acc = acc;
+        self.count += count;
+    }
+
+    /// Mixes in `count` consecutive scrubbed (absent) frames starting at
+    /// logical key `key0` — the batched equivalent of calling
+    /// [`add`](Self::add) with `None` per frame.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rh_memory::contents::DigestBuilder;
+    ///
+    /// let mut per_frame = DigestBuilder::new();
+    /// for i in 10..14 {
+    ///     per_frame.add(i, None);
+    /// }
+    /// let mut batched = DigestBuilder::new();
+    /// batched.add_absent_run(10, 4);
+    /// assert_eq!(per_frame.finish(), batched.finish());
+    /// ```
+    pub fn add_absent_run(&mut self, key0: u64, count: u64) {
+        let mut acc = self.acc;
+        for i in 0..count {
+            acc = splitmix64(acc ^ splitmix64(key0 + i) ^ ABSENT);
+        }
+        self.acc = acc;
+        self.count += count;
     }
 
     /// Finalizes to a digest value incorporating the frame count.
@@ -413,6 +563,84 @@ mod tests {
         mem.write(Mfn(99), 990);
         let got = mem.explicit_in(r(0, 10));
         assert_eq!(got, vec![(Mfn(2), 20), (Mfn(5), 50)]);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut mem = FrameContents::new();
+        assert_eq!(mem.epoch(), 0);
+        mem.write(Mfn(0), 1);
+        mem.fill_pattern(r(10, 5), 2);
+        mem.fill_pattern_with_base(r(20, 5), 2, 7);
+        mem.scrub(r(10, 2));
+        mem.corrupt(Mfn(0), 3);
+        mem.scrub_all();
+        assert_eq!(mem.epoch(), 6);
+    }
+
+    #[test]
+    fn unchanged_since_tracks_range_overlap() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 100), 1);
+        let epoch = mem.epoch();
+        let mine = [r(0, 50), r(80, 20)];
+        assert!(mem.unchanged_since(epoch, &mine), "no mutation yet");
+        mem.write(Mfn(60), 9); // in the [50, 80) hole
+        assert!(mem.unchanged_since(epoch, &mine), "hole write is invisible");
+        mem.fill_pattern(r(200, 10), 2);
+        assert!(mem.unchanged_since(epoch, &mine), "distant fill invisible");
+        mem.write(Mfn(85), 1);
+        assert!(!mem.unchanged_since(epoch, &mine), "overlap detected");
+    }
+
+    #[test]
+    fn unchanged_since_is_conservative() {
+        let mut mem = FrameContents::new();
+        let epoch = mem.epoch();
+        // scrub_all dirties everything.
+        mem.scrub_all();
+        assert!(!mem.unchanged_since(epoch, &[r(0, 1)]));
+        // A future epoch (stamp from another instance) is never clean.
+        assert!(!mem.unchanged_since(mem.epoch() + 10, &[r(0, 1)]));
+        // Overflowing the dirty window forgets history: conservative "no".
+        let mut mem = FrameContents::new();
+        let epoch = mem.epoch();
+        for i in 0..(super::DIRTY_WINDOW as u64 + 1) {
+            mem.write(Mfn(1_000_000 + i), i);
+        }
+        assert!(
+            !mem.unchanged_since(epoch, &[r(0, 1)]),
+            "history loss must fail closed"
+        );
+        // Inside the window the same distant writes are provably harmless.
+        assert!(mem.unchanged_since(mem.epoch() - 3, &[r(0, 1)]));
+    }
+
+    #[test]
+    fn corrupt_always_dirties_the_frame() {
+        // The early-out must never mask fault injection: corrupt() goes
+        // through write(), so the dirty log always records the frame.
+        let mut mem = FrameContents::new();
+        mem.fill_pattern(r(0, 10), 5);
+        let epoch = mem.epoch();
+        mem.corrupt(Mfn(3), 0xFF);
+        assert!(!mem.unchanged_since(epoch, &[r(0, 10)]));
+    }
+
+    #[test]
+    fn batched_runs_match_per_frame_digest() {
+        let mut mem = FrameContents::new();
+        mem.fill_pattern_with_base(r(100, 40), 9, 17);
+        let mut per_frame = DigestBuilder::new();
+        for i in 0..60 {
+            per_frame.add(i, mem.read(Mfn(100 + i)));
+        }
+        // Frames [100,140) carry the pattern; [140,160) are scrubbed.
+        let mut batched = DigestBuilder::new();
+        batched.add_pattern_run(0, 9, 17, 40);
+        batched.add_absent_run(40, 20);
+        assert_eq!(per_frame.finish(), batched.finish());
+        assert_eq!(per_frame.count(), batched.count());
     }
 
     #[test]

@@ -64,16 +64,41 @@ struct Extent {
 /// assert_eq!(p2m.size_bytes(), 2 * 1024 * 1024);
 /// # Ok::<(), rh_memory::p2m::P2mError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct P2mTable {
     extents: BTreeMap<u64, Extent>,
     total: u64,
+    /// Monotonic mutation counter (bumped by `map`/`unmap`/`clear`/
+    /// `corrupt_extent`); bookkeeping only, excluded from equality.
+    epoch: u64,
 }
+
+/// Equality compares the mapping itself, not the mutation history: two
+/// tables describing the same PFN→MFN function are equal regardless of how
+/// they got there.
+impl PartialEq for P2mTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.extents == other.extents && self.total == other.total
+    }
+}
+
+impl Eq for P2mTable {}
 
 impl P2mTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         P2mTable::default()
+    }
+
+    /// The mutation epoch: increments on every call that changes the
+    /// mapping ([`map`](Self::map), [`unmap`](Self::unmap),
+    /// [`unmap_top`](Self::unmap_top), [`clear`](Self::clear),
+    /// [`corrupt_extent`](Self::corrupt_extent)). An unchanged epoch
+    /// guarantees an unchanged PFN→MFN function — the cheap half of the
+    /// VMM's digest early-out (see
+    /// [`FrameContents::unchanged_since`](crate::contents::FrameContents::unchanged_since)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Total mapped pages.
@@ -136,6 +161,7 @@ impl P2mTable {
             },
         );
         self.total += frames.count;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -226,6 +252,7 @@ impl P2mTable {
             ));
             self.total -= cut_hi - cut_lo;
         }
+        self.epoch += 1;
         Ok(released)
     }
 
@@ -266,6 +293,7 @@ impl P2mTable {
             self.total -= take;
             remaining -= take;
         }
+        self.epoch += 1;
         Ok(released)
     }
 
@@ -322,6 +350,7 @@ impl P2mTable {
     pub fn clear(&mut self) {
         self.extents.clear();
         self.total = 0;
+        self.epoch += 1;
     }
 
     /// Fault injection: XORs the machine base of the `nth` extent
@@ -340,6 +369,7 @@ impl P2mTable {
         };
         if let Some(ext) = self.extents.get_mut(&key) {
             ext.mfn_start ^= if xor == 0 { 1 } else { xor };
+            self.epoch += 1;
         }
         true
     }

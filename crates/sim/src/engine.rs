@@ -44,10 +44,10 @@
 //! assert_eq!(sim.world().pongs, 1);
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::equeue::{AnyQueue, EventQueue, QueueEntry, QueueKind};
+use crate::slab::{Slab, SlotKey};
 use crate::time::{SimDuration, SimTime};
 
 /// A handle to a scheduled event, usable to [`cancel`](Scheduler::cancel) it
@@ -57,47 +57,50 @@ use crate::time::{SimDuration, SimTime};
 /// handle becomes stale and further `cancel` calls are harmless no-ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle {
-    index: u32,
-    generation: u32,
-}
-
-struct Slot<E> {
-    generation: u32,
-    payload: Option<E>,
-}
-
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct HeapKey {
-    time: SimTime,
-    seq: u64,
-    index: u32,
-    generation: u32,
+    key: SlotKey,
 }
 
 /// The event queue and clock of a simulation.
 ///
 /// The scheduler is handed to [`World::handle`] so event handlers can query
 /// the current time, schedule follow-ups, and cancel pending events.
+///
+/// Internally, payloads live in a generational [`Slab`] and only small
+/// `Copy` [`QueueEntry`] keys move through the priority queue; the queue
+/// backend is selected at construction (see [`QueueKind`]) and never affects
+/// event order, only performance.
 pub struct Scheduler<E> {
     now: SimTime,
-    heap: BinaryHeap<Reverse<HeapKey>>,
-    slots: Vec<Slot<E>>,
-    free: Vec<u32>,
+    queue: AnyQueue,
+    slots: Slab<E>,
     seq: u64,
     fired: u64,
 }
 
 impl<E> Scheduler<E> {
-    /// Creates an empty scheduler at time zero.
+    /// Creates an empty scheduler at time zero with the default
+    /// (binary-heap) queue backend.
     pub fn new() -> Self {
+        Scheduler::with_queue(QueueKind::default())
+    }
+
+    /// Creates an empty scheduler at time zero with the given queue backend.
+    ///
+    /// Every backend yields the identical event sequence (see
+    /// [`crate::equeue`]); pick by measured throughput, not semantics.
+    pub fn with_queue(kind: QueueKind) -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            queue: AnyQueue::of_kind(kind),
+            slots: Slab::new(),
             seq: 0,
             fired: 0,
         }
+    }
+
+    /// The queue backend this scheduler was built with.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// The current simulated instant.
@@ -106,8 +109,9 @@ impl<E> Scheduler<E> {
     }
 
     /// The number of pending (scheduled, not yet fired or cancelled) events.
+    /// O(1): the payload slab tracks its live count.
     pub fn pending(&self) -> usize {
-        self.slots.iter().filter(|s| s.payload.is_some()).count()
+        self.slots.len()
     }
 
     /// Total number of events fired so far.
@@ -127,28 +131,15 @@ impl<E> Scheduler<E> {
             "cannot schedule an event at {at} before now ({})",
             self.now
         );
-        let index = match self.free.pop() {
-            Some(i) => i,
-            None => {
-                self.slots.push(Slot {
-                    generation: 0,
-                    payload: None,
-                });
-                (self.slots.len() - 1) as u32
-            }
-        };
-        let slot = &mut self.slots[index as usize];
-        debug_assert!(slot.payload.is_none());
-        slot.payload = Some(event);
-        let generation = slot.generation;
+        let key = self.slots.insert(event);
         self.seq += 1;
-        self.heap.push(Reverse(HeapKey {
+        self.queue.push(QueueEntry {
             time: at,
             seq: self.seq,
-            index,
-            generation,
-        }));
-        EventHandle { index, generation }
+            index: key.index(),
+            generation: key.generation(),
+        });
+        EventHandle { key }
     }
 
     /// Schedules `event` to fire after `delay`.
@@ -160,60 +151,46 @@ impl<E> Scheduler<E> {
     /// fired. Cancelling an already-fired or already-cancelled event returns
     /// `None` and has no other effect.
     pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
-        let slot = self.slots.get_mut(handle.index as usize)?;
-        if slot.generation != handle.generation {
-            return None;
-        }
-        let payload = slot.payload.take()?;
-        self.retire(handle.index);
-        Some(payload)
+        // The queue entry stays behind as a stale key; `skim_stale` drops it
+        // when it reaches the front.
+        self.slots.remove(handle.key)
     }
 
     /// True if the event behind `handle` is still pending.
     pub fn is_pending(&self, handle: EventHandle) -> bool {
-        self.slots
-            .get(handle.index as usize)
-            .is_some_and(|s| s.generation == handle.generation && s.payload.is_some())
+        self.slots.contains(handle.key)
     }
 
     /// The firing time of the next pending event, if any.
     pub fn peek_next_time(&mut self) -> Option<SimTime> {
         self.skim_stale();
-        self.heap.peek().map(|Reverse(k)| k.time)
+        self.queue.peek().map(|e| e.time)
     }
 
-    fn retire(&mut self, index: u32) {
-        let slot = &mut self.slots[index as usize];
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free.push(index);
-    }
-
-    /// Drops stale heap entries (cancelled events) from the top of the heap.
+    /// Drops stale queue entries (cancelled events) from the front.
     fn skim_stale(&mut self) {
-        while let Some(Reverse(k)) = self.heap.peek() {
-            let live = self
+        while let Some(e) = self.queue.peek() {
+            if self
                 .slots
-                .get(k.index as usize)
-                .is_some_and(|s| s.generation == k.generation && s.payload.is_some());
-            if live {
+                .contains(SlotKey::from_parts(e.index, e.generation))
+            {
                 break;
             }
-            self.heap.pop();
+            self.queue.pop();
         }
     }
 
     /// Pops the next live event, advancing the clock to its firing time.
     fn pop(&mut self) -> Option<E> {
         self.skim_stale();
-        let Reverse(key) = self.heap.pop()?;
-        debug_assert!(key.time >= self.now);
-        self.now = key.time;
-        let payload = self.slots[key.index as usize]
-            .payload
-            .take()
+        let entry = self.queue.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        let payload = self
+            .slots
+            .remove(SlotKey::from_parts(entry.index, entry.generation))
             // lint:allow(unwrap-panic): skim_stale dropped every cancelled key before this pop
             .expect("skim_stale guarantees a live slot");
-        self.retire(key.index);
         self.fired += 1;
         Some(payload)
     }
@@ -259,6 +236,18 @@ impl<W: World> Simulation<W> {
         Simulation {
             world,
             sched: Scheduler::new(),
+        }
+    }
+
+    /// Creates a simulation at time zero with an explicit queue backend.
+    ///
+    /// Backend choice is a pure performance knob: the event sequence (and
+    /// therefore every simulation outcome) is identical for all
+    /// [`QueueKind`]s.
+    pub fn with_queue(world: W, kind: QueueKind) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::with_queue(kind),
         }
     }
 
@@ -519,6 +508,26 @@ mod tests {
         sim.run_until_idle();
         sim.scheduler_mut()
             .schedule_at(SimTime::from_secs(1), Ev::Mark(1));
+    }
+
+    #[test]
+    fn queue_backends_fire_identically() {
+        let run = |kind: QueueKind| {
+            let mut sim = Simulation::with_queue(Recorder::default(), kind);
+            assert_eq!(sim.scheduler().queue_kind(), kind);
+            for n in 0..20 {
+                sim.scheduler_mut()
+                    .schedule_at(SimTime::from_micros(u64::from(n * 7919 % 13)), Ev::Mark(n));
+            }
+            let victim = sim
+                .scheduler_mut()
+                .schedule_at(SimTime::from_micros(6), Ev::Mark(999));
+            sim.scheduler_mut().cancel(victim);
+            sim.scheduler_mut().schedule_at(SimTime::ZERO, Ev::Chain(5));
+            sim.run_until_idle();
+            sim.world().seen.clone()
+        };
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
     }
 
     #[test]

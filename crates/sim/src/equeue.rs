@@ -1,0 +1,525 @@
+//! Pluggable event-queue backends for the simulation engine.
+//!
+//! The engine's hot loop is dominated by priority-queue traffic: every
+//! simulated event is pushed once and popped once, in strict `(time, seq)`
+//! order. This module abstracts that queue behind the [`EventQueue`] trait
+//! so alternative structures can be swapped in and benchmarked without
+//! touching the [`Scheduler`](crate::engine::Scheduler) API or any
+//! [`World`](crate::engine::World) implementation.
+//!
+//! Two backends ship today:
+//!
+//! * [`BinaryHeapQueue`] — `std::collections::BinaryHeap` of reversed keys;
+//!   O(log n) push/pop. The default, and the reference implementation.
+//! * [`CalendarQueue`] — Brown's calendar queue (CACM 1988): events hash
+//!   into time-bucketed "days" of a rotating "year"; push is O(1) amortized
+//!   and pop scans the current day. For the engine's workloads (bounded
+//!   horizon, similar inter-event gaps) this trades the heap's `log n` for
+//!   near-constant work per operation.
+//!
+//! Both backends implement the *same total order* — ascending `(time, seq)`
+//! with `seq` breaking ties in insertion (FIFO) order — so a simulation's
+//! event sequence is bit-for-bit identical whichever queue is selected.
+//! `crates/sim/tests/queue_props.rs` proves this equivalence property over
+//! random event streams, and `tests/determinism.rs` proves it end-to-end
+//! through the VMM stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_sim::equeue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueEntry};
+//! use rh_sim::time::SimTime;
+//!
+//! let mut heap = BinaryHeapQueue::new();
+//! let mut cal = CalendarQueue::new();
+//! for (seq, micros) in [(1u64, 500u64), (2, 100), (3, 100), (4, 900)] {
+//!     let entry = QueueEntry { time: SimTime::from_micros(micros), seq, index: 0, generation: 0 };
+//!     heap.push(entry);
+//!     cal.push(entry);
+//! }
+//! // Identical pop order: ascending time, FIFO on the 100 µs tie.
+//! let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
+//! let cal_order: Vec<u64> = std::iter::from_fn(|| cal.pop()).map(|e| e.seq).collect();
+//! assert_eq!(order, vec![2, 3, 1, 4]);
+//! assert_eq!(order, cal_order);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// One pending event as seen by a queue backend: the ordering key plus the
+/// slot coordinates of its payload.
+///
+/// Payloads live in the scheduler's slab (see
+/// [`Slab`](crate::slab::Slab)); the queue only moves these small `Copy`
+/// records around. Ordering is by `(time, seq)` — `seq` is unique per
+/// scheduler, so the order is total and FIFO among equal timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueEntry {
+    /// Absolute firing time.
+    pub time: SimTime,
+    /// Scheduler-wide insertion sequence number (unique; breaks ties).
+    pub seq: u64,
+    /// Payload slot index in the scheduler's slab.
+    pub index: u32,
+    /// Payload slot generation (stale entries are skimmed by the scheduler).
+    pub generation: u32,
+}
+
+impl QueueEntry {
+    /// The `(time, seq)` ordering key.
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A min-priority queue of [`QueueEntry`]s ordered by `(time, seq)`.
+///
+/// Implementations must be deterministic: the pop sequence may depend only
+/// on the sequence of pushes and pops, never on addresses, hashes, or wall
+/// time. All backends must produce identical pop sequences for identical
+/// push/pop histories — the engine's determinism contract rides on it.
+pub trait EventQueue {
+    /// Inserts an entry.
+    fn push(&mut self, entry: QueueEntry);
+
+    /// Removes and returns the minimum entry, or `None` if empty.
+    fn pop(&mut self) -> Option<QueueEntry>;
+
+    /// Returns the minimum entry without removing it.
+    fn peek(&self) -> Option<QueueEntry>;
+
+    /// The number of entries currently queued.
+    fn len(&self) -> usize;
+
+    /// True if no entries are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reference backend: a `std::collections::BinaryHeap` min-heap.
+///
+/// O(log n) push and pop. Chosen as the default because its constants are
+/// excellent for the event counts a single-host simulation reaches (tens of
+/// thousands of pending events at most).
+#[derive(Debug, Default)]
+pub struct BinaryHeapQueue {
+    heap: BinaryHeap<Reverse<QueueEntry>>,
+}
+
+impl BinaryHeapQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventQueue for BinaryHeapQueue {
+    fn push(&mut self, entry: QueueEntry) {
+        self.heap.push(Reverse(entry));
+    }
+
+    fn pop(&mut self) -> Option<QueueEntry> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek(&self) -> Option<QueueEntry> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Minimum number of buckets a calendar keeps.
+const CAL_MIN_BUCKETS: usize = 4;
+/// Resize up when the population exceeds `2 × buckets`; down below `buckets / 2`.
+const CAL_GROW_FACTOR: usize = 2;
+
+/// Brown's calendar queue: an open-hashed, time-indexed priority queue.
+///
+/// Entries hash into `buckets` by `time / width mod buckets` — like days of
+/// a year. A pop scans forward from the "today" bucket, taking the earliest
+/// entry that falls within the current year; after a full fruitless year the
+/// queue falls back to a direct scan for the global minimum (the standard
+/// remedy for sparse or skewed timestamp distributions). Bucket count and
+/// width adapt to the live population, keeping both push and pop O(1)
+/// amortized for workloads whose inter-event gaps are reasonably stable —
+/// exactly the self-scheduling tick/timeout traffic the VMM generates.
+///
+/// Determinism: bucket placement and scan order depend only on entry
+/// timestamps and the push/pop history. Within a bucket the minimum is
+/// selected by `(time, seq)`, so equal timestamps still pop FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use rh_sim::equeue::{CalendarQueue, EventQueue, QueueEntry};
+/// use rh_sim::time::SimTime;
+///
+/// let mut q = CalendarQueue::new();
+/// for seq in 0..1000u64 {
+///     q.push(QueueEntry {
+///         time: SimTime::from_micros(seq * 17 % 400),
+///         seq,
+///         index: seq as u32,
+///         generation: 0,
+///     });
+/// }
+/// let mut last = (SimTime::ZERO, 0u64);
+/// while let Some(e) = q.pop() {
+///     assert!((e.time, e.seq) >= last, "pops must be sorted");
+///     last = (e.time, e.seq);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// `buckets.len()` is always a power of two.
+    buckets: Vec<Vec<QueueEntry>>,
+    /// Bucket width in microseconds (≥ 1).
+    width: u64,
+    /// Live entry count across all buckets.
+    count: usize,
+    /// Lower bound on the next pop's timestamp (time of the last pop).
+    last_us: u64,
+}
+
+impl CalendarQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: vec![Vec::new(); CAL_MIN_BUCKETS],
+            width: 1,
+            count: 0,
+            last_us: 0,
+        }
+    }
+
+    fn bucket_of(&self, t_us: u64) -> usize {
+        ((t_us / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Position of the minimum `(time, seq)` entry in `bucket`, if any.
+    fn min_in(bucket: &[QueueEntry]) -> Option<usize> {
+        bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.key())
+            .map(|(i, _)| i)
+    }
+
+    /// Locates the next entry to pop: first a one-year forward scan from the
+    /// "today" bucket, then a direct global-minimum search as fallback.
+    fn find_next(&self) -> Option<(usize, usize)> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let virtual_day = self.last_us / self.width;
+        for k in 0..n as u64 {
+            let day = virtual_day.saturating_add(k);
+            let b = (day as usize) & (n - 1);
+            // An entry belongs to this day iff its time maps here without
+            // wrapping into a later year.
+            let day_end = day.saturating_add(1).saturating_mul(self.width);
+            let candidate = self.buckets[b]
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.time.as_micros() < day_end)
+                .min_by_key(|(_, e)| e.key());
+            if let Some((i, _)) = candidate {
+                return Some((b, i));
+            }
+        }
+        // Sparse tail: no entry within a year of `last_us`. Take the global
+        // minimum directly.
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, bucket)| Self::min_in(bucket).map(|i| (b, i)))
+            .min_by_key(|&(b, i)| self.buckets[b][i].key())
+    }
+
+    /// Rebuilds the calendar with a bucket count sized to `count` and a
+    /// width estimated from the current timestamp spread. O(count), but
+    /// amortized over the pushes/pops that triggered it.
+    fn resize(&mut self) {
+        let target = self
+            .count
+            .next_power_of_two()
+            .max(CAL_MIN_BUCKETS)
+            .min(1 << 20);
+        let mut entries: Vec<QueueEntry> = Vec::with_capacity(self.count);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        // Width ≈ twice the mean gap between live timestamps, so one "day"
+        // holds a couple of events on average.
+        let (min_t, max_t) = entries.iter().fold((u64::MAX, 0u64), |(lo, hi), e| {
+            let t = e.time.as_micros();
+            (lo.min(t), hi.max(t))
+        });
+        let spread = max_t.saturating_sub(min_t);
+        self.width = (spread / (entries.len().max(1) as u64 / 2).max(1)).max(1);
+        self.buckets = vec![Vec::new(); target];
+        for e in entries {
+            let b = self.bucket_of(e.time.as_micros());
+            self.buckets[b].push(e);
+        }
+    }
+
+    fn maybe_resize(&mut self) {
+        let n = self.buckets.len();
+        if self.count > n * CAL_GROW_FACTOR || (n > CAL_MIN_BUCKETS && self.count < n / 2) {
+            self.resize();
+        }
+    }
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue for CalendarQueue {
+    fn push(&mut self, entry: QueueEntry) {
+        // The year scan in `find_next` is exact only for entries at or after
+        // `last_us`; rewind the calendar if a push lands earlier (the engine
+        // never does this — its clock is monotonic — but the structure stays
+        // correct standalone).
+        self.last_us = self.last_us.min(entry.time.as_micros());
+        let b = self.bucket_of(entry.time.as_micros());
+        self.buckets[b].push(entry);
+        self.count += 1;
+        self.maybe_resize();
+    }
+
+    fn pop(&mut self) -> Option<QueueEntry> {
+        let (b, i) = self.find_next()?;
+        // Buckets are unordered bags; the minimum is selected by key, so
+        // swap_remove's reordering cannot affect the pop sequence.
+        let entry = self.buckets[b].swap_remove(i);
+        self.count -= 1;
+        self.last_us = entry.time.as_micros();
+        self.maybe_resize();
+        Some(entry)
+    }
+
+    fn peek(&self) -> Option<QueueEntry> {
+        self.find_next().map(|(b, i)| self.buckets[b][i])
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+/// Which [`EventQueue`] backend a scheduler uses.
+///
+/// Selected at construction via
+/// [`Scheduler::with_queue`](crate::engine::Scheduler::with_queue) or
+/// [`Simulation::with_queue`](crate::engine::Simulation::with_queue); the
+/// choice affects performance only, never event order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// [`BinaryHeapQueue`] (the default).
+    #[default]
+    BinaryHeap,
+    /// [`CalendarQueue`].
+    Calendar,
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueKind::BinaryHeap => write!(f, "binary-heap"),
+            QueueKind::Calendar => write!(f, "calendar"),
+        }
+    }
+}
+
+/// Runtime-selected queue backend (internal to the scheduler, public for
+/// the benches that measure the backends side by side).
+#[derive(Debug)]
+pub enum AnyQueue {
+    /// Binary-heap backend.
+    Heap(BinaryHeapQueue),
+    /// Calendar-queue backend.
+    Calendar(CalendarQueue),
+}
+
+impl AnyQueue {
+    /// Creates the backend selected by `kind`.
+    pub fn of_kind(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::BinaryHeap => AnyQueue::Heap(BinaryHeapQueue::new()),
+            QueueKind::Calendar => AnyQueue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// The kind of this backend.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            AnyQueue::Heap(_) => QueueKind::BinaryHeap,
+            AnyQueue::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+}
+
+impl EventQueue for AnyQueue {
+    fn push(&mut self, entry: QueueEntry) {
+        match self {
+            AnyQueue::Heap(q) => q.push(entry),
+            AnyQueue::Calendar(q) => q.push(entry),
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueueEntry> {
+        match self {
+            AnyQueue::Heap(q) => q.pop(),
+            AnyQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    fn peek(&self) -> Option<QueueEntry> {
+        match self {
+            AnyQueue::Heap(q) => q.peek(),
+            AnyQueue::Calendar(q) => q.peek(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyQueue::Heap(q) => q.len(),
+            AnyQueue::Calendar(q) => q.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(us: u64, seq: u64) -> QueueEntry {
+        QueueEntry {
+            time: SimTime::from_micros(us),
+            seq,
+            index: seq as u32,
+            generation: 0,
+        }
+    }
+
+    fn drain(q: &mut impl EventQueue) -> Vec<(u64, u64)> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time.as_micros(), e.seq))
+            .collect()
+    }
+
+    #[test]
+    fn heap_pops_sorted_with_fifo_ties() {
+        let mut q = BinaryHeapQueue::new();
+        for (us, seq) in [(5, 1), (1, 2), (5, 3), (0, 4)] {
+            q.push(entry(us, seq));
+        }
+        assert_eq!(drain(&mut q), vec![(0, 4), (1, 2), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn calendar_pops_sorted_with_fifo_ties() {
+        let mut q = CalendarQueue::new();
+        for (us, seq) in [(5, 1), (1, 2), (5, 3), (0, 4)] {
+            q.push(entry(us, seq));
+        }
+        assert_eq!(drain(&mut q), vec![(0, 4), (1, 2), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn calendar_handles_sparse_timestamps() {
+        // Gaps far larger than any plausible bucket year force the direct
+        // global-minimum fallback.
+        let mut q = CalendarQueue::new();
+        for (i, us) in [0u64, 10, 1_000_000_000, 20, 999, 5_000_000_000_000]
+            .iter()
+            .enumerate()
+        {
+            q.push(entry(*us, i as u64));
+        }
+        let popped = drain(&mut q);
+        let times: Vec<u64> = popped.iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            times,
+            vec![0, 10, 20, 999, 1_000_000_000, 5_000_000_000_000]
+        );
+    }
+
+    #[test]
+    fn calendar_survives_resize_cycles() {
+        let mut q = CalendarQueue::new();
+        let mut reference = BinaryHeapQueue::new();
+        // Grow to 1000, drain to 10, grow again — crossing both resize
+        // thresholds repeatedly.
+        let mut seq = 0u64;
+        for round in 0..3u64 {
+            for i in 0..1000u64 {
+                seq += 1;
+                let e = entry(round * 10_000 + (i * 37) % 5_000, seq);
+                q.push(e);
+                reference.push(e);
+            }
+            for _ in 0..990 {
+                assert_eq!(q.pop(), reference.pop());
+            }
+        }
+        assert_eq!(drain(&mut q), drain(&mut reference));
+    }
+
+    #[test]
+    fn peek_matches_pop_for_both_backends() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut q = AnyQueue::of_kind(kind);
+            assert_eq!(q.peek(), None);
+            for (us, seq) in [(9, 1), (2, 2), (2, 3)] {
+                q.push(entry(us, seq));
+            }
+            while let Some(peeked) = q.peek() {
+                assert_eq!(q.pop(), Some(peeked), "{kind}: peek/pop disagree");
+            }
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn any_queue_reports_kind_and_len() {
+        let mut q = AnyQueue::of_kind(QueueKind::Calendar);
+        assert_eq!(q.kind(), QueueKind::Calendar);
+        q.push(entry(1, 1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            AnyQueue::of_kind(QueueKind::BinaryHeap).kind(),
+            QueueKind::BinaryHeap
+        );
+    }
+
+    #[test]
+    fn queue_kind_display() {
+        assert_eq!(QueueKind::BinaryHeap.to_string(), "binary-heap");
+        assert_eq!(QueueKind::Calendar.to_string(), "calendar");
+    }
+}

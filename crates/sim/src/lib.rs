@@ -12,6 +12,11 @@
 //! * [`time`] — integer-microsecond instants and durations,
 //! * [`engine`] — the event queue, the [`engine::World`] trait and
 //!   the [`engine::Simulation`] driver,
+//! * [`equeue`] — pluggable priority-queue backends (binary heap and
+//!   calendar queue) behind the [`equeue::EventQueue`] trait,
+//! * [`flat`] — a lean scheduler for small `Copy` events (no handles, no
+//!   cancellation) for throughput-critical inner loops,
+//! * [`slab`] — the generational slab allocator backing event payloads,
 //! * [`resource`] — a processor-sharing resource (disk/CPU contention) and
 //!   the [`resource::Retick`] wake-up helper,
 //! * [`queue`] — a FIFO multi-server resource (ablation counterpart),
@@ -69,16 +74,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod equeue;
+pub mod flat;
 pub mod histogram;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod series;
+pub mod slab;
 pub mod stats;
 pub mod testkit;
 pub mod time;
 pub mod trace;
 
 pub use engine::{EventHandle, Scheduler, Simulation, World};
+pub use equeue::{EventQueue, QueueKind};
 pub use resource::{JobId, PsResource, Retick};
 pub use time::{SimDuration, SimTime};

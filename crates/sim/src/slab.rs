@@ -1,0 +1,306 @@
+//! A generational slab allocator.
+//!
+//! [`Slab`] is a contiguous, reusable arena of `T` values addressed by
+//! [`SlotKey`]s. Freed slots are recycled in LIFO order, and every slot
+//! carries a generation counter that is bumped on each free, so a stale key
+//! (one whose slot has since been reused) can never reach the wrong value.
+//!
+//! The engine's [`Scheduler`](crate::engine::Scheduler) stores pending event
+//! payloads in a slab: scheduling allocates a slot, firing or cancelling
+//! frees it, and [`EventHandle`](crate::engine::EventHandle)s are slot keys.
+//! The slab keeps a live-element count, which is what makes
+//! `Scheduler::pending()` O(1) instead of a scan.
+//!
+//! Determinism: slot reuse depends only on the sequence of `insert`/`remove`
+//! calls — never on addresses or hashes — so simulations that allocate
+//! through a slab stay bit-for-bit reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_sim::slab::Slab;
+//!
+//! let mut slab = Slab::new();
+//! let a = slab.insert("alpha");
+//! let b = slab.insert("beta");
+//! assert_eq!(slab.len(), 2);
+//! assert_eq!(slab.get(a), Some(&"alpha"));
+//!
+//! // Removing invalidates the key...
+//! assert_eq!(slab.remove(a), Some("alpha"));
+//! assert_eq!(slab.get(a), None);
+//!
+//! // ...and the slot is reused under a new generation: the stale key
+//! // still cannot see the new occupant.
+//! let c = slab.insert("gamma");
+//! assert_eq!(slab.get(a), None);
+//! assert_eq!(slab.get(c), Some(&"gamma"));
+//! assert_eq!(slab.get(b), Some(&"beta"));
+//! ```
+
+use std::fmt;
+
+/// A generation-checked reference to a slot in a [`Slab`].
+///
+/// Keys are plain `Copy` values: cheap to store in queues and logs. A key
+/// becomes stale as soon as its slot is removed; stale keys return `None`
+/// from every accessor rather than aliasing the slot's next occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlotKey {
+    /// The slot index inside the slab's backing storage.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The generation this key was minted under.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Reassembles a key from its raw parts (the inverse of
+    /// [`index`](Self::index)/[`generation`](Self::generation)).
+    pub fn from_parts(index: u32, generation: u32) -> Self {
+        SlotKey { index, generation }
+    }
+}
+
+struct Entry<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A contiguous arena of `T` with O(1) insert/remove and generational keys.
+///
+/// See the [module docs](self) for the full contract and an example.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `cap` elements before it
+    /// reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// The number of live (inserted, not yet removed) elements. O(1).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no elements are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of slots the slab has ever grown to (live + free).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts `value`, reusing the most recently freed slot if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> SlotKey {
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.entries.len())
+                    // lint:allow(unwrap-panic): >4-billion slots is a program bug
+                    .expect("slab exceeded u32::MAX slots");
+                self.entries.push(Entry {
+                    generation: 0,
+                    value: None,
+                });
+                i
+            }
+        };
+        let entry = &mut self.entries[index as usize];
+        debug_assert!(entry.value.is_none());
+        entry.value = Some(value);
+        self.len += 1;
+        SlotKey {
+            index,
+            generation: entry.generation,
+        }
+    }
+
+    /// Shared access to the element behind `key`, or `None` if the key is
+    /// stale or was never issued by this slab.
+    pub fn get(&self, key: SlotKey) -> Option<&T> {
+        self.entries
+            .get(key.index as usize)
+            .filter(|e| e.generation == key.generation)
+            .and_then(|e| e.value.as_ref())
+    }
+
+    /// Mutable access to the element behind `key`, or `None` if stale.
+    pub fn get_mut(&mut self, key: SlotKey) -> Option<&mut T> {
+        self.entries
+            .get_mut(key.index as usize)
+            .filter(|e| e.generation == key.generation)
+            .and_then(|e| e.value.as_mut())
+    }
+
+    /// True if `key` still refers to a live element.
+    pub fn contains(&self, key: SlotKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the element behind `key`. Stale keys return
+    /// `None` and change nothing. The freed slot's generation is bumped, so
+    /// `key` (and any copies of it) can never observe the slot's next
+    /// occupant.
+    pub fn remove(&mut self, key: SlotKey) -> Option<T> {
+        let entry = self.entries.get_mut(key.index as usize)?;
+        if entry.generation != key.generation {
+            return None;
+        }
+        let value = entry.value.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(key.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Removes every element, bumping each live slot's generation so all
+    /// outstanding keys become stale. Capacity is retained.
+    pub fn clear(&mut self) {
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if entry.value.take().is_some() {
+                entry.generation = entry.generation.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("capacity", &self.entries.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = Slab::new();
+        let k = s.insert(7);
+        assert_eq!(s.get(k), Some(&7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(k), Some(7));
+        assert_eq!(s.get(k), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut s = Slab::new();
+        let a = s.insert('a');
+        let b = s.insert('b');
+        s.remove(a);
+        s.remove(b);
+        // LIFO: b's slot (index 1) comes back first.
+        let c = s.insert('c');
+        assert_eq!(c.index(), b.index());
+        let d = s.insert('d');
+        assert_eq!(d.index(), a.index());
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    fn stale_keys_never_alias() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(s.get(a), None);
+        assert!(s.get_mut(a).is_none());
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut s = Slab::new();
+        let k = s.insert(vec![1, 2]);
+        s.get_mut(k).unwrap().push(3);
+        assert_eq!(s.get(k), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn clear_invalidates_all_keys() {
+        let mut s = Slab::new();
+        let keys: Vec<_> = (0..5).map(|i| s.insert(i)).collect();
+        s.clear();
+        assert!(s.is_empty());
+        for k in keys {
+            assert_eq!(s.get(k), None);
+        }
+        // Slots are reusable after a clear.
+        let k = s.insert(99);
+        assert_eq!(s.get(k), Some(&99));
+        assert_eq!(s.capacity(), 5);
+    }
+
+    #[test]
+    fn contains_tracks_liveness() {
+        let mut s = Slab::new();
+        let k = s.insert(());
+        assert!(s.contains(k));
+        s.remove(k);
+        assert!(!s.contains(k));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let k = SlotKey::from_parts(3, 9);
+        assert_eq!(k.index(), 3);
+        assert_eq!(k.generation(), 9);
+    }
+
+    #[test]
+    fn out_of_range_key_is_harmless() {
+        let mut s: Slab<u8> = Slab::new();
+        let bogus = SlotKey::from_parts(100, 0);
+        assert_eq!(s.get(bogus), None);
+        assert_eq!(s.remove(bogus), None);
+    }
+}

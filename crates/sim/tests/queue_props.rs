@@ -1,0 +1,195 @@
+//! Property tests: every [`EventQueue`] backend is observationally
+//! identical.
+//!
+//! The determinism contract (DESIGN.md §10, `tests/determinism.rs`) only
+//! survives a queue swap if the backends agree on *every* pop, including
+//! FIFO tie-breaks among equal timestamps and interleaved push/pop
+//! histories that cross the calendar queue's resize thresholds. These
+//! properties drive the binary heap and the calendar queue with the same
+//! random streams and demand bit-identical behaviour.
+
+use rh_sim::engine::{Scheduler, Simulation, World};
+use rh_sim::equeue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueEntry, QueueKind};
+use rh_sim::testkit::{check, Config, Gen};
+use rh_sim::time::{SimDuration, SimTime};
+use rh_sim::{prop_ensure, prop_ensure_eq};
+
+fn entry(us: u64, seq: u64) -> QueueEntry {
+    QueueEntry {
+        time: SimTime::from_micros(us),
+        seq,
+        index: seq as u32,
+        generation: 0,
+    }
+}
+
+/// Pure push-then-drain: both backends sort any batch identically.
+#[test]
+fn identical_pop_order_under_random_streams() {
+    check(
+        "identical_pop_order_under_random_streams",
+        &Config::default(),
+        |g: &mut Gen| {
+            let n = g.usize_in(0, 500);
+            let spread = g.u32_in(1, 40);
+            let horizon = g.u64_in(1, 1 << spread);
+            let mut heap = BinaryHeapQueue::new();
+            let mut cal = CalendarQueue::new();
+            for seq in 0..n as u64 {
+                let e = entry(g.u64_in(0, horizon), seq);
+                heap.push(e);
+                cal.push(e);
+            }
+            let mut last = None;
+            for i in 0..n {
+                let (h, c) = (heap.pop(), cal.pop());
+                prop_ensure_eq!(h, c, "pop {i} diverged");
+                let e = h.ok_or("heap ran dry early".to_string())?;
+                if let Some(prev) = last {
+                    prop_ensure!(
+                        (e.time, e.seq) > prev,
+                        "pops out of order: {prev:?} then {:?}",
+                        (e.time, e.seq)
+                    );
+                }
+                last = Some((e.time, e.seq));
+            }
+            prop_ensure_eq!(heap.pop(), None, "heap not empty after drain");
+            prop_ensure_eq!(cal.pop(), None, "calendar not empty after drain");
+            Ok(())
+        },
+    );
+}
+
+/// Equal timestamps pop in insertion (FIFO) order on both backends.
+#[test]
+fn fifo_tie_break_on_equal_timestamps() {
+    check(
+        "fifo_tie_break_on_equal_timestamps",
+        &Config::default(),
+        |g: &mut Gen| {
+            // Few distinct timestamps, many events: mostly ties.
+            let n = g.usize_in(1, 300);
+            let distinct = g.u64_in(1, 4);
+            let mut heap = BinaryHeapQueue::new();
+            let mut cal = CalendarQueue::new();
+            for seq in 0..n as u64 {
+                let e = entry(g.u64_in(0, distinct) * 1000, seq);
+                heap.push(e);
+                cal.push(e);
+            }
+            let mut prev: Option<QueueEntry> = None;
+            while let Some(h) = heap.pop() {
+                prop_ensure_eq!(Some(h), cal.pop(), "tie-break diverged");
+                if let Some(p) = prev {
+                    if p.time == h.time {
+                        prop_ensure!(
+                            p.seq < h.seq,
+                            "equal-time events popped out of insertion order"
+                        );
+                    }
+                }
+                prev = Some(h);
+            }
+            prop_ensure_eq!(cal.pop(), None, "calendar held extra entries");
+            Ok(())
+        },
+    );
+}
+
+/// Interleaved pushes and pops — the monotone-time regime the engine
+/// actually produces — agree at every step, across resize thresholds.
+#[test]
+fn interleaved_push_pop_histories_agree() {
+    check(
+        "interleaved_push_pop_histories_agree",
+        &Config::default(),
+        |g: &mut Gen| {
+            let steps = g.usize_in(1, 400);
+            let mut heap = BinaryHeapQueue::new();
+            let mut cal = CalendarQueue::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for _ in 0..steps {
+                if g.any_bool() || heap.is_empty() {
+                    // Schedule 1–8 events at or after the current time.
+                    for _ in 0..g.usize_in(1, 8) {
+                        seq += 1;
+                        let e = entry(now + g.u64_in(0, 10_000), seq);
+                        heap.push(e);
+                        cal.push(e);
+                    }
+                } else {
+                    let (h, c) = (heap.pop(), cal.pop());
+                    prop_ensure_eq!(h, c, "interleaved pop diverged");
+                    if let Some(e) = h {
+                        now = e.time.as_micros();
+                    }
+                }
+                prop_ensure_eq!(heap.len(), cal.len(), "length diverged");
+                prop_ensure_eq!(heap.peek(), cal.peek(), "peek diverged");
+            }
+            // Drain to the end.
+            loop {
+                let (h, c) = (heap.pop(), cal.pop());
+                prop_ensure_eq!(h, c, "drain pop diverged");
+                if h.is_none() {
+                    break;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Full-engine equivalence: a world with random scheduling *and random
+/// cancellation* fires the same events at the same times on both backends.
+#[test]
+fn scheduler_fires_identically_on_both_backends() {
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, sched: &mut Scheduler<u32>, event: u32) {
+            self.seen.push((sched.now(), event));
+        }
+    }
+
+    check(
+        "scheduler_fires_identically_on_both_backends",
+        &Config::with_cases(32),
+        |g: &mut Gen| {
+            // Pre-draw the script so both runs replay the identical one.
+            let n = g.usize_in(0, 200);
+            let script: Vec<(u64, u32, bool)> = (0..n)
+                .map(|i| (g.u64_in(0, 50_000), i as u32, g.rng().chance(0.25)))
+                .collect();
+            let run = |kind: QueueKind| {
+                let mut sim = Simulation::with_queue(Recorder::default(), kind);
+                let mut doomed = Vec::new();
+                for &(us, id, cancel) in &script {
+                    let h = sim
+                        .scheduler_mut()
+                        .schedule_at(SimTime::from_micros(us), id);
+                    if cancel {
+                        doomed.push(h);
+                    }
+                }
+                for h in doomed {
+                    sim.scheduler_mut().cancel(h);
+                }
+                sim.run_for(SimDuration::from_micros(25_000));
+                sim.run_until_idle();
+                (sim.world().seen.clone(), sim.scheduler().fired())
+            };
+            prop_ensure_eq!(
+                run(QueueKind::BinaryHeap),
+                run(QueueKind::Calendar),
+                "engine-level divergence between queue backends"
+            );
+            Ok(())
+        },
+    );
+}

@@ -5,6 +5,7 @@
 //! experiments (and our ablations) turn.
 
 use rh_guest::services::ServiceKind;
+use rh_sim::equeue::QueueKind;
 
 use crate::domain::DomainSpec;
 use crate::timing::TimingParams;
@@ -73,6 +74,10 @@ pub struct HostConfig {
     /// Model OS-level aging inside guests (kernel-memory/swap wear that
     /// slows request service until an OS reboot).
     pub guest_aging: bool,
+    /// Event-queue backend for the simulation engine. Both backends are
+    /// observationally identical (enforced by `crates/sim/tests/queue_props.rs`
+    /// and `tests/determinism.rs`); this knob exists for benchmarking.
+    pub event_queue: QueueKind,
 }
 
 impl HostConfig {
@@ -87,6 +92,7 @@ impl HostConfig {
             trace: true,
             probes: false,
             guest_aging: false,
+            event_queue: QueueKind::default(),
         }
     }
 
@@ -142,6 +148,13 @@ impl HostConfig {
         self
     }
 
+    /// Overrides the engine's event-queue backend (benchmarking knob;
+    /// does not change observable behaviour).
+    pub fn with_event_queue(mut self, kind: QueueKind) -> Self {
+        self.event_queue = kind;
+        self
+    }
+
     /// Installed RAM in GiB.
     pub fn ram_gib(&self) -> f64 {
         self.ram_bytes as f64 / (1u64 << 30) as f64
@@ -184,11 +197,13 @@ mod tests {
             .with_seed(99)
             .with_trace(false)
             .with_probes(true)
-            .with_suspend_order(SuspendOrder::Dom0DuringShutdown);
+            .with_suspend_order(SuspendOrder::Dom0DuringShutdown)
+            .with_event_queue(QueueKind::Calendar);
         assert_eq!(c.seed, 99);
         assert!(!c.trace);
         assert!(c.probes);
         assert_eq!(c.suspend_order, SuspendOrder::Dom0DuringShutdown);
+        assert_eq!(c.event_queue, QueueKind::Calendar);
     }
 
     #[test]

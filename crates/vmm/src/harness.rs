@@ -41,10 +41,11 @@ pub struct HostSim {
 }
 
 impl HostSim {
-    /// Builds the host (powered off).
+    /// Builds the host (powered off), honouring `cfg.event_queue`.
     pub fn new(cfg: HostConfig) -> Self {
+        let kind = cfg.event_queue;
         HostSim {
-            sim: Simulation::new(Host::new(cfg)),
+            sim: Simulation::with_queue(Host::new(cfg), kind),
         }
     }
 
@@ -389,6 +390,53 @@ mod tests {
         assert_eq!(before, after, "memory images changed across warm reboot");
         // The VMM itself was rejuvenated.
         assert_eq!(sim.host().vmm().generation(), 2);
+    }
+
+    #[test]
+    fn warm_reboot_digest_checks_take_the_early_out() {
+        // Satellite (PERFORMANCE.md): on the clean warm path nothing
+        // touches a suspended guest's frames between freeze and resume, so
+        // every digest verification should skip the O(frames) rehash via
+        // the epoch stamps — while still reporting zero corruption.
+        let mut sim = booted_host(3, ServiceKind::Ssh);
+        let report = sim.reboot_and_wait(RebootStrategy::Warm);
+        assert!(report.corrupted.is_empty());
+        let stats = &sim.host().stats;
+        assert_eq!(
+            stats.counter("digest.early_out"),
+            3,
+            "all three verifications should early-out"
+        );
+        assert_eq!(
+            stats.counter("digest.full_rehash"),
+            0,
+            "no clean-path verification should pay the full rehash"
+        );
+    }
+
+    #[test]
+    fn calendar_queue_backend_reproduces_the_heap_run() {
+        // The event-queue knob must not change observable behaviour: the
+        // same config on both backends yields identical timing, digests,
+        // and reports (the engine-level property, proven per-queue in
+        // rh-sim, holding through the full host world).
+        use rh_sim::equeue::QueueKind;
+        let run = |kind: QueueKind| {
+            let cfg = HostConfig::paper_testbed()
+                .with_vms(3, ServiceKind::Ssh)
+                .with_event_queue(kind);
+            let mut sim = HostSim::new(cfg);
+            sim.power_on_and_wait();
+            let report = sim.reboot_and_wait(RebootStrategy::Warm);
+            let digests: Vec<_> = sim
+                .host()
+                .domu_ids()
+                .iter()
+                .map(|id| sim.host().domain_digest(*id))
+                .collect();
+            (sim.now(), report.mean_downtime(), digests)
+        };
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
     }
 
     #[test]

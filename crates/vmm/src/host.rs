@@ -139,6 +139,11 @@ struct RebootRun {
     setup_queue: VecDeque<DomainId>,
     pending_setup: BTreeSet<DomainId>,
     digests: BTreeMap<DomainId, u64>,
+    /// Epoch stamps `(contents_epoch, p2m_epoch)` taken alongside each
+    /// frozen digest. If neither epoch-window moved over the domain's
+    /// frames by resume time, the digest is unchanged by construction and
+    /// verification can skip the O(frames) rehash (PERFORMANCE.md).
+    digest_stamps: BTreeMap<DomainId, (u64, u64)>,
     /// Domains that lost their frozen image and were (or will be) rebuilt
     /// from scratch during this run.
     cold_fallbacks: BTreeSet<DomainId>,
@@ -158,6 +163,7 @@ impl RebootRun {
             setup_queue: VecDeque::new(),
             pending_setup: BTreeSet::new(),
             digests: BTreeMap::new(),
+            digest_stamps: BTreeMap::new(),
             cold_fallbacks: BTreeSet::new(),
             retries: BTreeMap::new(),
         }
@@ -1112,6 +1118,8 @@ impl Host {
             if frozen {
                 let digest = self.vmm.domain_digest(&dom, &self.contents);
                 run.digests.insert(id, digest);
+                run.digest_stamps
+                    .insert(id, (self.contents.epoch(), dom.p2m.epoch()));
                 self.stats.inc("recovery.salvaged");
                 self.trace.emit(now, Event::Salvaged(id.into()));
             } else {
@@ -1706,6 +1714,8 @@ impl Host {
         self.trace.emit(sched.now(), Event::Frozen(id.into()));
         if let Some(run) = self.run.as_mut() {
             run.digests.insert(id, digest);
+            run.digest_stamps
+                .insert(id, (self.contents.epoch(), dom.p2m.epoch()));
         }
         match strategy {
             Some(RebootStrategy::Warm) => {
@@ -2144,7 +2154,31 @@ impl Host {
         // Verify preservation: digest after resume must equal the digest
         // frozen at suspend.
         let expected = self.run.as_ref().and_then(|r| r.digests.get(&id)).copied();
-        let actual = self.domain_digest(id);
+        let stamp = self
+            .run
+            .as_ref()
+            .and_then(|r| r.digest_stamps.get(&id))
+            .copied();
+        // Digest early-out: the digest is a pure function of the P2M table
+        // and the frame contents under it. If neither moved since the
+        // freeze — the P2M epoch matches and the contents dirty-window
+        // shows no write overlapping this domain's frames — the digest is
+        // equal by construction, so skip the O(frames) rehash. Any doubt
+        // (window overflow, missing stamp) falls through to the full
+        // recompute: this is an optimization, never a trust extension.
+        let actual = match (expected, stamp, self.domains.get(&id)) {
+            (Some(frozen), Some((ce, pe)), Some(dom))
+                if dom.p2m.epoch() == pe
+                    && self.contents.unchanged_since(ce, &dom.p2m.machine_ranges()) =>
+            {
+                self.stats.inc("digest.early_out");
+                Some(frozen)
+            }
+            _ => {
+                self.stats.inc("digest.full_rehash");
+                self.domain_digest(id)
+            }
+        };
         let corrupted = matches!((expected, actual), (Some(e), Some(a)) if e != a);
         let recovery = self.run.as_ref().map(|r| r.recovery).unwrap_or(false);
         if recovery && (failed || corrupted) {
@@ -2168,6 +2202,7 @@ impl Host {
             }
             if let Some(run) = self.run.as_mut() {
                 run.digests.remove(&id);
+                run.digest_stamps.remove(&id);
                 run.cold_fallbacks.insert(id);
                 // pending_setup keeps the id: the cold boot completes it.
             }
@@ -2184,6 +2219,7 @@ impl Host {
             } else {
                 run.digests.remove(&id);
             }
+            run.digest_stamps.remove(&id);
             run.pending_setup.remove(&id);
         }
         self.refresh(sched, id);

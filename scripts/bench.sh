@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full-profile engine benchmark: refreshes the committed BENCH_core.json
+# baseline (PERFORMANCE.md §"Refreshing the baseline").
+#
+# Run on an otherwise-idle machine, inspect the delta against the old
+# baseline (git diff BENCH_core.json), and commit the result together
+# with the change that moved the numbers. scripts/verify.sh gates a
+# quick-profile run against this file.
+#
+# Usage: scripts/bench.sh [extra corebench flags]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p rh-bench --offline
+cargo run -q --release -p rh-bench --bin corebench --offline -- \
+    --iters "${COREBENCH_ITERS:-10}" --json BENCH_core.json "$@"

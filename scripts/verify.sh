@@ -91,6 +91,20 @@ if ! cmp -s "$smoke_dir/faults_seq.txt" "$smoke_dir/faults_par.txt"; then
     exit 1
 fi
 
+echo "==> bench gate (quick corebench vs committed BENCH_core.json)"
+# Quick profile: same workload sizes as the committed full-profile
+# baseline, fewer samples. Fails on a silent >15% throughput loss in the
+# engine hot path or the digest machinery (PERFORMANCE.md §"Gate policy").
+# A quick-profile miss escalates to a careful 15-sample run before the
+# gate is declared failed: best-of-15 is robust to transient machine
+# load, while a genuine regression fails both runs.
+if ! cargo run -q --release -p rh-bench --bin corebench --offline -- \
+    --quick --gate BENCH_core.json; then
+    echo "==> bench gate: quick profile missed; rechecking with 15 samples"
+    cargo run -q --release -p rh-bench --bin corebench --offline -- \
+        --iters 15 --gate BENCH_core.json
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
