@@ -20,7 +20,8 @@
 //! [`PointResult`] carrying the point's name, while every other point
 //! completes normally.
 //!
-//! The executor is std-only (`std::thread::scope`, no external crates —
+//! The executor runs on the shared deterministic worker pool
+//! ([`rh_sim::pool`] — std-only `std::thread::scope`, no external crates,
 //! README §"Hermetic build") and is the engine behind `--jobs N` in the
 //! `all`/`fig4`/`fig5`/`fig6` binaries. See DESIGN.md §10 for the
 //! determinism argument.
@@ -40,7 +41,6 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -160,66 +160,45 @@ impl<T: Send + 'static> Sweep<T> {
     /// never poisons the other points or the executor itself.
     pub fn run(self, jobs: usize) -> Vec<PointResult<T>> {
         let n = self.points.len();
-        let workers = jobs.max(1).min(n.max(1));
         // Names survive outside the task slots so assembly can label even a
         // point that (impossibly) never ran.
         let names: Vec<String> = self.points.iter().map(|p| p.name.clone()).collect();
         let rngs = SimRng::from_seed(self.seed).split(n);
-        // Each slot owns (point, rng); a worker claims the next index from
-        // the shared cursor and takes the slot's contents.
+        // Each slot owns (point, rng); the pool worker for index i takes the
+        // slot's contents exactly once (`rh_sim::pool` handles the cursor,
+        // scoped threads, and submission-order assembly).
         let tasks: Vec<Mutex<Option<(Point<T>, SimRng)>>> = self
             .points
             .into_iter()
             .zip(rngs)
             .map(|pair| Mutex::new(Some(pair)))
             .collect();
-        let results: Vec<Mutex<Option<PointResult<T>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
         let batch_start = Instant::now();
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let Some((point, rng)) = lock_ok(&tasks[i]).take() else {
-                        continue; // claimed twice (cannot happen); skip
-                    };
-                    let wait = batch_start.elapsed();
-                    let start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| (point.run)(rng)))
-                        .map_err(|payload| PointError::Panicked(panic_message(payload.as_ref())));
-                    let run = start.elapsed();
-                    let mut profile = WallProfile::new();
-                    profile.record("wait", wait);
-                    profile.record("run", run);
-                    *lock_ok(&results[i]) = Some(PointResult {
-                        name: point.name,
-                        wall: run,
-                        profile,
-                        outcome,
-                    });
-                });
+        rh_sim::pool::run_indexed(n, jobs, |i| {
+            let Some((point, rng)) = lock_ok(&tasks[i]).take() else {
+                return PointResult {
+                    name: names[i].clone(),
+                    wall: Duration::ZERO,
+                    profile: WallProfile::new(),
+                    outcome: Err(PointError::NotRun),
+                };
+            };
+            let wait = batch_start.elapsed();
+            let start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| (point.run)(rng)))
+                .map_err(|payload| PointError::Panicked(panic_message(payload.as_ref())));
+            let run = start.elapsed();
+            let mut profile = WallProfile::new();
+            profile.record("wait", wait);
+            profile.record("run", run);
+            PointResult {
+                name: point.name,
+                wall: run,
+                profile,
+                outcome,
             }
-        });
-
-        results
-            .into_iter()
-            .zip(names)
-            .map(|(slot, name)| {
-                slot.into_inner()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .unwrap_or(PointResult {
-                        name,
-                        wall: Duration::ZERO,
-                        profile: WallProfile::new(),
-                        outcome: Err(PointError::NotRun),
-                    })
-            })
-            .collect()
+        })
     }
 
     /// Runs the sweep and returns only the successful values, in submission

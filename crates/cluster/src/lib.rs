@@ -14,18 +14,23 @@
 //! * [`rolling`] — rolling rejuvenation over *live* simulated hosts with a
 //!   load-balancer composition of the measured outages,
 //! * [`schedule`] — constraint-based planning of cluster-wide
-//!   rejuvenation passes (max hosts down, capacity floor).
+//!   rejuvenation passes (max hosts down, capacity floor),
+//! * [`driver`] — the campaign decision rule as a steppable hook
+//!   ([`CampaignDriver`]) that the `rh-lint fleet` model checker drives
+//!   event-by-event to prove the I6/I7 fleet invariants.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analytic;
+pub mod driver;
 pub mod migration;
 pub mod rolling;
 pub mod schedule;
 
 pub use analytic::ClusterScenario;
+pub use driver::{CampaignDriver, FleetView, HostPhase, OverlapBugDriver, SerialDriver};
 pub use migration::{MigrationEstimate, MigrationModel};
 pub use rolling::{rolling_rejuvenation, HostOutage, LoadBalancer, RollingReport};
 pub use schedule::{plan_uniform, RejuvenationSchedule, ScheduleConstraints, ScheduleError};

@@ -116,6 +116,31 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders a model-checker violation as a JSON object for the CLI's
+/// `--json` mode: the failed invariant, the detail line, and the typed
+/// counterexample trace in event order. Shared by the `protocol` and
+/// `fleet` subcommands so both emit the same shape (callers print the
+/// literal `null` when there is no violation).
+pub fn violation_json(invariant: &str, detail: &str, trace: &[rh_obs::Event]) -> String {
+    let events: Vec<String> = trace
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"category\":\"{}\",\"kind\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(e.category()),
+                e.kind(),
+                json_escape(&e.message())
+            )
+        })
+        .collect();
+    format!(
+        "{{\"invariant\":\"{}\",\"detail\":\"{}\",\"trace\":[{}]}}",
+        json_escape(invariant),
+        json_escape(detail),
+        events.join(",")
+    )
+}
+
 fn digits(mut n: u32) -> usize {
     let mut d = 1;
     while n >= 10 {
@@ -186,5 +211,18 @@ mod tests {
         r.sort();
         assert_eq!(r.diagnostics[0].file, "crates/sim/src/engine.rs");
         assert_eq!(r.diagnostics[1].file, "src/lib.rs");
+    }
+
+    #[test]
+    fn violation_json_carries_invariant_detail_and_trace() {
+        let trace = vec![
+            rh_obs::Event::HostDown { host: 0 },
+            rh_obs::Event::note("fleet", "a \"quoted\" note"),
+        ];
+        let json = violation_json("I7 single-recovery", "host 0 overlapped", &trace);
+        assert!(json.starts_with("{\"invariant\":\"I7 single-recovery\""));
+        assert!(json.contains("\"detail\":\"host 0 overlapped\""));
+        assert!(json.contains("\"kind\":\"HostDown\""));
+        assert!(json.contains("\\\"quoted\\\""));
     }
 }

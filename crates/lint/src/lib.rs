@@ -5,9 +5,12 @@
 //! out clippy plugins and external analyzers, so the project carries its
 //! own: a lightweight Rust tokenizer ([`tokenizer`]) feeding a rule engine
 //! ([`rules`]) over every `crates/**/*.rs` and `src/**/*.rs` file, with a
-//! ratcheted baseline ([`baseline`]) for pre-existing debt — plus an
-//! exhaustive model checker ([`protocol`]) for the suspend → xexec →
-//! resume lifecycle of the warm-VM reboot (paper §4.2–4.3).
+//! ratcheted baseline ([`baseline`]) for pre-existing debt — plus a small
+//! explicit-state model-checking engine ([`explore`]: parallel
+//! deterministic BFS with symmetry and partial-order reduction) driving
+//! two models: the suspend → xexec → resume lifecycle of the warm-VM
+//! reboot ([`protocol`], paper §4.2–4.3) and the cluster-level rolling
+//! rejuvenation campaign ([`fleet`], invariants I6/I7).
 //!
 //! Run it via the binary:
 //!
@@ -17,6 +20,8 @@
 //! cargo run -p rh-lint -- --update-baseline
 //! cargo run -p rh-lint -- protocol --domains 3
 //! cargo run -p rh-lint -- protocol --buggy # must find the §4.3 hazard
+//! cargo run -p rh-lint -- fleet            # campaign invariants I6/I7
+//! cargo run -p rh-lint -- fleet --buggy-overlap  # must find the I7 bug
 //! ```
 
 #![forbid(unsafe_code)]
@@ -25,6 +30,8 @@
 
 pub mod baseline;
 pub mod diagnostics;
+pub mod explore;
+pub mod fleet;
 pub mod protocol;
 pub mod rules;
 pub mod tokenizer;

@@ -5,6 +5,9 @@
 //! rh-lint --update-baseline       ratchet the baseline to current counts
 //! rh-lint protocol [--domains N] [--exec-bytes N] [--buggy] [--json]
 //!                  [--faults [--unsafe-recovery]]
+//!                  [--jobs N] [--max-states N] [--no-reduce]
+//! rh-lint fleet    [--hosts N] [--max-down N] [--crashes N]
+//!                  [--buggy-overlap] [--jobs N] [--max-states N] [--json]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/violations, 2 usage or internal error.
@@ -15,17 +18,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rh_lint::diagnostics::json_escape;
+use rh_lint::diagnostics::violation_json;
+use rh_lint::explore::Options as ExploreOptions;
+use rh_lint::fleet::{self, FleetConfig};
 use rh_lint::protocol::{explore, ProtocolConfig};
 use rh_lint::walk::find_workspace_root;
 use rh_lint::{lint_workspace, update_baseline};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = if args.first().map(String::as_str) == Some("protocol") {
-        run_protocol(&args[1..])
-    } else {
-        run_lint(&args)
+    let result = match args.first().map(String::as_str) {
+        Some("protocol") => run_protocol(&args[1..]),
+        Some("fleet") => run_fleet(&args[1..]),
+        _ => run_lint(&args),
     };
     match result {
         Ok(clean) => {
@@ -110,6 +115,7 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
 
 fn run_protocol(args: &[String]) -> Result<bool, String> {
     let mut cfg = ProtocolConfig::default();
+    let mut opts = ExploreOptions::default();
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
@@ -123,6 +129,15 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
                 cfg.exec_bytes = parse_num(args.get(i + 1), "--exec-bytes")?;
                 i += 1;
             }
+            "--jobs" => {
+                opts.jobs = parse_num(args.get(i + 1), "--jobs")? as usize;
+                i += 1;
+            }
+            "--max-states" => {
+                opts.max_states = Some(parse_num(args.get(i + 1), "--max-states")?);
+                i += 1;
+            }
+            "--no-reduce" => opts.reduce = false,
             "--buggy" => cfg.buggy_reload = true,
             "--faults" => cfg.faults = true,
             "--unsafe-recovery" => cfg.unsafe_recovery = true,
@@ -131,41 +146,28 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
         }
         i += 1;
     }
-    if cfg.domains == 0 || cfg.domains > 6 {
-        return Err("--domains must be in 1..=6 (state space grows fast)".to_string());
+    if cfg.domains == 0 || cfg.domains > 12 {
+        return Err(
+            "--domains must be in 1..=12 (use --no-reduce only on small configs)".to_string(),
+        );
     }
     if cfg.unsafe_recovery && !cfg.faults {
         return Err("--unsafe-recovery only makes sense with --faults".to_string());
     }
-    let result = explore(&cfg)?;
+    let result = explore(&cfg, &opts)?;
+    let mode = if opts.reduce { "symmetry+por" } else { "raw" };
     if json {
         let violation = match &result.violation {
             None => "null".to_string(),
-            Some(v) => format!(
-                "{{\"invariant\":\"{}\",\"detail\":\"{}\",\"trace\":[{}]}}",
-                json_escape(&v.invariant),
-                json_escape(&v.detail),
-                v.trace
-                    .iter()
-                    .map(|e| {
-                        format!(
-                            "{{\"category\":\"{}\",\"kind\":\"{}\",\"message\":\"{}\"}}",
-                            json_escape(e.category()),
-                            e.kind(),
-                            json_escape(&e.message())
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ),
+            Some(v) => violation_json(&v.invariant, &v.detail, &v.trace),
         };
         println!(
-            "{{\"domains\":{},\"states\":{},\"transitions\":{},\"completed_runs\":{},\"violation\":{violation}}}",
+            "{{\"domains\":{},\"reduction\":\"{mode}\",\"states\":{},\"transitions\":{},\"completed_runs\":{},\"violation\":{violation}}}",
             cfg.domains, result.states, result.transitions, result.completed_runs
         );
     } else {
         println!(
-            "protocol: {} domain(s), {} state(s), {} transition(s), {} completed run(s)",
+            "protocol: {} domain(s), {} state(s), {} transition(s), {} completed run(s) [{mode}]",
             cfg.domains, result.states, result.transitions, result.completed_runs
         );
         match &result.violation {
@@ -180,6 +182,85 @@ fn run_protocol(args: &[String]) -> Result<bool, String> {
                      I2 digest-preservation, I3 exec-state-bounded, I4 p2m-survives{i5}"
                 );
             }
+            Some(v) => print!("{v}"),
+        }
+    }
+    Ok(result.passed())
+}
+
+fn run_fleet(args: &[String]) -> Result<bool, String> {
+    let mut cfg = FleetConfig::default();
+    let mut opts = ExploreOptions::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--hosts" => {
+                let n = parse_num(args.get(i + 1), "--hosts")?;
+                cfg.hosts = u32::try_from(n).map_err(|_| format!("--hosts {n}: too large"))?;
+                i += 1;
+            }
+            "--max-down" => {
+                let n = parse_num(args.get(i + 1), "--max-down")?;
+                cfg.max_down =
+                    u32::try_from(n).map_err(|_| format!("--max-down {n}: too large"))?;
+                i += 1;
+            }
+            "--crashes" => {
+                let n = parse_num(args.get(i + 1), "--crashes")?;
+                cfg.max_crashes =
+                    u32::try_from(n).map_err(|_| format!("--crashes {n}: too large"))?;
+                i += 1;
+            }
+            "--jobs" => {
+                opts.jobs = parse_num(args.get(i + 1), "--jobs")? as usize;
+                i += 1;
+            }
+            "--max-states" => {
+                opts.max_states = Some(parse_num(args.get(i + 1), "--max-states")?);
+                i += 1;
+            }
+            "--buggy-overlap" => cfg.buggy_overlap = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown fleet argument `{other}`")),
+        }
+        i += 1;
+    }
+    if cfg.hosts == 0 || cfg.hosts > 8 {
+        return Err("--hosts must be in 1..=8 (the fleet model is explored raw)".to_string());
+    }
+    let result = fleet::explore(&cfg, &opts)?;
+    let driver = if cfg.buggy_overlap {
+        "buggy-overlap"
+    } else {
+        "serial"
+    };
+    if json {
+        let violation = match &result.violation {
+            None => "null".to_string(),
+            Some(v) => violation_json(&v.invariant, &v.detail, &v.trace),
+        };
+        println!(
+            "{{\"hosts\":{},\"max_down\":{},\"crashes\":{},\"driver\":\"{driver}\",\"states\":{},\"transitions\":{},\"completed_campaigns\":{},\"violation\":{violation}}}",
+            cfg.hosts, cfg.max_down, cfg.max_crashes, result.states, result.transitions,
+            result.completed_campaigns
+        );
+    } else {
+        println!(
+            "fleet: {} host(s), max-down {}, {} crash(es), {} state(s), {} transition(s), \
+             {} completed campaign(s) [{driver}]",
+            cfg.hosts,
+            cfg.max_down,
+            cfg.max_crashes,
+            result.states,
+            result.transitions,
+            result.completed_campaigns
+        );
+        match &result.violation {
+            None => println!(
+                "all interleavings satisfy I6 capacity-floor (>= {} serving), I7 single-recovery",
+                cfg.hosts.saturating_sub(cfg.max_down)
+            ),
             Some(v) => print!("{v}"),
         }
     }

@@ -5,9 +5,10 @@
 //! `rh-memory` primitives — [`MachineMemory`], [`P2mTable`],
 //! [`FrameContents`] and the order-sensitive digest — so the invariants
 //! checked here are the same objects the simulator trusts at runtime.
-//! `explore` walks **every interleaving** of N domains' events
-//! (breadth-first, with visited-state dedup) and checks four invariants in
-//! every reachable state:
+//! `explore` walks **every interleaving** of N domains' events through the
+//! generic engine in [`crate::explore`] — true FIFO breadth-first (so
+//! counterexample traces are shortest), with visited-state dedup — and
+//! checks four invariants in every reachable state:
 //!
 //! * **I1 frozen-frames-reserved** — no frame of any domain is ever free in
 //!   the machine allocator; in particular, after a quick reload every
@@ -40,11 +41,24 @@
 //!   digest validation, and the exploration must produce the I5
 //!   counterexample trace.
 //!
+//! **Scaling** (DESIGN.md §14): by default exploration runs *reduced* —
+//! the visited set holds **canonical** encodings quotiented under domain
+//! permutation (all domains are configured identically, so states that
+//! differ only by a relabeling of domains are one state), and the engine
+//! applies partial-order reduction over the static independence relation
+//! declared here (domain-local lifecycle events of different domains
+//! commute, and commute with staging and scratch activity). Pass
+//! [`crate::explore::Options`] with `reduce: false` to reproduce the raw
+//! enumeration; the two must agree on pass/fail and on the violated
+//! invariant for every config — property-tested below on all small
+//! configs.
+//!
 //! The visited set is a `BTreeSet` of canonical state encodings — by this
 //! crate's own `hashmap-iter` rule, nothing here may iterate a hash map.
 
-use std::collections::BTreeSet;
 use std::fmt;
+
+use crate::explore::{self, Model, Options as ExploreOptions};
 
 use rh_memory::contents::{DigestBuilder, FrameContents};
 use rh_memory::frame::{FrameRange, Mfn, Pfn};
@@ -232,7 +246,7 @@ struct ModelState {
 }
 
 /// A reachable state violating an invariant, with the event path to it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Which invariant failed (`I1 frozen-frames-reserved`, …).
     pub invariant: String,
@@ -241,6 +255,10 @@ pub struct Violation {
     /// Typed events from the initial state to the violating state, in
     /// order ([`to_obs_trace`] of the model-event path).
     pub trace: Vec<rh_obs::Event>,
+    /// The raw model-event path (what [`replay`] accepts) — kept alongside
+    /// the typed trace so a reduced-exploration counterexample can be
+    /// re-validated through the unreduced transition table.
+    pub events: Vec<Event>,
 }
 
 impl fmt::Display for Violation {
@@ -252,7 +270,7 @@ impl fmt::Display for Violation {
 }
 
 /// Result of an exhaustive exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Exploration {
     /// Distinct states visited.
     pub states: u64,
@@ -722,67 +740,213 @@ impl ModelState {
         out
     }
 
+    /// Canonical encoding quotiented under domain permutation. All domains
+    /// are configured identically (`frames_per_domain`, `exec_bytes`), so
+    /// two states that differ only by a relabeling of domains have
+    /// identical future behavior with respect to I1–I5; the quotient keeps
+    /// one representative per orbit. Three abstractions make the orbits
+    /// actually collide:
+    ///
+    /// * per-domain blocks are **sorted** (the permutation quotient),
+    /// * absolute machine-range starts are dropped — extent *shape*
+    ///   (pfn, count) and the I1-relevant free count per range remain; by
+    ///   construction allocations are layout-symmetric, so start addresses
+    ///   only tell domains apart,
+    /// * raw digest values collapse to their equality class: `none`,
+    ///   `intact` (frozen digest matches the current memory) or
+    ///   `diverged`. Every transition and invariant reads digests only
+    ///   through that comparison ([`Self::check_invariants`] I2,
+    ///   [`Self::recover`]'s salvage decision), never the value itself.
+    fn encode_canonical(&self) -> Vec<u64> {
+        let mut out = vec![
+            u64::from(self.staged),
+            u64::from(self.dom0_up),
+            u64::from(self.vmm_down),
+            u64::from(self.reloaded),
+            u64::from(self.crashed),
+            self.generation,
+            self.ram.free_frames(),
+        ];
+        let mut blocks: Vec<Vec<u64>> = self
+            .doms
+            .iter()
+            .map(|d| {
+                let digest_class = match d.frozen_digest {
+                    None => 0,
+                    Some(f) if f == logical_digest(&d.p2m, &self.contents) => 1,
+                    Some(_) => 2,
+                };
+                let mut b = vec![
+                    d.phase as u64,
+                    u64::from(d.damaged),
+                    u64::from(d.cold_booted),
+                    digest_class,
+                    d.exec_bytes.unwrap_or(0),
+                    d.p2m.total_pages(),
+                ];
+                for (pfn, r) in d.p2m.iter_extents() {
+                    b.push(pfn.0);
+                    b.push(r.count);
+                    b.push(self.ram.count_free_in(&r));
+                }
+                b
+            })
+            .collect();
+        blocks.sort_unstable();
+        for b in blocks {
+            out.push(b.len() as u64);
+            out.extend(b);
+        }
+        out
+    }
+
     fn all_resumed(&self) -> bool {
         self.doms.iter().all(|d| d.phase == Phase::Resumed)
+    }
+}
+
+/// The protocol automaton as a [`crate::explore::Model`].
+///
+/// `symmetry` selects the canonical (domain-permutation-quotient) state
+/// encoding; without it the raw encoding reproduces the pre-reduction
+/// enumeration exactly.
+#[derive(Debug)]
+struct ProtocolModel<'a> {
+    cfg: &'a ProtocolConfig,
+    symmetry: bool,
+}
+
+/// The static independence relation for partial-order reduction.
+///
+/// Only domain-local lifecycle events (`Suspend`/`SuspendDone`/`Resume`/
+/// `ResumeDone`) ever join an ample set, so the relation is kept tight:
+///
+/// * lifecycle events of **different** domains commute (they touch
+///   disjoint per-domain state, and no lifecycle guard reads another
+///   domain),
+/// * lifecycle events commute with [`Event::StageImage`] and
+///   [`Event::VmmScratch`] (staging flips a global flag no lifecycle guard
+///   reads; scratch scribbles only *free* frames, never a domain's),
+/// * `Suspend`/`SuspendDone` additionally commute with
+///   [`Event::Dom0Shutdown`] (suspends are served by the old VMM instance
+///   after dom0 goes down; resumes need dom0, so they stay dependent).
+///
+/// Everything else — reload, boot, crash, corruption, recovery — is
+/// declared dependent. That conservatism is also what makes the ample-set
+/// condition C1 hold structurally: every event dependent on a lifecycle
+/// event of domain `d` is either co-enabled with it (blocking the
+/// reduction, e.g. `Crash` in faults mode) or guarded behind it
+/// (`QuickReload` needs *all* domains frozen; `Resume(d)` needs `d`
+/// frozen; recovery events need a crash that is co-enabled earlier).
+fn independent_events(a: Event, b: Event) -> bool {
+    let dom_of = |e: Event| match e {
+        Event::Suspend(d) | Event::SuspendDone(d) | Event::Resume(d) | Event::ResumeDone(d) => {
+            Some(d)
+        }
+        _ => None,
+    };
+    let lifecycle_vs_other = |lc: Event, other: Event| match other {
+        Event::StageImage | Event::VmmScratch => true,
+        Event::Dom0Shutdown => matches!(lc, Event::Suspend(_) | Event::SuspendDone(_)),
+        _ => false,
+    };
+    match (dom_of(a), dom_of(b)) {
+        (Some(da), Some(db)) => da != db,
+        (Some(_), None) => lifecycle_vs_other(a, b),
+        (None, Some(_)) => lifecycle_vs_other(b, a),
+        (None, None) => false,
+    }
+}
+
+impl Model for ProtocolModel<'_> {
+    type State = ModelState;
+    type Event = Event;
+
+    fn initial(&self) -> Result<ModelState, String> {
+        ModelState::init(self.cfg)
+    }
+
+    fn enabled(&self, state: &ModelState) -> Vec<Event> {
+        state.enabled_events(self.cfg)
+    }
+
+    fn apply(&self, state: &ModelState, event: Event) -> Result<ModelState, String> {
+        let mut next = state.clone();
+        next.apply(event, self.cfg)?;
+        Ok(next)
+    }
+
+    fn check(&self, state: &ModelState) -> Result<(), (String, String)> {
+        state.check_invariants()
+    }
+
+    fn encode(&self, state: &ModelState) -> Vec<u64> {
+        if self.symmetry {
+            state.encode_canonical()
+        } else {
+            state.encode()
+        }
+    }
+
+    fn is_goal(&self, state: &ModelState) -> bool {
+        state.all_resumed()
+    }
+
+    fn independent(&self, a: Event, b: Event) -> bool {
+        independent_events(a, b)
+    }
+
+    /// Visibility with respect to I1–I5. An event is invisible only when
+    /// it can never flip any invariant's truth value:
+    ///
+    /// * `Suspend`/`ResumeDone` move a phase between two values every
+    ///   invariant treats identically,
+    /// * `SuspendDone` arms I2 (trivially true at capture) and I3 — the
+    ///   latter only stays true when the configured record fits the slot,
+    /// * `Resume` can trigger I5 (a damaged domain handed back), which
+    ///   requires faults mode.
+    fn invisible(&self, event: Event) -> bool {
+        match event {
+            Event::Suspend(_) | Event::ResumeDone(_) => true,
+            Event::SuspendDone(_) => self.cfg.exec_bytes <= ExecState::MAX_BYTES,
+            Event::Resume(_) => !self.cfg.faults,
+            _ => false,
+        }
     }
 }
 
 /// Exhaustively explores every interleaving of the protocol's events for
 /// `cfg.domains` domains, checking all invariants in every reachable state.
 ///
+/// With `opts.reduce` (the default) the visited set is quotiented under
+/// domain permutation and partial-order reduction prunes commuting
+/// interleavings; with `reduce: false` the raw pre-reduction enumeration
+/// runs instead. Either way exploration is breadth-first (counterexamples
+/// are shortest for the encoding in use) and byte-identical at any
+/// `opts.jobs`.
+///
 /// # Errors
 ///
-/// Returns an error string only on internal checker failures (model
-/// construction); protocol violations come back inside the
-/// [`Exploration`].
-pub fn explore(cfg: &ProtocolConfig) -> Result<Exploration, String> {
-    let init = ModelState::init(cfg)?;
-    // (state, parent index, event that produced it)
-    let mut nodes: Vec<(ModelState, usize, Option<Event>)> = vec![(init, 0, None)];
-    let mut visited: BTreeSet<Vec<u64>> = BTreeSet::new();
-    visited.insert(nodes[0].0.encode());
-    let mut frontier = vec![0usize];
-    let mut result = Exploration {
-        states: 1,
-        transitions: 0,
-        completed_runs: 0,
-        violation: None,
+/// Returns an error string on internal checker failures (model
+/// construction) or when `opts.max_states` is exhausted; protocol
+/// violations come back inside the [`Exploration`].
+pub fn explore(cfg: &ProtocolConfig, opts: &ExploreOptions) -> Result<Exploration, String> {
+    let model = ProtocolModel {
+        cfg,
+        symmetry: opts.reduce,
     };
-    if let Err((invariant, detail)) = nodes[0].0.check_invariants() {
-        result.violation = Some(Violation {
-            invariant,
-            detail,
-            trace: Vec::new(),
-        });
-        return Ok(result);
-    }
-    while let Some(idx) = frontier.pop() {
-        let enabled = nodes[idx].0.enabled_events(cfg);
-        if nodes[idx].0.all_resumed() {
-            result.completed_runs += 1;
-        }
-        for event in enabled {
-            let mut next = nodes[idx].0.clone();
-            next.apply(event, cfg)?;
-            result.transitions += 1;
-            if let Err((invariant, detail)) = next.check_invariants() {
-                let mut trace = trace_to(&nodes, idx);
-                trace.push(event);
-                result.violation = Some(Violation {
-                    invariant,
-                    detail,
-                    trace: to_obs_trace(&trace),
-                });
-                return Ok(result);
-            }
-            if visited.insert(next.encode()) {
-                nodes.push((next, idx, Some(event)));
-                frontier.push(nodes.len() - 1);
-                result.states += 1;
-            }
-        }
-    }
-    Ok(result)
+    let run = explore::explore(&model, opts)?;
+    Ok(Exploration {
+        states: run.states,
+        transitions: run.transitions,
+        completed_runs: run.completed,
+        violation: run.violation.map(|c| Violation {
+            invariant: c.invariant,
+            detail: c.detail,
+            trace: to_obs_trace(&c.events),
+            events: c.events,
+        }),
+    })
 }
 
 /// Replays one specific event sequence (e.g. the order the real `Host`
@@ -798,6 +962,7 @@ pub fn replay(cfg: &ProtocolConfig, events: &[Event]) -> Result<(), Violation> {
         invariant: invariant.to_string(),
         detail,
         trace: to_obs_trace(trace),
+        events: trace.to_vec(),
     };
     let mut state = ModelState::init(cfg).map_err(|e| fail("model-init", e, &[]))?;
     let mut trace: Vec<Event> = Vec::new();
@@ -820,27 +985,25 @@ pub fn replay(cfg: &ProtocolConfig, events: &[Event]) -> Result<(), Violation> {
     Ok(())
 }
 
-fn trace_to(nodes: &[(ModelState, usize, Option<Event>)], mut idx: usize) -> Vec<Event> {
-    let mut rev = Vec::new();
-    while idx != 0 {
-        let (_, parent, event) = &nodes[idx];
-        if let Some(e) = event {
-            rev.push(*e);
-        }
-        idx = *parent;
-    }
-    rev.reverse();
-    rev
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn reduced() -> ExploreOptions {
+        ExploreOptions::default()
+    }
+
+    fn raw() -> ExploreOptions {
+        ExploreOptions {
+            reduce: false,
+            ..ExploreOptions::default()
+        }
+    }
+
     #[test]
     fn correct_protocol_has_no_reachable_violation() {
         let cfg = ProtocolConfig::default();
-        let result = explore(&cfg).unwrap();
+        let result = explore(&cfg, &raw()).unwrap();
         assert!(result.passed(), "violation: {:?}", result.violation);
         assert!(
             result.states > 50,
@@ -848,6 +1011,31 @@ mod tests {
             result.states
         );
         assert!(result.completed_runs >= 1, "no run reached all-resumed");
+        let red = explore(&cfg, &reduced()).unwrap();
+        assert!(red.passed(), "violation: {:?}", red.violation);
+        assert!(
+            red.states < result.states,
+            "reduction must shrink the state space ({} vs {})",
+            red.states,
+            result.states
+        );
+        assert!(red.completed_runs >= 1);
+    }
+
+    #[test]
+    fn raw_counts_match_the_pre_reduction_checker() {
+        // The exact numbers the DFS-era checker reported for the default
+        // model — `reduce: false` must keep reproducing the raw
+        // enumeration (BFS visits the same reachable set).
+        for (domains, states, transitions) in [(1, 13, 25), (2, 37, 95), (3, 109, 353)] {
+            let cfg = ProtocolConfig {
+                domains,
+                ..ProtocolConfig::default()
+            };
+            let result = explore(&cfg, &raw()).unwrap();
+            assert_eq!(result.states, states, "domains={domains}");
+            assert_eq!(result.transitions, transitions, "domains={domains}");
+        }
     }
 
     #[test]
@@ -856,7 +1044,7 @@ mod tests {
             buggy_reload: true,
             ..ProtocolConfig::default()
         };
-        let result = explore(&cfg).unwrap();
+        let result = explore(&cfg, &raw()).unwrap();
         let v = result.violation.expect("§4.3 hazard must be found");
         assert_eq!(v.invariant, "I2 digest-preservation");
         assert!(
@@ -867,14 +1055,44 @@ mod tests {
     }
 
     #[test]
+    fn buggy_i2_counterexample_is_minimal_length() {
+        // Shortest possible §4.3 counterexample: each of the 3 domains
+        // must suspend (2 events each) before dom0 can stop and the buggy
+        // reload can scribble = 3*2 + stage + shutdown + reload = 9.
+        let cfg = ProtocolConfig {
+            buggy_reload: true,
+            ..ProtocolConfig::default()
+        };
+        for opts in [raw(), reduced()] {
+            let result = explore(&cfg, &opts).unwrap();
+            let v = result.violation.expect("§4.3 hazard must be found");
+            assert_eq!(v.invariant, "I2 digest-preservation");
+            assert_eq!(
+                v.events.len(),
+                9,
+                "BFS must find a minimal trace (reduce={}): {:?}",
+                opts.reduce,
+                v.events
+            );
+            assert_eq!(v.events.last(), Some(&Event::QuickReload));
+            // The counterexample is a genuine path: replaying it through
+            // the unreduced transition table reproduces the violation.
+            let r = replay(&cfg, &v.events).unwrap_err();
+            assert_eq!(r.invariant, "I2 digest-preservation");
+        }
+    }
+
+    #[test]
     fn oversized_exec_state_is_caught() {
         let cfg = ProtocolConfig {
             exec_bytes: ExecState::MAX_BYTES + 1,
             ..ProtocolConfig::default()
         };
-        let result = explore(&cfg).unwrap();
-        let v = result.violation.expect("oversized record must be found");
-        assert_eq!(v.invariant, "I3 exec-state-bounded");
+        for opts in [raw(), reduced()] {
+            let result = explore(&cfg, &opts).unwrap();
+            let v = result.violation.expect("oversized record must be found");
+            assert_eq!(v.invariant, "I3 exec-state-bounded");
+        }
     }
 
     #[test]
@@ -883,7 +1101,7 @@ mod tests {
             faults: true,
             ..ProtocolConfig::default()
         };
-        let result = explore(&cfg).unwrap();
+        let result = explore(&cfg, &reduced()).unwrap();
         assert!(result.passed(), "violation: {:?}", result.violation);
         assert!(result.completed_runs >= 1, "no run reached all-resumed");
     }
@@ -895,7 +1113,7 @@ mod tests {
             unsafe_recovery: true,
             ..ProtocolConfig::default()
         };
-        let result = explore(&cfg).unwrap();
+        let result = explore(&cfg, &raw()).unwrap();
         let v = result.violation.expect("blind salvage must be caught");
         assert_eq!(v.invariant, "I5 recovery-validation");
         let has = |pred: fn(&rh_obs::Event) -> bool, what: &str| {
@@ -919,6 +1137,157 @@ mod tests {
             },
             "the micro-reboot recovery",
         );
+    }
+
+    #[test]
+    fn unsafe_i5_counterexample_is_minimal_length() {
+        // Shortest blind-salvage failure: crash (freezes everyone in
+        // place), corrupt one image, recover (salvages it blindly), boot
+        // dom0, hand the damaged domain back. The DFS-era checker
+        // reported a 14-event wander; BFS pins the 5-event minimum.
+        let cfg = ProtocolConfig {
+            faults: true,
+            unsafe_recovery: true,
+            ..ProtocolConfig::default()
+        };
+        let result = explore(&cfg, &raw()).unwrap();
+        let v = result.violation.expect("blind salvage must be caught");
+        assert_eq!(
+            v.events,
+            vec![
+                Event::Crash,
+                Event::CorruptFrozen(0),
+                Event::Recover,
+                Event::Dom0Boot,
+                Event::Resume(0),
+            ],
+            "expected the minimal golden trace"
+        );
+        let r = replay(&cfg, &v.events).unwrap_err();
+        assert_eq!(r.invariant, "I5 recovery-validation");
+        // Reduced exploration finds the same invariant (trace may differ
+        // per the agreement contract, but must still be a genuine path).
+        let red = explore(&cfg, &reduced()).unwrap();
+        let rv = red.violation.expect("reduction must not mask I5");
+        assert_eq!(rv.invariant, "I5 recovery-validation");
+        let rr = replay(&cfg, &rv.events).unwrap_err();
+        assert_eq!(rr.invariant, "I5 recovery-validation");
+    }
+
+    #[test]
+    fn reduced_and_raw_agree_on_all_small_configs() {
+        // The reduction-soundness property test from ISSUE 7: on every
+        // small config, reduced exploration reaches the same verdict as
+        // the raw enumeration — same pass/fail, same violated invariant —
+        // and a reduced counterexample replays through the unreduced
+        // transition table to the same violation.
+        let variants: [(&str, Box<dyn Fn(&mut ProtocolConfig)>); 5] = [
+            ("default", Box::new(|_| {})),
+            ("buggy", Box::new(|c| c.buggy_reload = true)),
+            ("faults", Box::new(|c| c.faults = true)),
+            (
+                "unsafe",
+                Box::new(|c| {
+                    c.faults = true;
+                    c.unsafe_recovery = true;
+                }),
+            ),
+            (
+                "oversized-exec",
+                Box::new(|c| c.exec_bytes = ExecState::MAX_BYTES + 1),
+            ),
+        ];
+        for domains in 1..=3 {
+            for (name, tweak) in &variants {
+                let mut cfg = ProtocolConfig {
+                    domains,
+                    ..ProtocolConfig::default()
+                };
+                tweak(&mut cfg);
+                let raw_run = explore(&cfg, &raw()).unwrap();
+                let red_run = explore(&cfg, &reduced()).unwrap();
+                let ctx = format!("domains={domains} variant={name}");
+                assert_eq!(raw_run.passed(), red_run.passed(), "{ctx}");
+                assert!(
+                    red_run.states <= raw_run.states,
+                    "{ctx}: reduction grew the state space ({} vs {})",
+                    red_run.states,
+                    raw_run.states
+                );
+                match (&raw_run.violation, &red_run.violation) {
+                    (None, None) => {}
+                    (Some(u), Some(r)) => {
+                        assert_eq!(u.invariant, r.invariant, "{ctx}");
+                        let replayed = replay(&cfg, &r.events)
+                            .expect_err("reduced counterexample must replay");
+                        assert_eq!(replayed.invariant, r.invariant, "{ctx}");
+                    }
+                    other => panic!("{ctx}: verdicts diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_scales_one_domain_size_further_under_budget() {
+        // The ISSUE 7 acceptance criterion, as a test: take the raw
+        // checker's capacity at 4 domains as the state budget; raw
+        // exploration of 5 domains blows it, reduced exploration finishes
+        // 5 domains (and proves the invariants) well inside it.
+        let cfg_at = |domains| ProtocolConfig {
+            domains,
+            ..ProtocolConfig::default()
+        };
+        let raw_d4 = explore(&cfg_at(4), &raw()).unwrap();
+        assert!(raw_d4.passed());
+        let budget = ExploreOptions {
+            max_states: Some(raw_d4.states),
+            ..ExploreOptions::default()
+        };
+        let err = explore(
+            &cfg_at(5),
+            &ExploreOptions {
+                reduce: false,
+                ..budget.clone()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("state budget exceeded"), "{err}");
+        let red_d5 = explore(&cfg_at(5), &budget).unwrap();
+        assert!(red_d5.passed(), "violation: {:?}", red_d5.violation);
+        assert!(red_d5.completed_runs >= 1);
+    }
+
+    #[test]
+    fn exploration_is_byte_identical_at_any_jobs() {
+        let configs = [
+            ProtocolConfig::default(),
+            ProtocolConfig {
+                buggy_reload: true,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                faults: true,
+                unsafe_recovery: true,
+                ..ProtocolConfig::default()
+            },
+        ];
+        for cfg in &configs {
+            for opts in [raw(), reduced()] {
+                let baseline = explore(cfg, &opts).unwrap();
+                for jobs in [2, 4] {
+                    let par = explore(
+                        cfg,
+                        &ExploreOptions {
+                            jobs,
+                            ..opts.clone()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(par, baseline, "jobs={jobs} reduce={} diverged", opts.reduce);
+                }
+            }
+        }
     }
 
     #[test]
@@ -984,6 +1353,7 @@ mod tests {
             invariant: "I2 digest-preservation".to_string(),
             detail: "demo".to_string(),
             trace: to_obs_trace(&[Event::Suspend(0), Event::QuickReload]),
+            events: vec![Event::Suspend(0), Event::QuickReload],
         };
         let rendered = v.to_string();
         assert!(rendered.contains("counterexample trace (2 events):"));
@@ -997,7 +1367,7 @@ mod tests {
             domains: 1,
             ..ProtocolConfig::default()
         };
-        let result = explore(&cfg).unwrap();
+        let result = explore(&cfg, &reduced()).unwrap();
         assert!(result.passed());
         assert!(result.completed_runs >= 1);
     }
@@ -1008,7 +1378,7 @@ mod tests {
             domains: 4,
             ..ProtocolConfig::default()
         };
-        let result = explore(&cfg).unwrap();
+        let result = explore(&cfg, &reduced()).unwrap();
         assert!(result.passed());
     }
 }

@@ -7,10 +7,13 @@
 //! |-------------------|---------------------------------------------------------------|
 //! | `wall-clock`      | no `Instant::now` / `SystemTime::now` outside `rh-bench`      |
 //! | `unwrap-panic`    | no `unwrap()`/`expect()`/`panic!` family in library code      |
+//! | `todo-dbg`        | no `todo!`/`unimplemented!`/`dbg!` stubs in library code      |
 //! | `float-eq`        | no `==` / `!=` against float literals                         |
 //! | `truncating-cast` | no narrowing `as` casts of `Pfn`/`Mfn`/frame-count values     |
 //! | `hashmap-iter`    | no `HashMap`/`HashSet` (iteration order would leak into       |
 //! |                   | reports and digests); use `BTreeMap`/`BTreeSet`               |
+//! | `allow-attr`      | no `#[allow(...)]` without an adjacent                        |
+//! |                   | `// lint:allow(allow-attr): reason` justification             |
 //!
 //! # Allowlist syntax
 //!
@@ -33,12 +36,14 @@ use crate::diagnostics::Diagnostic;
 use crate::tokenizer::{Lexed, Token, TokenKind};
 
 /// Names of all rules, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 8] = [
     "wall-clock",
     "unwrap-panic",
+    "todo-dbg",
     "float-eq",
     "truncating-cast",
     "hashmap-iter",
+    "allow-attr",
     "lint-directive",
 ];
 
@@ -50,7 +55,15 @@ const FRAME_HINTS: [&str; 3] = ["pfn", "mfn", "frame"];
 
 /// The panicking macro names `unwrap-panic` rejects (the method names —
 /// `unwrap`, `expect`, … — are matched by call shape in `check_file`).
-const PANICKY_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// `todo!`/`unimplemented!` are the separate `todo-dbg` rule: they panic
+/// too, but the finding is "a stub shipped", not "error handling gave up",
+/// and the fix differs (finish the code vs. propagate an error).
+const PANICKY_MACROS: [&str; 2] = ["panic", "unreachable"];
+
+/// Development leftovers `todo-dbg` rejects in library code: unfinished
+/// stubs and the `dbg!` print-to-stderr aid (which would interleave with
+/// report output nondeterministically).
+const STUB_MACROS: [&str; 3] = ["todo", "unimplemented", "dbg"];
 
 /// Parsed `lint:allow` directives for one file.
 #[derive(Debug, Default)]
@@ -156,6 +169,44 @@ pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
                     format!("{}! aborts the simulation; return an error instead", t.text),
                 );
             }
+
+            // todo-dbg: development stubs and debug prints in library code.
+            if t.kind == TokenKind::Ident
+                && STUB_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            {
+                let why = if t.text == "dbg" {
+                    "prints to stderr nondeterministically"
+                } else {
+                    "is an unfinished stub"
+                };
+                push(
+                    &mut out,
+                    "todo-dbg",
+                    t.line,
+                    format!("{}! {why}; it must not ship in library code", t.text),
+                );
+            }
+        }
+
+        // allow-attr: `#[allow(...)]` / `#![allow(...)]` silences a
+        // compiler or clippy diagnostic with no recorded reason. Justify
+        // it with an adjacent `// lint:allow(allow-attr): reason` (which
+        // this rule's own allowlist mechanism then honors) or fix the
+        // underlying lint.
+        if t.kind == TokenKind::Punct
+            && t.text == "#"
+            && (matches_seq(toks, i + 1, &["[", "allow", "("])
+                || matches_seq(toks, i + 1, &["!", "[", "allow", "("]))
+        {
+            push(
+                &mut out,
+                "allow-attr",
+                t.line,
+                "#[allow(...)] hides a diagnostic without saying why; add \
+                 `// lint:allow(allow-attr): reason` or fix the lint"
+                    .to_string(),
+            );
         }
 
         // float-eq: a float literal on either side of `==` / `!=`.
@@ -410,6 +461,50 @@ mod tests {
     }
 
     #[test]
+    fn stub_macros_flagged_in_lib_code() {
+        let src =
+            "fn f() { todo!(); }\nfn g() { unimplemented!(\"later\"); }\nfn h(x: u8) { dbg!(x); }";
+        let d = run("crates/vmm/src/host.rs", src);
+        let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["todo-dbg"; 3]);
+        assert!(d[0].message.contains("unfinished stub"));
+        assert!(d[2].message.contains("stderr"));
+    }
+
+    #[test]
+    fn stub_macros_fine_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { dbg!(1); todo!(); }\n}";
+        assert!(run("crates/vmm/src/host.rs", src).is_empty());
+        assert!(run("crates/vmm/tests/x.rs", "fn t() { dbg!(1); }").is_empty());
+    }
+
+    #[test]
+    fn stub_idents_without_bang_are_fine() {
+        // Plain identifiers that share the macro names.
+        let d = run("crates/vmm/src/host.rs", "let todo = 1; f(dbg, todo);");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn allow_attr_flagged_without_justification() {
+        let d = run("src/lib.rs", "#[allow(dead_code)]\nfn f() {}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "allow-attr");
+        // Inner form too.
+        let d = run("src/lib.rs", "#![allow(clippy::all)]");
+        assert_eq!(d.len(), 1);
+        // Other attributes are not allow.
+        assert!(run("src/lib.rs", "#[derive(Debug)]\nstruct S;").is_empty());
+    }
+
+    #[test]
+    fn allow_attr_with_adjacent_justification_is_fine() {
+        let src = "// lint:allow(allow-attr): signature mirrors the paper's table\n\
+                   #[allow(clippy::too_many_arguments)]\nfn f() {}";
+        assert!(run("src/lib.rs", src).is_empty());
+    }
+
+    #[test]
     fn float_eq_flagged() {
         let d = run("src/lib.rs", "if x == 1.0 { }");
         assert_eq!(d.len(), 1);
@@ -455,6 +550,18 @@ mod tests {
         let src = "// lint:allow-file(hashmap-iter): scratch tool, no digests\n\
                    use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) {}";
         assert!(run("src/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_inside_macro_body_suppresses() {
+        // Directives keep working when the flagged code sits inside a
+        // macro invocation — comments in macro bodies are ordinary
+        // comments to the tokenizer.
+        let src = "fn f() -> u64 {\n    my_macro!(\n        // lint:allow(hashmap-iter): keys are sorted before reporting\n        HashMap::new()\n    )\n}";
+        assert!(run("crates/sim/src/x.rs", src).is_empty());
+        // Without the directive the same code is flagged.
+        let src = "fn f() -> u64 {\n    my_macro!(\n        HashMap::new()\n    )\n}";
+        assert_eq!(run("crates/sim/src/x.rs", src).len(), 1);
     }
 
     #[test]

@@ -580,4 +580,83 @@ mod tests {
         let toks = kinds("r#type");
         assert_eq!(toks, vec![(TokenKind::Ident, "type".into())]);
     }
+
+    #[test]
+    fn byte_strings_are_opaque_literals() {
+        let toks = kinds(r#"let b = b"x.unwrap() HashMap"; let c = b'\n'; y"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == r"b'\n'"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "unwrap" || t == "HashMap")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes() {
+        let toks = kinds(r###"let s = br##"panic!() "quote"# still inside"##; z"###);
+        // The `"#` inside must not close a `##`-delimited raw byte string.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("still inside")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "z"));
+    }
+
+    #[test]
+    fn multi_hash_raw_string_embeds_lesser_terminators() {
+        let toks = kinds(r###"r##"a "# b"## ; tail"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("a \"# b")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "tail"));
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let lexed = tokenize("/* a /* b /* c */ */ tail */ x");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+        // Unterminated: everything to EOF is comment, nothing panics, and
+        // no token leaks out of the open comment.
+        let lexed = tokenize("x /* open /* still open */");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panicking() {
+        let lexed = tokenize("let s = \"no close; x.unwrap()");
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        let lexed = tokenize("let s = r#\"no close");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text.contains("no close")));
+    }
+
+    #[test]
+    fn comments_inside_macro_bodies_are_collected() {
+        // A lint:allow directive inside a macro invocation body is a real
+        // comment with a real line number (rules::check_file honors it);
+        // the same text inside a string literal is not a comment at all.
+        let lexed =
+            tokenize("assert_eq!(\n  // lint:allow(float-eq): quantized fixture\n  a, 1.0\n);");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.starts_with("lint:allow"));
+        assert_eq!(lexed.comments[0].line, 2);
+        let lexed = tokenize(r#"let s = "// lint:allow(float-eq): fake";"#);
+        assert!(lexed.comments.is_empty());
+    }
 }

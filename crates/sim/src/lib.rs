@@ -21,6 +21,8 @@
 //!   the [`resource::Retick`] wake-up helper,
 //! * [`queue`] — a FIFO multi-server resource (ablation counterpart),
 //! * [`histogram`] — log-bucketed latency histograms,
+//! * [`pool`] — a deterministic scoped worker pool (indexed tasks,
+//!   submission-order assembly, byte-identical output at any job count),
 //! * [`rng`] — seeded deterministic randomness (in-repo xoshiro256++),
 //! * [`series`] — time-series and completion-log recorders,
 //! * [`stats`] — summary statistics and least-squares fitting,
@@ -77,6 +79,7 @@ pub mod engine;
 pub mod equeue;
 pub mod flat;
 pub mod histogram;
+pub mod pool;
 pub mod queue;
 pub mod resource;
 pub mod rng;

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Static-analysis gate on its own (subset of scripts/verify.sh).
 #
-# Runs the rh-lint source pass against the ratcheted baseline and the
-# warm-reboot protocol checker. Any arguments replace the default
+# Runs the rh-lint source pass against the ratcheted baseline, the
+# warm-reboot protocol checker, and the fleet rolling-rejuvenation
+# checker. Any arguments replace the default
 # `--check` mode of the source pass, e.g.:
 #
 #   scripts/lint.sh --check --json       machine-readable findings
@@ -21,5 +22,8 @@ cargo run -q -p rh-lint --offline -- "$@"
 
 echo "==> rh-lint protocol --domains 3"
 cargo run -q -p rh-lint --offline -- protocol --domains 3
+
+echo "==> rh-lint fleet"
+cargo run -q -p rh-lint --offline -- fleet
 
 echo "==> lint OK"

@@ -34,9 +34,43 @@ if cargo run -q --release -p rh-lint --offline -- \
     exit 1
 fi
 
-echo "==> all --jobs 2 determinism smoke (reduced range, DESIGN.md §10)"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
+
+echo "==> rh-lint fleet (rolling-campaign invariants I6/I7, DESIGN.md §14)"
+cargo run -q --release -p rh-lint --offline -- fleet
+if cargo run -q --release -p rh-lint --offline -- \
+    fleet --buggy-overlap > "$smoke_dir/fleet_buggy.txt" 2>&1; then
+    echo "FAIL: fleet --buggy-overlap must produce an I7 counterexample" >&2
+    exit 1
+fi
+if ! grep -q "I7 single-recovery" "$smoke_dir/fleet_buggy.txt"; then
+    echo "FAIL: fleet --buggy-overlap counterexample must cite I7" >&2
+    cat "$smoke_dir/fleet_buggy.txt" >&2
+    exit 1
+fi
+
+echo "==> model-checker --jobs determinism smoke (jobs 1 vs 4)"
+cargo run -q --release -p rh-lint --offline -- \
+    protocol --domains 4 --jobs 1 > "$smoke_dir/mc_seq.txt"
+cargo run -q --release -p rh-lint --offline -- \
+    protocol --domains 4 --jobs 4 > "$smoke_dir/mc_par.txt"
+if ! cmp -s "$smoke_dir/mc_seq.txt" "$smoke_dir/mc_par.txt"; then
+    echo "FAIL: protocol --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/mc_seq.txt" "$smoke_dir/mc_par.txt" >&2 || true
+    exit 1
+fi
+cargo run -q --release -p rh-lint --offline -- \
+    fleet --jobs 1 > "$smoke_dir/fleet_seq.txt"
+cargo run -q --release -p rh-lint --offline -- \
+    fleet --jobs 4 > "$smoke_dir/fleet_par.txt"
+if ! cmp -s "$smoke_dir/fleet_seq.txt" "$smoke_dir/fleet_par.txt"; then
+    echo "FAIL: fleet --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/fleet_seq.txt" "$smoke_dir/fleet_par.txt" >&2 || true
+    exit 1
+fi
+
+echo "==> all --jobs 2 determinism smoke (reduced range, DESIGN.md §10)"
 cargo run -q --release -p rh-bench --bin all --offline -- \
     --jobs 2 --max-n 3 --quick --json "$smoke_dir/par.json" \
     --trace-jsonl "$smoke_dir/par.jsonl" \
