@@ -117,18 +117,6 @@ fn one<T: Send + 'static>(
     run_sweep(records, sweep, 1).pop()
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn write_repro_json(
     path: &str,
     opts: &Options,
@@ -136,44 +124,31 @@ fn write_repro_json(
     headline: &[(String, f64)],
     total: Duration,
 ) {
-    let points: Vec<String> = records
+    // The shared emitter hardens the document (escaped names, NaN→null);
+    // rh_bench::json::tests prove whole-file validity for hostile inputs.
+    let points: Vec<rh_bench::json::ReproPoint> = records
         .iter()
-        .map(|r| {
-            let spans: Vec<String> = r
+        .map(|r| rh_bench::json::ReproPoint {
+            name: r.name.clone(),
+            wall_ms: r.wall.as_secs_f64() * 1e3,
+            spans: r
                 .profile
                 .spans()
                 .iter()
-                .map(|s| {
-                    format!(
-                        "\"{}_ms\":{}",
-                        json_escape(&s.label),
-                        json_f64(s.elapsed.as_secs_f64() * 1e3)
-                    )
-                })
-                .collect();
-            format!(
-                "    {{\"name\":\"{}\",\"wall_ms\":{},\"spans\":{{{}}},\"ok\":{}}}",
-                json_escape(&r.name),
-                json_f64(r.wall.as_secs_f64() * 1e3),
-                spans.join(","),
-                r.ok
-            )
+                .map(|s| (s.label.clone(), s.elapsed.as_secs_f64() * 1e3))
+                .collect(),
+            ok: r.ok,
         })
         .collect();
-    let headlines: Vec<String> = headline
-        .iter()
-        .map(|(k, v)| format!("    \"{}\": {}", json_escape(k), json_f64(*v)))
-        .collect();
-    let json = format!(
-        "{{\n  \"jobs\": {},\n  \"max_n\": {},\n  \"quick\": {},\n  \
-         \"total_wall_ms\": {},\n  \"points\": [\n{}\n  ],\n  \
-         \"headline\": {{\n{}\n  }}\n}}\n",
-        opts.jobs,
-        opts.max_n,
-        opts.quick,
-        json_f64(total.as_secs_f64() * 1e3),
-        points.join(",\n"),
-        headlines.join(",\n"),
+    let json = rh_bench::json::repro_document(
+        &[
+            ("jobs", opts.jobs.to_string()),
+            ("max_n", opts.max_n.to_string()),
+            ("quick", opts.quick.to_string()),
+        ],
+        total.as_secs_f64() * 1e3,
+        &points,
+        headline,
     );
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("all: failed to write {path}: {e}");

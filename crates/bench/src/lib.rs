@@ -16,6 +16,11 @@
 //! | [`fig9`]  | Fig. 9 / §6 — cluster total throughput |
 //! | [`ablations`] | DESIGN.md ablations (suspend ordering, reservation order, driver domains) |
 //! | [`reliability`] | proactive vs adaptive vs reactive rejuvenation under injected aging |
+//! | [`frontier`] | DESIGN.md §15 — the 5-strategy downtime/degradation frontier |
+//!
+//! The [`json`] module is the in-tree JSON emitter/validator behind the
+//! `BENCH_repro.json` run records (string escaping, NaN→null hardening,
+//! and a validating parser for whole-file tests).
 //!
 //! The [`runner`] module is the in-repo micro-benchmark harness (warmup +
 //! timed iterations, median/p95, table + JSON output) driving the
@@ -46,6 +51,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod frontier;
+pub mod json;
 pub mod reliability;
 pub mod runner;
 pub mod sec52;

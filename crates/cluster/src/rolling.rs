@@ -303,6 +303,27 @@ mod tests {
     }
 
     #[test]
+    fn live_rolling_streamed_cuts_saved_capacity_loss() {
+        // The disk-image strategies roll through the same driver: the
+        // per-strategy counter keys come straight from Display, and the
+        // post-copy variant's shorter outage shows up as capacity saved.
+        let run =
+            |strategy| rolling_rejuvenation(2, 2, ServiceKind::Ssh, strategy, secs(600), 100.0);
+        let saved = run(RebootStrategy::Saved);
+        let streamed = run(RebootStrategy::Streamed);
+        assert_eq!(saved.stats.counter("cluster.reboots.saved"), 2);
+        assert_eq!(streamed.stats.counter("cluster.reboots.streamed"), 2);
+        assert!(
+            streamed.capacity_loss < saved.capacity_loss,
+            "streamed {} !< saved {}",
+            streamed.capacity_loss,
+            saved.capacity_loss
+        );
+        assert!(saved.service_never_fully_down);
+        assert!(streamed.service_never_fully_down);
+    }
+
+    #[test]
     fn too_aggressive_stagger_loses_the_service() {
         // Cold reboots 30 s apart on a 2-host cluster overlap: at some
         // instant both hosts are down.

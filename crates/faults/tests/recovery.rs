@@ -5,7 +5,10 @@ use rh_faults::plan::{FaultKind, FaultPlan, Trigger};
 use rh_faults::recovery::{watch_and_recover, RecoveryConfig, RecoveryPolicy, RecoveryReport};
 use rh_faults::Injector;
 use rh_guest::services::ServiceKind;
-use rh_vmm::harness::{booted_host, HostSim};
+use rh_sim::time::SimDuration;
+use rh_vmm::config::HostConfig;
+use rh_vmm::domain::DomainSpec;
+use rh_vmm::harness::{booted_host, HostSim, DEFAULT_WAIT_CAP};
 use rh_vmm::{DomainId, InjectPoint, RebootStrategy};
 
 /// Arms `plan` on a freshly booted `n`-guest host, commands a warm
@@ -270,6 +273,87 @@ fn cold_policy_loses_everything_and_takes_longer() {
         cold.mttr(),
         warm.mttr()
     );
+}
+
+#[test]
+fn crash_mid_stream_recovers_and_the_next_streamed_reboot_is_clean() {
+    let mut sim = booted_host(3, ServiceKind::Ssh);
+    // The VMM dies the instant the second restored guest's resume handler
+    // finishes: the first guest is already resumed with its residual image
+    // still streaming in from disk.
+    let plan = FaultPlan::new(29).arm(
+        InjectPoint::ResumeStart,
+        Trigger::Nth(2),
+        FaultKind::VmmCrash,
+    );
+    sim.host_mut()
+        .arm_fault_hook(Box::new(Injector::new(&plan)));
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.streamed_reboot(sched);
+    }
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(RecoveryPolicy::Microreboot))
+        .expect("the mid-stream crash is detected and recovered");
+
+    // The streams died with the VMM: no ghost bookkeeping survives, and
+    // the interrupted reboot never counts a completion.
+    assert!(
+        sim.host().stats.counter("stream.started") >= 1,
+        "the crash must land while a stream is in flight"
+    );
+    assert_eq!(sim.host().stats.counter("stream.completed"), 0);
+    assert!(sim.host().streaming_domains().is_empty());
+    assert!(sim.host().all_services_up(), "{report}");
+    assert!(!sim.host().reboot_in_progress());
+
+    // The recovered host streams a whole reboot through cleanly.
+    let second = sim.reboot_and_wait(RebootStrategy::Streamed);
+    assert!(second.corrupted.is_empty(), "{second:?}");
+    let drained = sim.run_until(DEFAULT_WAIT_CAP, |h| h.streaming_domains().is_empty());
+    assert!(drained, "post-recovery stream-in never drained");
+    assert_eq!(sim.host().stats.counter("stream.completed"), 3);
+    assert!(sim.host().all_services_up());
+}
+
+#[test]
+fn crash_mid_delta_snapshot_recovers_and_incremental_still_saves() {
+    let cfg = HostConfig::paper_testbed()
+        .with_domain(DomainSpec::standard("a", ServiceKind::Ssh))
+        .with_domain(DomainSpec::standard("b", ServiceKind::Ssh))
+        .with_snapshot_interval(Some(SimDuration::from_secs(30)));
+    let mut sim = HostSim::new(cfg);
+    sim.power_on_and_wait();
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.start_dirty_writer(sched, DomainId(1), 4, SimDuration::from_secs(10));
+    }
+    let pending = sim.run_until(SimDuration::from_secs(600), |h| h.snapshot_in_flight());
+    assert!(pending, "a background delta write must start");
+
+    // The VMM dies with the snapshot write still on the disk queue.
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.fault_vmm_crash(sched);
+    }
+    assert!(
+        !sim.host().snapshot_in_flight(),
+        "the in-flight delta died with the VMM"
+    );
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(RecoveryPolicy::Microreboot))
+        .expect("the mid-snapshot crash is detected and recovered");
+    assert!(sim.host().all_services_up(), "{report}");
+
+    // The ticker resumes on the recovered host and the half-written
+    // snapshot was discarded, not folded into a chain: the next
+    // incremental reboot still saves and restores everything intact.
+    let ticked = sim.run_until(SimDuration::from_secs(600), |h| {
+        h.stats.counter("snapshot.delta") >= 1
+    });
+    assert!(ticked, "no snapshot completed after recovery");
+    let second = sim.reboot_and_wait(RebootStrategy::Incremental);
+    assert!(second.corrupted.is_empty(), "{second:?}");
+    assert!(sim.host().stats.counter("incremental.save_bytes") > 0);
+    assert!(sim.host().all_services_up());
 }
 
 fn service_generation(sim: &HostSim, id: DomainId) -> u64 {

@@ -8,9 +8,11 @@
 //! ratcheted baseline ([`baseline`]) for pre-existing debt — plus a small
 //! explicit-state model-checking engine ([`explore`]: parallel
 //! deterministic BFS with symmetry and partial-order reduction) driving
-//! two models: the suspend → xexec → resume lifecycle of the warm-VM
-//! reboot ([`protocol`], paper §4.2–4.3) and the cluster-level rolling
-//! rejuvenation campaign ([`fleet`], invariants I6/I7).
+//! three models: the suspend → xexec → resume lifecycle of the warm-VM
+//! reboot ([`protocol`], paper §4.2–4.3), the cluster-level rolling
+//! rejuvenation campaign ([`fleet`], invariants I6/I7), and the post-copy
+//! page-serving fault path of the streamed reboot ([`postcopy`],
+//! invariants P1/P2).
 //!
 //! Run it via the binary:
 //!
@@ -22,6 +24,8 @@
 //! cargo run -p rh-lint -- protocol --buggy # must find the §4.3 hazard
 //! cargo run -p rh-lint -- fleet            # campaign invariants I6/I7
 //! cargo run -p rh-lint -- fleet --buggy-overlap  # must find the I7 bug
+//! cargo run -p rh-lint -- postcopy         # stream-in invariants P1/P2
+//! cargo run -p rh-lint -- postcopy --buggy # must find the early serve
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,6 +36,7 @@ pub mod baseline;
 pub mod diagnostics;
 pub mod explore;
 pub mod fleet;
+pub mod postcopy;
 pub mod protocol;
 pub mod rules;
 pub mod tokenizer;

@@ -8,6 +8,9 @@
 //!                  [--jobs N] [--max-states N] [--no-reduce]
 //! rh-lint fleet    [--hosts N] [--max-down N] [--crashes N]
 //!                  [--buggy-overlap] [--jobs N] [--max-states N] [--json]
+//! rh-lint postcopy [--domains N] [--pages N] [--working-set N] [--buggy]
+//!                  [--no-torn] [--jobs N] [--max-states N] [--no-reduce]
+//!                  [--json]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/violations, 2 usage or internal error.
@@ -21,6 +24,7 @@ use std::process::ExitCode;
 use rh_lint::diagnostics::violation_json;
 use rh_lint::explore::Options as ExploreOptions;
 use rh_lint::fleet::{self, FleetConfig};
+use rh_lint::postcopy::{self, PostcopyConfig};
 use rh_lint::protocol::{explore, ProtocolConfig};
 use rh_lint::walk::find_workspace_root;
 use rh_lint::{lint_workspace, update_baseline};
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("protocol") => run_protocol(&args[1..]),
         Some("fleet") => run_fleet(&args[1..]),
+        Some("postcopy") => run_postcopy(&args[1..]),
         _ => run_lint(&args),
     };
     match result {
@@ -260,6 +265,79 @@ fn run_fleet(args: &[String]) -> Result<bool, String> {
             None => println!(
                 "all interleavings satisfy I6 capacity-floor (>= {} serving), I7 single-recovery",
                 cfg.hosts.saturating_sub(cfg.max_down)
+            ),
+            Some(v) => print!("{v}"),
+        }
+    }
+    Ok(result.passed())
+}
+
+fn run_postcopy(args: &[String]) -> Result<bool, String> {
+    let mut cfg = PostcopyConfig::default();
+    let mut opts = ExploreOptions::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--domains" => {
+                let n = parse_num(args.get(i + 1), "--domains")?;
+                cfg.domains = u32::try_from(n).map_err(|_| format!("--domains {n}: too large"))?;
+                i += 1;
+            }
+            "--pages" => {
+                let n = parse_num(args.get(i + 1), "--pages")?;
+                cfg.pages = u32::try_from(n).map_err(|_| format!("--pages {n}: too large"))?;
+                i += 1;
+            }
+            "--working-set" => {
+                let n = parse_num(args.get(i + 1), "--working-set")?;
+                cfg.working_set =
+                    u32::try_from(n).map_err(|_| format!("--working-set {n}: too large"))?;
+                i += 1;
+            }
+            "--jobs" => {
+                opts.jobs = parse_num(args.get(i + 1), "--jobs")? as usize;
+                i += 1;
+            }
+            "--max-states" => {
+                opts.max_states = Some(parse_num(args.get(i + 1), "--max-states")?);
+                i += 1;
+            }
+            "--no-reduce" => opts.reduce = false,
+            "--buggy" => cfg.buggy_serve = true,
+            "--no-torn" => cfg.torn_reads = false,
+            "--json" => json = true,
+            other => return Err(format!("unknown postcopy argument `{other}`")),
+        }
+        i += 1;
+    }
+    let result = postcopy::explore(&cfg, &opts)?;
+    let mode = if opts.reduce { "symmetry+por" } else { "raw" };
+    if json {
+        let violation = match &result.violation {
+            None => "null".to_string(),
+            Some(v) => violation_json(&v.invariant, &v.detail, &v.trace),
+        };
+        println!(
+            "{{\"domains\":{},\"pages\":{},\"working_set\":{},\"reduction\":\"{mode}\",\"states\":{},\"transitions\":{},\"completed_streams\":{},\"violation\":{violation}}}",
+            cfg.domains, cfg.pages, cfg.working_set, result.states, result.transitions,
+            result.completed_streams
+        );
+    } else {
+        println!(
+            "postcopy: {} domain(s), {} page(s) ({} resident at resume), {} state(s), \
+             {} transition(s), {} completed stream-in(s) [{mode}]",
+            cfg.domains,
+            cfg.pages,
+            cfg.working_set,
+            result.states,
+            result.transitions,
+            result.completed_streams
+        );
+        match &result.violation {
+            None => println!(
+                "all interleavings satisfy P1 validated-before-serve, \
+                 P2 validated-content-intact"
             ),
             Some(v) => print!("{v}"),
         }

@@ -93,7 +93,8 @@ impl FrameContents {
     /// mutation since `epoch` is on record and none intersected `ranges`);
     /// a `false` answer means "changed, or too many mutations ago to
     /// know" — the dirty log only spans the last [`DIRTY_WINDOW`]
-    /// mutations. This is what lets the VMM's resume path skip a full
+    /// mutations, and once it has wrapped, an epoch at the evicted edge
+    /// (exactly the oldest retained entry) also answers `false`. This is what lets the VMM's resume path skip a full
     /// O(frames) digest recomputation when a domain's memory provably sat
     /// untouched across a reboot (`PERFORMANCE.md` §digest maintenance).
     ///
@@ -123,9 +124,16 @@ impl FrameContents {
         if epoch > self.epoch {
             return false; // stamp from a different instance: never claim clean
         }
-        // Every epoch in (epoch, self.epoch] must still be on record.
+        // Every epoch in (epoch, self.epoch] must still be on record. Once
+        // the log has wrapped (window full, older entries evicted), an
+        // observation at exactly the oldest retained epoch sits on the
+        // evicted edge: we can no longer distinguish "observed right after
+        // that write" from "observed before churn whose record is gone", so
+        // the probe epoch must be strictly inside the retained span.
+        let wrapped = self.dirty.len() >= DIRTY_WINDOW;
         match self.dirty.front() {
-            Some(&(oldest, _)) if oldest <= epoch + 1 => {}
+            Some(&(oldest, _)) if !wrapped && oldest <= epoch + 1 => {}
+            Some(&(oldest, _)) if wrapped && oldest < epoch => {}
             _ => return false,
         }
         self.dirty
@@ -614,6 +622,33 @@ mod tests {
         );
         // Inside the window the same distant writes are provably harmless.
         assert!(mem.unchanged_since(mem.epoch() - 3, &[r(0, 1)]));
+    }
+
+    #[test]
+    fn unchanged_since_evicted_edge_is_conservative() {
+        // Wrap the window so the oldest entries have been evicted, then
+        // probe the exact boundary epoch. The entry at `oldest` records
+        // the write that *created* that epoch; with everything before it
+        // gone, an observation stamped `oldest` cannot be distinguished
+        // from one predating unrecorded churn — it must answer false.
+        let mut mem = FrameContents::new();
+        for i in 0..(super::DIRTY_WINDOW as u64 + 8) {
+            mem.write(Mfn(1_000_000 + i), i);
+        }
+        let oldest = mem.epoch() - (super::DIRTY_WINDOW as u64 - 1);
+        let far_away = [r(0, 100)]; // overlaps none of the writes above
+                                    // One inside the retained span is still provably clean...
+        assert!(mem.unchanged_since(oldest + 1, &far_away));
+        // ...but the evicted edge itself fails closed,
+        assert!(!mem.unchanged_since(oldest, &far_away));
+        // as does anything older.
+        assert!(!mem.unchanged_since(oldest - 1, &far_away));
+        // A log that never wrapped has no evicted edge: epoch 0 (before
+        // the first write) is still answerable from a complete record.
+        let mut small = FrameContents::new();
+        let epoch = small.epoch();
+        small.write(Mfn(1_000_000), 1);
+        assert!(small.unchanged_since(epoch, &far_away));
     }
 
     #[test]

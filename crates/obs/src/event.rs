@@ -65,19 +65,32 @@ pub enum StrategyKind {
     Saved,
     /// Cold reboot: full hardware reset, guests rebuilt from disk.
     Cold,
+    /// Streamed (post-copy) reboot: guests resume on a partial restore
+    /// and fault the rest of their images in while serving.
+    Streamed,
+    /// Incremental reboot: background delta snapshots keep the on-disk
+    /// image fresh, so the at-reboot save writes only dirty extents.
+    Incremental,
 }
 
 impl StrategyKind {
     /// All strategies.
-    pub const ALL: [StrategyKind; 3] =
-        [StrategyKind::Warm, StrategyKind::Saved, StrategyKind::Cold];
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Warm,
+        StrategyKind::Saved,
+        StrategyKind::Cold,
+        StrategyKind::Streamed,
+        StrategyKind::Incremental,
+    ];
 
-    /// The legacy display name (`"warm"` / `"saved"` / `"cold"`).
+    /// The legacy display name (`"warm"` / `"saved"` / `"cold"` / ...).
     pub const fn name(self) -> &'static str {
         match self {
             StrategyKind::Warm => "warm",
             StrategyKind::Saved => "saved",
             StrategyKind::Cold => "cold",
+            StrategyKind::Streamed => "streamed",
+            StrategyKind::Incremental => "incremental",
         }
     }
 
@@ -175,6 +188,20 @@ pub enum Event {
     ValidationFailed(DomId),
     /// A frozen domain's memory image was found corrupted on resume.
     Corrupted(DomId),
+    /// A resumed domain began streaming residual pages in from disk
+    /// (streamed reboot, post-copy).
+    StreamStarted(DomId),
+    /// A streaming domain's residual pages all arrived; it is now fully
+    /// resident again.
+    StreamCompleted(DomId),
+    /// A background delta snapshot of a domain's dirty extents finished
+    /// writing to disk (incremental strategy).
+    DeltaSnapshot {
+        /// The snapshotted domain.
+        dom: DomId,
+        /// Bytes written (dirty extents only; 0 never emits this event).
+        bytes: u64,
+    },
 
     // --- guest lifecycle ------------------------------------------------
     /// A guest OS began shutting down.
@@ -278,7 +305,10 @@ impl Event {
             | Event::RestoreStarted(_)
             | Event::Restored(_)
             | Event::ValidationFailed(_)
-            | Event::Corrupted(_) => "vmm",
+            | Event::Corrupted(_)
+            | Event::StreamStarted(_)
+            | Event::StreamCompleted(_)
+            | Event::DeltaSnapshot { .. } => "vmm",
             Event::GuestShuttingDown(_)
             | Event::GuestOff(_)
             | Event::GuestCreated(_)
@@ -337,6 +367,11 @@ impl Event {
                 format!("{id} failed validation; falling back to cold boot")
             }
             Event::Corrupted(id) => format!("{id} MEMORY IMAGE CORRUPTED"),
+            Event::StreamStarted(id) => format!("{id} stream-in started"),
+            Event::StreamCompleted(id) => format!("{id} stream-in complete"),
+            Event::DeltaSnapshot { dom, bytes } => {
+                format!("{dom} delta snapshot ({bytes} bytes)")
+            }
             Event::GuestShuttingDown(id) => format!("{id} shutting down"),
             Event::GuestOff(id) => format!("{id} off"),
             Event::GuestCreated(id) => format!("{id} created, booting"),
@@ -385,6 +420,9 @@ impl Event {
             Event::Restored(_) => "Restored",
             Event::ValidationFailed(_) => "ValidationFailed",
             Event::Corrupted(_) => "Corrupted",
+            Event::StreamStarted(_) => "StreamStarted",
+            Event::StreamCompleted(_) => "StreamCompleted",
+            Event::DeltaSnapshot { .. } => "DeltaSnapshot",
             Event::GuestShuttingDown(_) => "GuestShuttingDown",
             Event::GuestOff(_) => "GuestOff",
             Event::GuestCreated(_) => "GuestCreated",
@@ -421,6 +459,8 @@ impl Event {
             | Event::Restored(id)
             | Event::ValidationFailed(id)
             | Event::Corrupted(id)
+            | Event::StreamStarted(id)
+            | Event::StreamCompleted(id)
             | Event::GuestShuttingDown(id)
             | Event::GuestOff(id)
             | Event::GuestCreated(id)
@@ -431,7 +471,9 @@ impl Event {
             | Event::ServiceUp(id)
             | Event::P2mCorrupted(id)
             | Event::ExecStateLost(id) => Some(*id),
-            Event::ColdBootRetry { dom, .. } | Event::FrameCorrupted { dom, .. } => Some(*dom),
+            Event::ColdBootRetry { dom, .. }
+            | Event::FrameCorrupted { dom, .. }
+            | Event::DeltaSnapshot { dom, .. } => Some(*dom),
             _ => None,
         }
     }
@@ -523,7 +565,7 @@ fn parse_vmm(m: &str) -> Option<Event> {
             generation: g.strip_suffix(')')?.parse().ok()?,
         });
     }
-    let per_dom: [(&str, fn(DomId) -> Event); 9] = [
+    let per_dom: [(&str, fn(DomId) -> Event); 11] = [
         (" salvaged (frozen in place)", Event::Salvaged),
         (" lost; will cold boot", Event::LostColdBoot),
         (" frozen on memory", Event::Frozen),
@@ -536,11 +578,20 @@ fn parse_vmm(m: &str) -> Option<Event> {
             Event::ValidationFailed,
         ),
         (" MEMORY IMAGE CORRUPTED", Event::Corrupted),
+        (" stream-in started", Event::StreamStarted),
+        (" stream-in complete", Event::StreamCompleted),
     ];
     for (suffix, make) in per_dom {
         if let Some(id) = m.strip_suffix(suffix) {
             return DomId::parse(id).map(make);
         }
+    }
+    if let Some(rest) = m.strip_suffix(" bytes)") {
+        let (id, bytes) = rest.split_once(" delta snapshot (")?;
+        return Some(Event::DeltaSnapshot {
+            dom: DomId::parse(id)?,
+            bytes: bytes.parse().ok()?,
+        });
     }
     None
 }
@@ -638,6 +689,12 @@ mod tests {
             Event::Restored(d),
             Event::ValidationFailed(d),
             Event::Corrupted(d),
+            Event::StreamStarted(d),
+            Event::StreamCompleted(d),
+            Event::DeltaSnapshot {
+                dom: d,
+                bytes: 655360,
+            },
             Event::GuestShuttingDown(d),
             Event::GuestOff(d),
             Event::GuestCreated(d),

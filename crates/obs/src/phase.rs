@@ -40,13 +40,17 @@ pub enum Phase {
     Resume,
     /// Restoring guest images from disk (saved reboot baseline).
     Restore,
+    /// Background fault-in of residual pages after a streamed (post-copy)
+    /// resume: the guests already serve while the rest of their images
+    /// trickle in from disk.
+    StreamIn,
     /// Cold-booting guest OSes from disk.
     GuestBoot,
 }
 
 impl Phase {
     /// Every phase, in rough pipeline order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Reboot,
         Phase::XexecLoad,
         Phase::Dom0Shutdown,
@@ -59,6 +63,7 @@ impl Phase {
         Phase::Dom0Boot,
         Phase::Resume,
         Phase::Restore,
+        Phase::StreamIn,
         Phase::GuestBoot,
     ];
 
@@ -78,6 +83,7 @@ impl Phase {
             Phase::Dom0Boot => "dom0 boot",
             Phase::Resume => "resume",
             Phase::Restore => "restore",
+            Phase::StreamIn => "stream-in",
             Phase::GuestBoot => "guest boot",
         }
     }

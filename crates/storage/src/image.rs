@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use rh_memory::contents::{DigestBuilder, FrameContents};
-use rh_memory::frame::{Pfn, PAGE_SIZE};
+use rh_memory::frame::{FrameRange, Mfn, Pfn, PAGE_SIZE};
 use rh_memory::p2m::P2mTable;
 
 /// A pattern run in pseudo-physical space.
@@ -160,6 +160,131 @@ impl MemoryImage {
             contents.write(mfn, value);
         }
         Ok(())
+    }
+}
+
+/// Granularity of dirty-extent accounting for incremental saves, in
+/// pages (64 pages = 256 KiB with 4 KiB pages — the unit a background
+/// delta snapshot reads, diffs and writes).
+pub const SNAPSHOT_EXTENT_PAGES: u64 = 64;
+
+/// Bytes of `p2m`'s mapped memory that may have changed since
+/// `since_epoch` of `contents`, rounded up to whole
+/// [`SNAPSHOT_EXTENT_PAGES`] extents.
+///
+/// Sound but conservative, exactly like
+/// [`FrameContents::unchanged_since`] per extent: an extent only counts
+/// as clean when every mutation since `since_epoch` is on record and
+/// none intersected it. Once the dirty log has wrapped past the
+/// observation, *everything* counts dirty — an incremental save then
+/// degenerates to a full one rather than silently losing writes.
+pub fn dirty_extent_bytes(p2m: &P2mTable, contents: &FrameContents, since_epoch: u64) -> u64 {
+    let mut dirty_pages = 0u64;
+    for mrange in p2m.machine_ranges() {
+        let mut off = 0;
+        while off < mrange.count {
+            let n = SNAPSHOT_EXTENT_PAGES.min(mrange.count - off);
+            let sub = FrameRange::new(Mfn(mrange.start.0 + off), n);
+            if !contents.unchanged_since(since_epoch, &[sub]) {
+                dirty_pages += n;
+            }
+            off += n;
+        }
+    }
+    dirty_pages * PAGE_SIZE
+}
+
+/// The on-disk state of one domain under the incremental strategy: a
+/// consolidated [`MemoryImage`] (base plus every delta already applied)
+/// and the byte ledger of what each write actually cost.
+///
+/// The simulation keeps the *consolidated* image rather than replaying
+/// a chain at restore time — what the strategy buys is smaller
+/// *writes*, and that is what the ledger records; restore reads the
+/// consolidated size either way (COW extents share the base file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaChain {
+    image: MemoryImage,
+    base_bytes: u64,
+    delta_bytes: Vec<u64>,
+    contents_epoch: u64,
+    p2m_epoch: u64,
+}
+
+impl DeltaChain {
+    /// Starts a chain from a full base snapshot taken at the given
+    /// contents/P2M epochs.
+    pub fn new(image: MemoryImage, contents_epoch: u64, p2m_epoch: u64) -> DeltaChain {
+        let base_bytes = image.size_bytes();
+        DeltaChain {
+            image,
+            base_bytes,
+            delta_bytes: Vec::new(),
+            contents_epoch,
+            p2m_epoch,
+        }
+    }
+
+    /// Records one delta: `image` is the new consolidated state, `bytes`
+    /// what the snapshot actually wrote (dirty extents only).
+    pub fn record_delta(
+        &mut self,
+        image: MemoryImage,
+        bytes: u64,
+        contents_epoch: u64,
+        p2m_epoch: u64,
+    ) {
+        self.image = image;
+        self.delta_bytes.push(bytes);
+        self.contents_epoch = contents_epoch;
+        self.p2m_epoch = p2m_epoch;
+    }
+
+    /// Advances the chain's epochs without a write (a tick that found
+    /// zero dirty extents: the consolidated image is provably current).
+    pub fn mark_current(&mut self, contents_epoch: u64, p2m_epoch: u64) {
+        self.contents_epoch = contents_epoch;
+        self.p2m_epoch = p2m_epoch;
+    }
+
+    /// The consolidated image (base + all recorded deltas).
+    pub fn image(&self) -> &MemoryImage {
+        &self.image
+    }
+
+    /// Contents epoch the consolidated image is current as of.
+    pub fn contents_epoch(&self) -> u64 {
+        self.contents_epoch
+    }
+
+    /// P2M epoch the consolidated image is current as of.
+    pub fn p2m_epoch(&self) -> u64 {
+        self.p2m_epoch
+    }
+
+    /// Bytes the full base snapshot wrote.
+    pub fn base_bytes(&self) -> u64 {
+        self.base_bytes
+    }
+
+    /// Bytes each recorded delta wrote, in order.
+    pub fn delta_bytes(&self) -> &[u64] {
+        &self.delta_bytes
+    }
+
+    /// Number of deltas recorded on top of the base.
+    pub fn len(&self) -> usize {
+        self.delta_bytes.len()
+    }
+
+    /// True when no delta has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.delta_bytes.is_empty()
+    }
+
+    /// Total bytes ever written for this chain (base + every delta).
+    pub fn total_written(&self) -> u64 {
+        self.base_bytes + self.delta_bytes.iter().sum::<u64>()
     }
 }
 
@@ -526,6 +651,96 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    #[test]
+    fn dirty_extent_bytes_counts_only_touched_extents() {
+        let mut ram = MachineMemory::new(1 << 16);
+        let mut mem = FrameContents::new();
+        let p2m = mapped_domain(&mut ram, &mut mem, 4 * SNAPSHOT_EXTENT_PAGES, 0xD1);
+        let epoch = mem.epoch();
+        assert_eq!(dirty_extent_bytes(&p2m, &mem, epoch), 0);
+
+        // One write dirties exactly its covering 64-page extent.
+        mem.write(p2m.lookup(Pfn(3)).unwrap(), 9);
+        assert_eq!(
+            dirty_extent_bytes(&p2m, &mem, epoch),
+            SNAPSHOT_EXTENT_PAGES * PAGE_SIZE
+        );
+
+        // A second write in the same extent adds nothing; one in another
+        // extent adds one more extent.
+        mem.write(p2m.lookup(Pfn(5)).unwrap(), 9);
+        mem.write(p2m.lookup(Pfn(3 * SNAPSHOT_EXTENT_PAGES)).unwrap(), 9);
+        assert_eq!(
+            dirty_extent_bytes(&p2m, &mem, epoch),
+            2 * SNAPSHOT_EXTENT_PAGES * PAGE_SIZE
+        );
+
+        // Mutations outside the domain leave it clean.
+        let epoch2 = mem.epoch();
+        mem.write(Mfn(1 << 20), 1);
+        assert_eq!(dirty_extent_bytes(&p2m, &mem, epoch2), 0);
+    }
+
+    #[test]
+    fn dirty_extent_bytes_goes_conservative_after_log_wrap() {
+        let mut ram = MachineMemory::new(1 << 16);
+        let mut mem = FrameContents::new();
+        let p2m = mapped_domain(&mut ram, &mut mem, 2 * SNAPSHOT_EXTENT_PAGES, 0xD2);
+        let epoch = mem.epoch();
+        // Churn far away until the dirty log forgets the observation.
+        for i in 0..4096 {
+            mem.write(Mfn((1 << 20) + i), i);
+        }
+        assert_eq!(
+            dirty_extent_bytes(&p2m, &mem, epoch),
+            2 * SNAPSHOT_EXTENT_PAGES * PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn dirty_extent_bytes_rounds_trailing_partial_extent() {
+        let mut ram = MachineMemory::new(1 << 16);
+        let mut mem = FrameContents::new();
+        // 1.5 extents: the tail extent is only half-sized.
+        let pages = SNAPSHOT_EXTENT_PAGES + SNAPSHOT_EXTENT_PAGES / 2;
+        let p2m = mapped_domain(&mut ram, &mut mem, pages, 0xD3);
+        let epoch = mem.epoch();
+        mem.write(p2m.lookup(Pfn(pages - 1)).unwrap(), 7);
+        assert_eq!(
+            dirty_extent_bytes(&p2m, &mem, epoch),
+            (SNAPSHOT_EXTENT_PAGES / 2) * PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn delta_chain_ledger() {
+        let mut ram = MachineMemory::new(1 << 16);
+        let mut mem = FrameContents::new();
+        let p2m = mapped_domain(&mut ram, &mut mem, 256, 0xDC);
+        let base = MemoryImage::capture(&p2m, &mem);
+        let mut chain = DeltaChain::new(base.clone(), mem.epoch(), 1);
+        assert!(chain.is_empty());
+        assert_eq!(chain.base_bytes(), 256 * PAGE_SIZE);
+        assert_eq!(chain.total_written(), 256 * PAGE_SIZE);
+        assert_eq!(chain.image(), &base);
+
+        mem.write(p2m.lookup(Pfn(0)).unwrap(), 3);
+        let updated = MemoryImage::capture(&p2m, &mem);
+        chain.record_delta(updated.clone(), 64 * PAGE_SIZE, mem.epoch(), 1);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.delta_bytes(), &[64 * PAGE_SIZE]);
+        assert_eq!(chain.total_written(), (256 + 64) * PAGE_SIZE);
+        assert_eq!(chain.image(), &updated);
+        assert_eq!(chain.contents_epoch(), mem.epoch());
+
+        // A zero-dirty tick advances the epochs without a write.
+        mem.write(Mfn(1 << 20), 1);
+        chain.mark_current(mem.epoch(), 1);
+        assert_eq!(chain.contents_epoch(), mem.epoch());
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.total_written(), (256 + 64) * PAGE_SIZE);
     }
 
     #[test]

@@ -6,11 +6,14 @@
 
 use rh_guest::services::ServiceKind;
 use rh_sim::equeue::QueueKind;
+use rh_sim::time::SimDuration;
 
 use crate::domain::DomainSpec;
 use crate::timing::TimingParams;
 
-/// The three VMM rejuvenation strategies compared throughout the paper.
+/// The VMM rejuvenation strategies: the paper's three plus two
+/// disk-image refinements (streamed post-copy restore and incremental
+/// delta saves).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RebootStrategy {
     /// The paper's warm-VM reboot: on-memory suspend + quick reload.
@@ -19,6 +22,24 @@ pub enum RebootStrategy {
     Saved,
     /// Ordinary shutdown, hardware reset, boot.
     Cold,
+    /// Saved reboot with a post-copy restore: only the working set is
+    /// read before resume; the rest streams in while the guest serves
+    /// (degraded, Fig. 8-style).
+    Streamed,
+    /// Saved reboot with periodic background delta snapshots, so the
+    /// at-reboot save writes only extents dirtied since the last delta.
+    Incremental,
+}
+
+impl RebootStrategy {
+    /// All strategies, in paper-then-refinement order.
+    pub const ALL: [RebootStrategy; 5] = [
+        RebootStrategy::Warm,
+        RebootStrategy::Saved,
+        RebootStrategy::Cold,
+        RebootStrategy::Streamed,
+        RebootStrategy::Incremental,
+    ];
 }
 
 impl std::fmt::Display for RebootStrategy {
@@ -27,6 +48,8 @@ impl std::fmt::Display for RebootStrategy {
             RebootStrategy::Warm => write!(f, "warm"),
             RebootStrategy::Saved => write!(f, "saved"),
             RebootStrategy::Cold => write!(f, "cold"),
+            RebootStrategy::Streamed => write!(f, "streamed"),
+            RebootStrategy::Incremental => write!(f, "incremental"),
         }
     }
 }
@@ -37,6 +60,8 @@ impl From<RebootStrategy> for rh_obs::StrategyKind {
             RebootStrategy::Warm => rh_obs::StrategyKind::Warm,
             RebootStrategy::Saved => rh_obs::StrategyKind::Saved,
             RebootStrategy::Cold => rh_obs::StrategyKind::Cold,
+            RebootStrategy::Streamed => rh_obs::StrategyKind::Streamed,
+            RebootStrategy::Incremental => rh_obs::StrategyKind::Incremental,
         }
     }
 }
@@ -78,6 +103,17 @@ pub struct HostConfig {
     /// observationally identical (enforced by `crates/sim/tests/queue_props.rs`
     /// and `tests/determinism.rs`); this knob exists for benchmarking.
     pub event_queue: QueueKind,
+    /// Fraction of each image read before resume under
+    /// [`RebootStrategy::Streamed`] (the restored working set).
+    pub stream_working_set: f64,
+    /// Probability that a request touches only the restored working set
+    /// while a domain is still streaming; the complement of each
+    /// request's bytes is faulted in through the disk.
+    pub stream_locality: f64,
+    /// Interval between background delta snapshots under
+    /// [`RebootStrategy::Incremental`] (`None` disarms the ticker, so an
+    /// incremental reboot degenerates to a full saved reboot).
+    pub snapshot_interval: Option<SimDuration>,
 }
 
 impl HostConfig {
@@ -93,6 +129,9 @@ impl HostConfig {
             probes: false,
             guest_aging: false,
             event_queue: QueueKind::default(),
+            stream_working_set: 0.15,
+            stream_locality: 0.9,
+            snapshot_interval: None,
         }
     }
 
@@ -155,6 +194,25 @@ impl HostConfig {
         self
     }
 
+    /// Overrides the streamed-restore working-set fraction (clamped to
+    /// `(0, 1]`; a full working set makes Streamed behave like Saved).
+    pub fn with_stream_working_set(mut self, fraction: f64) -> Self {
+        self.stream_working_set = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Overrides the streaming request locality (clamped to `[0, 1]`).
+    pub fn with_stream_locality(mut self, locality: f64) -> Self {
+        self.stream_locality = locality.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Arms (or disarms) the background delta-snapshot ticker.
+    pub fn with_snapshot_interval(mut self, interval: Option<SimDuration>) -> Self {
+        self.snapshot_interval = interval;
+        self
+    }
+
     /// Installed RAM in GiB.
     pub fn ram_gib(&self) -> f64 {
         self.ram_bytes as f64 / (1u64 << 30) as f64
@@ -211,5 +269,31 @@ mod tests {
         assert_eq!(RebootStrategy::Warm.to_string(), "warm");
         assert_eq!(RebootStrategy::Saved.to_string(), "saved");
         assert_eq!(RebootStrategy::Cold.to_string(), "cold");
+        assert_eq!(RebootStrategy::Streamed.to_string(), "streamed");
+        assert_eq!(RebootStrategy::Incremental.to_string(), "incremental");
+    }
+
+    #[test]
+    fn strategy_display_matches_obs_kind() {
+        for s in RebootStrategy::ALL {
+            let kind: rh_obs::StrategyKind = s.into();
+            assert_eq!(s.to_string(), kind.name(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_knob_defaults_and_clamps() {
+        let c = HostConfig::paper_testbed();
+        assert!((c.stream_working_set - 0.15).abs() < 1e-12);
+        assert!((c.stream_locality - 0.9).abs() < 1e-12);
+        assert_eq!(c.snapshot_interval, None);
+
+        let c = c
+            .with_stream_working_set(7.0)
+            .with_stream_locality(-0.5)
+            .with_snapshot_interval(Some(SimDuration::from_secs(120)));
+        assert!((c.stream_working_set - 1.0).abs() < 1e-12);
+        assert_eq!(c.stream_locality, 0.0);
+        assert_eq!(c.snapshot_interval, Some(SimDuration::from_secs(120)));
     }
 }

@@ -213,6 +213,20 @@ impl Domain {
         self.spec.mem_bytes as f64 / (1u64 << 30) as f64
     }
 
+    /// Pages actually mapped in the P2M right now. Differs from
+    /// [`mem_pages`](Self::mem_pages) when a balloon is inflated: the
+    /// spec still says the configured size, but ballooned-out pages are
+    /// no longer owned by the domain.
+    pub fn resident_pages(&self) -> u64 {
+        self.p2m.total_pages()
+    }
+
+    /// Resident memory in GiB (fractional) — the P2M-mapped size, which
+    /// excludes ballooned-out pages.
+    pub fn resident_gib(&self) -> f64 {
+        (self.p2m.total_pages() * rh_memory::frame::PAGE_SIZE) as f64 / (1u64 << 30) as f64
+    }
+
     /// True if the guest kernel is running and its service (if any) is
     /// serving — i.e. the domain is observable as "up" from the network.
     pub fn service_up(&self) -> bool {

@@ -121,6 +121,8 @@ impl HostSim {
                 RebootStrategy::Warm => host.warm_reboot(sched),
                 RebootStrategy::Cold => host.cold_reboot(sched),
                 RebootStrategy::Saved => host.saved_reboot(sched),
+                RebootStrategy::Streamed => host.streamed_reboot(sched),
+                RebootStrategy::Incremental => host.incremental_reboot(sched),
             }
         }
         let ok = self.run_until(DEFAULT_WAIT_CAP, |h| h.reports().len() > reports_before);
@@ -629,6 +631,248 @@ mod tests {
             "driver downtime {drv_dt:.1}s vs warm {warm_dt:.1}s"
         );
         assert!(report.corrupted.is_empty(), "suspended guests stay intact");
+    }
+
+    #[test]
+    fn ballooned_domain_survives_warm_reboot_intact() {
+        // Regression: a domain with an inflated balloon (pages handed back
+        // to the VMM) has a P2M table smaller than its spec. The frozen
+        // digest must cover exactly the mapped pseudo-physical pages —
+        // never the ballooned-out frames the domain no longer owns — and
+        // the warm path must preserve the shrunk image bit-for-bit.
+        let mut sim = booted_host(2, ServiceKind::Ssh);
+        let id = sim.host().domu_ids()[0];
+        let mapped = sim.host().domain(id).unwrap().p2m.total_pages();
+        let quarter = mapped / 4;
+        sim.host_mut().balloon(id, -(quarter as i64)).unwrap();
+        let shrunk = sim.host().domain(id).unwrap().p2m.total_pages();
+        assert_eq!(shrunk, mapped - quarter);
+        let digest_before = sim.host().domain_digest(id).unwrap();
+        let report = sim.reboot_and_wait(RebootStrategy::Warm);
+        assert!(
+            report.corrupted.is_empty(),
+            "ballooned domain flagged corrupted: {report:?}"
+        );
+        let d = sim.host().domain(id).unwrap();
+        assert_eq!(d.kernel.resumes(), 1, "must resume, not cold boot");
+        assert_eq!(d.p2m.total_pages(), shrunk, "balloon survives the reboot");
+        assert_eq!(
+            sim.host().domain_digest(id).unwrap(),
+            digest_before,
+            "shrunk image changed across warm reboot"
+        );
+    }
+
+    #[test]
+    fn ballooned_domain_survives_saved_reboot_intact() {
+        // Regression: the saved image of a ballooned domain carries the
+        // shrunk P2M geometry, but the restore path used to recreate the
+        // shell at full spec size — `image.restore()` then failed with
+        // "restore geometry mismatch" and the domain was silently lost.
+        let mut sim = booted_host(2, ServiceKind::Ssh);
+        let id = sim.host().domu_ids()[0];
+        let mapped = sim.host().domain(id).unwrap().p2m.total_pages();
+        let quarter = mapped / 4;
+        sim.host_mut().balloon(id, -(quarter as i64)).unwrap();
+        let shrunk = sim.host().domain(id).unwrap().p2m.total_pages();
+        let digest_before = sim.host().domain_digest(id).unwrap();
+        let report = sim.reboot_and_wait(RebootStrategy::Saved);
+        assert!(
+            sim.host().errors().is_empty(),
+            "saved reboot of ballooned domain errored: {:?}",
+            sim.host().errors()
+        );
+        assert!(report.corrupted.is_empty(), "{report:?}");
+        let d = sim.host().domain(id).unwrap();
+        assert_eq!(d.kernel.resumes(), 1, "must restore + resume, not be lost");
+        assert_eq!(
+            d.p2m.total_pages(),
+            shrunk,
+            "restored at the ballooned size"
+        );
+        assert_eq!(
+            sim.host().domain_digest(id).unwrap(),
+            digest_before,
+            "ballooned image changed across save/restore"
+        );
+    }
+
+    #[test]
+    fn streamed_reboot_resumes_early_then_streams_in_background() {
+        // Tentpole: a post-copy restore reads only the working set before
+        // resume, so downtime shrinks vs the full saved restore — and the
+        // residual image keeps faulting in after the reboot completes.
+        let mut saved_sim = booted_host(4, ServiceKind::Ssh);
+        let saved_dt = saved_sim
+            .reboot_and_wait(RebootStrategy::Saved)
+            .mean_downtime();
+        let saved_restore = saved_sim
+            .host()
+            .metrics
+            .duration_of(rh_obs::Phase::Restore)
+            .unwrap();
+
+        let mut sim = booted_host(4, ServiceKind::Ssh);
+        let report = sim.reboot_and_wait(RebootStrategy::Streamed);
+        assert_eq!(report.strategy, RebootStrategy::Streamed);
+        assert!(
+            report.corrupted.is_empty(),
+            "streamed restore corrupted images: {report:?}"
+        );
+        let dt = report.mean_downtime();
+        assert!(
+            dt.as_secs_f64() < saved_dt.as_secs_f64() - 12.0,
+            "streamed {dt} !<< saved {saved_dt}"
+        );
+        // The pre-resume restore reads only the working set (plus the
+        // contention of already-resumed domains streaming their residuals).
+        let restore = sim
+            .host()
+            .metrics
+            .duration_of(rh_obs::Phase::Restore)
+            .unwrap();
+        assert!(
+            restore.as_secs_f64() < 0.5 * saved_restore.as_secs_f64(),
+            "streamed restore {restore} vs saved {saved_restore}"
+        );
+        // The Fig. 8 window: residual images are still streaming when the
+        // services are already back up.
+        assert_eq!(sim.host().stats.counter("stream.started"), 4);
+        assert!(
+            !sim.host().streaming_domains().is_empty(),
+            "stream-in must outlive the reboot"
+        );
+        let ok = sim.run_until(DEFAULT_WAIT_CAP, |h| h.streaming_domains().is_empty());
+        assert!(ok, "stream-in never drained");
+        assert_eq!(sim.host().stats.counter("stream.completed"), 4);
+        let stream_in = sim
+            .host()
+            .metrics
+            .duration_of(rh_obs::Phase::StreamIn)
+            .expect("stream-in phase recorded");
+        assert!(stream_in.as_secs_f64() > 1.0, "stream-in = {stream_in}");
+    }
+
+    #[test]
+    fn reads_during_streaming_are_degraded_by_locality() {
+        // Fig. 8-style degradation: while a domain is still streaming,
+        // the non-local fraction of each read faults its pages in through
+        // the disk, so lower locality means lower observed throughput.
+        use crate::domain::DomainSpec;
+        use rh_guest::fs::FileSet;
+        let run = |locality: f64| {
+            let spec = DomainSpec::standard("big", ServiceKind::ApacheWeb)
+                .with_mem_bytes(2 << 30)
+                .with_files(FileSet::single_large_file());
+            let cfg = HostConfig::paper_testbed()
+                .with_domain(spec)
+                .with_stream_locality(locality);
+            let mut sim = HostSim::new(cfg);
+            sim.power_on_and_wait();
+            let id = DomainId(1);
+            // The whole file is cached, so with perfect locality the
+            // post-reboot read never touches the disk.
+            sim.host_mut().warm_cache(id, 1);
+            sim.reboot_and_wait(RebootStrategy::Streamed);
+            assert!(
+                sim.host().streaming_domains().contains(&id),
+                "domain must still be streaming"
+            );
+            let tput = sim.file_read_and_wait(id, 0);
+            (tput, sim.host().stats.counter("stream.fault_bytes"))
+        };
+        let (local_tput, local_faults) = run(1.0);
+        let (faulty_tput, faults) = run(0.5);
+        assert_eq!(local_faults, 0, "perfect locality must not fault");
+        assert!(faults > 0, "locality 0.5 must fault pages in");
+        assert!(
+            faulty_tput < local_tput,
+            "locality 0.5 tput {faulty_tput:.0} !< locality 1.0 {local_tput:.0}"
+        );
+    }
+
+    #[test]
+    fn incremental_save_writes_only_dirty_extents_after_snapshots() {
+        // Tentpole: with the background delta ticker armed, the at-reboot
+        // save writes only extents dirtied since the last snapshot instead
+        // of the full images.
+        let cfg = HostConfig::paper_testbed()
+            .with_vms(2, ServiceKind::Ssh)
+            .with_snapshot_interval(Some(SimDuration::from_secs(30)));
+        let mut sim = HostSim::new(cfg);
+        sim.power_on_and_wait();
+        let ids = sim.host().domu_ids();
+        // A modest dirty writer on vm1 (few enough writes between ticks to
+        // stay inside the dirty log); vm2 stays idle.
+        {
+            let (host, sched) = sim.sim.parts_mut();
+            host.start_dirty_writer(sched, ids[0], 4, SimDuration::from_secs(10));
+        }
+        sim.run_for(SimDuration::from_secs(125));
+        let stats = &sim.host().stats;
+        assert!(
+            stats.counter("snapshot.delta") >= 2,
+            "base snapshots + deltas captured: {}",
+            stats.counter("snapshot.delta")
+        );
+        assert!(
+            stats.counter("snapshot.clean_tick") >= 1,
+            "idle vm2 must take clean ticks"
+        );
+        for id in &ids {
+            assert!(sim.host().delta_chain(*id).is_some(), "{id} has a chain");
+        }
+        let report = sim.reboot_and_wait(RebootStrategy::Incremental);
+        assert_eq!(report.strategy, RebootStrategy::Incremental);
+        assert!(report.corrupted.is_empty(), "{report:?}");
+        let full: u64 = 2 * (1 << 30);
+        let saved_bytes = sim.host().stats.counter("incremental.save_bytes");
+        assert!(
+            saved_bytes < full / 16,
+            "at-reboot save wrote {saved_bytes} of {full} bytes"
+        );
+    }
+
+    #[test]
+    fn incremental_without_snapshots_degenerates_to_a_full_save() {
+        // No ticker armed: there are no delta chains, so the incremental
+        // save has to write the full images — byte-for-byte a saved reboot.
+        let mut sim = booted_host(2, ServiceKind::Ssh);
+        let report = sim.reboot_and_wait(RebootStrategy::Incremental);
+        assert!(report.corrupted.is_empty(), "{report:?}");
+        let full: u64 = 2 * (1 << 30);
+        let saved_bytes = sim.host().stats.counter("incremental.save_bytes");
+        assert_eq!(saved_bytes, full, "degenerate save must write everything");
+
+        let saved_dt = booted_host(2, ServiceKind::Ssh)
+            .reboot_and_wait(RebootStrategy::Saved)
+            .mean_downtime();
+        let dt = report.mean_downtime();
+        let diff = (dt.as_secs_f64() - saved_dt.as_secs_f64()).abs();
+        assert!(diff < 1.0, "incremental {dt} vs saved {saved_dt}");
+    }
+
+    #[test]
+    fn incremental_reboot_with_snapshots_beats_saved_downtime() {
+        // The headline win: a warm delta chain turns the save phase from
+        // minutes of full-image writes into seconds of dirty extents.
+        let saved_dt = booted_host(3, ServiceKind::Ssh)
+            .reboot_and_wait(RebootStrategy::Saved)
+            .mean_downtime();
+
+        let cfg = HostConfig::paper_testbed()
+            .with_vms(3, ServiceKind::Ssh)
+            .with_snapshot_interval(Some(SimDuration::from_secs(60)));
+        let mut sim = HostSim::new(cfg);
+        sim.power_on_and_wait();
+        sim.run_for(SimDuration::from_secs(180));
+        let report = sim.reboot_and_wait(RebootStrategy::Incremental);
+        assert!(report.corrupted.is_empty(), "{report:?}");
+        let dt = report.mean_downtime();
+        assert!(
+            dt.as_secs_f64() < saved_dt.as_secs_f64() - 20.0,
+            "incremental {dt} !<< saved {saved_dt}"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ use rh_sim::resource::{JobId, PsResource, Retick};
 use rh_sim::rng::SimRng;
 use rh_sim::time::{SimDuration, SimTime};
 use rh_storage::disk::{Disk, IoKind};
-use rh_storage::image::MemoryImage;
+use rh_storage::image::{dirty_extent_bytes, DeltaChain, MemoryImage};
 use rh_storage::partition::{PartitionId, PartitionTable};
 
 use crate::config::{HostConfig, RebootStrategy, SuspendOrder};
@@ -64,6 +64,8 @@ pub enum HostEvent {
     ProbeTick,
     /// A guest's dirty-page writer fires.
     DirtyTick(DomainId),
+    /// Periodic background delta snapshot (incremental strategy).
+    SnapshotTick,
 }
 
 /// Lifecycle operations that flow through the work pipeline.
@@ -109,6 +111,10 @@ enum DiskPurpose {
     RestoreImage(DomainId),
     RequestMiss(u64),
     FileRead(DomainId),
+    /// Background post-copy fault-in of a streamed domain's residual image.
+    StreamIn(DomainId),
+    /// Background delta-snapshot write (incremental strategy).
+    SnapshotDelta(DomainId),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +223,18 @@ struct SavedDomain {
     snapshot: Domain,
 }
 
+/// A background delta snapshot whose disk write is in flight.
+#[derive(Debug, Clone)]
+struct PendingSnapshot {
+    image: MemoryImage,
+    bytes: u64,
+    contents_epoch: u64,
+    p2m_epoch: u64,
+    /// True when this is a full (re)base rather than a delta on an
+    /// existing chain.
+    full: bool,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Request {
     dom: DomainId,
@@ -264,12 +282,22 @@ pub struct Host {
     work: BTreeMap<DomainId, WorkState>,
     run: Option<RebootRun>,
     saved: BTreeMap<DomainId, SavedDomain>,
+    /// Domains resumed from a partial (working-set) restore whose residual
+    /// image is still streaming in from disk — served degraded meanwhile.
+    streaming: BTreeSet<DomainId>,
+    /// Per-domain incremental snapshot chains (consolidated image + write
+    /// ledger).
+    delta_chains: BTreeMap<DomainId, DeltaChain>,
+    /// Delta snapshots whose disk write has not completed yet.
+    pending_snapshots: BTreeMap<DomainId, PendingSnapshot>,
     meters: BTreeMap<DomainId, DowntimeMeter>,
     probes: BTreeMap<DomainId, ProbeLog>,
     httperf: Option<(DomainId, HttperfClient)>,
     requests: BTreeMap<u64, Request>,
     next_req: u64,
-    file_reads: BTreeMap<DomainId, (SimTime, u64)>,
+    /// Pending guest file reads: start, logical bytes, and the memory-copy
+    /// tail still owed after any disk stage (zero on the cache-miss path).
+    file_reads: BTreeMap<DomainId, (SimTime, u64, SimDuration)>,
     file_read_results: Vec<FileReadResult>,
     /// Phase timeline of the most recent reboot (Fig. 7 data).
     pub metrics: RebootMetrics,
@@ -357,6 +385,9 @@ impl Host {
             work: BTreeMap::new(),
             run: None,
             saved: BTreeMap::new(),
+            streaming: BTreeSet::new(),
+            delta_chains: BTreeMap::new(),
+            pending_snapshots: BTreeMap::new(),
             meters,
             probes,
             httperf: None,
@@ -654,6 +685,22 @@ impl Host {
         self.run.is_some()
     }
 
+    /// Domains whose residual image is still streaming in from disk after
+    /// a streamed (post-copy) resume.
+    pub fn streaming_domains(&self) -> &BTreeSet<DomainId> {
+        &self.streaming
+    }
+
+    /// A domain's incremental snapshot chain, if one has been based.
+    pub fn delta_chain(&self, id: DomainId) -> Option<&DeltaChain> {
+        self.delta_chains.get(&id)
+    }
+
+    /// True while any background delta-snapshot write is in flight.
+    pub fn snapshot_in_flight(&self) -> bool {
+        !self.pending_snapshots.is_empty()
+    }
+
     /// Digest of a domain's current memory image.
     pub fn domain_digest(&self, id: DomainId) -> Option<u64> {
         self.domains
@@ -838,6 +885,9 @@ impl Host {
         if self.cfg.probes {
             sched.schedule_in(self.t.probe_interval, HostEvent::ProbeTick);
         }
+        if let Some(interval) = self.cfg.snapshot_interval {
+            sched.schedule_in(interval, HostEvent::SnapshotTick);
+        }
     }
 
     /// Initiates the paper's warm-VM reboot.
@@ -922,14 +972,45 @@ impl Host {
     ///
     /// Panics if a reboot is already in progress.
     pub fn saved_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        self.disked_reboot(sched, RebootStrategy::Saved);
+    }
+
+    /// Initiates a streamed (post-copy) reboot: identical to a saved
+    /// reboot up to the restore, which reads only each image's working
+    /// set before resuming; the residual pages stream in from disk while
+    /// the guest serves (degraded by cache misses meanwhile, Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reboot is already in progress.
+    pub fn streamed_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        self.disked_reboot(sched, RebootStrategy::Streamed);
+    }
+
+    /// Initiates an incremental reboot: a saved reboot whose at-reboot
+    /// save writes only the extents dirtied since the last background
+    /// delta snapshot (arm the ticker with
+    /// [`HostConfig::with_snapshot_interval`](crate::config::HostConfig::with_snapshot_interval);
+    /// with no chain based yet, the save degenerates to a full one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reboot is already in progress.
+    pub fn incremental_reboot(&mut self, sched: &mut Scheduler<HostEvent>) {
+        self.disked_reboot(sched, RebootStrategy::Incremental);
+    }
+
+    /// Shared entry for the strategies that park guest images on disk
+    /// across the hardware reset (saved / streamed / incremental).
+    fn disked_reboot(&mut self, sched: &mut Scheduler<HostEvent>, strategy: RebootStrategy) {
         assert!(self.run.is_none(), "reboot already in progress");
         let now = sched.now();
         self.trace
-            .emit(now, Event::RebootCommanded(RebootStrategy::Saved.into()));
-        self.stats.inc("reboot.commanded.saved");
+            .emit(now, Event::RebootCommanded(strategy.into()));
+        self.stats.inc(&format!("reboot.commanded.{strategy}"));
         self.metrics.clear();
         self.phase_begin(now, Phase::Reboot);
-        self.run = Some(RebootRun::new(RebootStrategy::Saved, now));
+        self.run = Some(RebootRun::new(strategy, now));
         self.phase_begin(now, Phase::Save);
         // Original Xen: dom0 suspends and saves every guest while it is
         // still up; its own shutdown comes after the saves.
@@ -990,6 +1071,10 @@ impl Host {
             }
         }
         self.file_reads.clear();
+        // In-flight streams and delta snapshots died with their disk jobs;
+        // the chains survive on disk but go stale at the next restore.
+        self.streaming.clear();
+        self.pending_snapshots.clear();
         // Any half-done single-domain rejuvenations died with the host.
         self.single_rejuvs.clear();
         for id in &ids {
@@ -1044,6 +1129,8 @@ impl Host {
             }
         }
         self.file_reads.clear();
+        self.streaming.clear();
+        self.pending_snapshots.clear();
         self.single_rejuvs.clear();
         let ids: Vec<DomainId> = self.domains.keys().copied().collect();
         for id in ids {
@@ -1222,18 +1309,35 @@ impl Host {
         let fs = dom.fs.as_ref().expect("domain has no filesystem").clone();
         let plan = fs.plan_read(&mut dom.cache, file);
         let bytes = plan.total_bytes();
-        self.file_reads.insert(id, (now, bytes));
-        if plan.miss_bytes == 0 {
+        // Post-copy degradation: the non-local fraction of the read faults
+        // its pages in from the streaming image first.
+        let fault_bytes = if self.streaming.contains(&id) {
+            bytes as f64 * (1.0 - self.cfg.stream_locality)
+        } else {
+            0.0
+        };
+        if fault_bytes > 0.0 {
+            self.stats.add("stream.fault_bytes", fault_bytes as u64);
+        }
+        let memcpy = SimDuration::from_secs_f64(bytes as f64 / self.t.mem_bandwidth_bps);
+        // A faulting read still copies the whole file out of memory after
+        // the fault-in; without this tail a small fault at a fast disk
+        // would finish *before* the warm-cache read it degrades.
+        let faulting = fault_bytes > 0.0;
+        let tail = if faulting { memcpy } else { SimDuration::ZERO };
+        self.file_reads.insert(id, (now, bytes, tail));
+        if plan.miss_bytes == 0 && !faulting {
             // Pure memory read: finishes after bytes / memcpy bandwidth.
             // Completion is routed through a timer event; handle() matches
             // the pending entry in `file_reads` before the work table.
-            let dur = SimDuration::from_secs_f64(bytes as f64 / self.t.mem_bandwidth_bps);
-            sched.schedule_in(dur, HostEvent::WorkFixedDone(id, WorkTag::ResumeHandler));
+            sched.schedule_in(memcpy, HostEvent::WorkFixedDone(id, WorkTag::ResumeHandler));
         } else {
-            fs.commit_read(&mut dom.cache, file);
-            self.account_read(id, plan.miss_bytes as f64);
+            if plan.miss_bytes > 0 {
+                fs.commit_read(&mut dom.cache, file);
+                self.account_read(id, plan.miss_bytes as f64);
+            }
             let slow = self.vmm.xenstored().io_slowdown();
-            let work = plan.miss_bytes as f64 / self.t.file_read_efficiency * slow;
+            let work = (plan.miss_bytes as f64 / self.t.file_read_efficiency + fault_bytes) * slow;
             let job = self.disk.submit(now, IoKind::Read, work);
             self.disk_jobs.insert(job, DiskPurpose::FileRead(id));
             self.rearm_disk(sched);
@@ -1396,7 +1500,9 @@ impl Host {
                 Some(DiskPurpose::SaveImage(id)) => self.on_save_written(sched, id),
                 Some(DiskPurpose::RestoreImage(id)) => self.on_restore_read(sched, id),
                 Some(DiskPurpose::RequestMiss(rid)) => self.on_request_disk_done(sched, rid),
-                Some(DiskPurpose::FileRead(id)) => self.finish_file_read(sched, id),
+                Some(DiskPurpose::FileRead(id)) => self.on_file_read_disk_done(sched, id),
+                Some(DiskPurpose::StreamIn(id)) => self.on_stream_in_done(sched, id),
+                Some(DiskPurpose::SnapshotDelta(id)) => self.on_snapshot_written(sched, id),
                 None => {}
             }
         }
@@ -1484,7 +1590,9 @@ impl Host {
         self.phase_end_if_open(sched.now(), Phase::GuestShutdown);
         match strategy {
             RebootStrategy::Warm => self.begin_quick_reload(sched),
-            RebootStrategy::Saved => self.after_saves(sched),
+            RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental => {
+                self.after_saves(sched)
+            }
             RebootStrategy::Cold => self.maybe_start_reset(sched),
         }
     }
@@ -1648,12 +1756,10 @@ impl Host {
             match strategy {
                 RebootStrategy::Cold => self.begin_guest_shutdown(sched, id),
                 // Driver domains "cannot be suspended" (paper §7): even the
-                // warm and saved paths must shut them down like the cold
-                // path, losing their memory images.
-                RebootStrategy::Warm | RebootStrategy::Saved if is_driver => {
-                    self.begin_guest_shutdown(sched, id)
-                }
-                RebootStrategy::Warm | RebootStrategy::Saved => {
+                // warm and disk-image paths must shut them down like the
+                // cold path, losing their memory images.
+                _ if is_driver => self.begin_guest_shutdown(sched, id),
+                _ => {
                     let Some(dom) = self.domains.get_mut(&id) else {
                         continue;
                     };
@@ -1682,7 +1788,9 @@ impl Host {
             let strategy = run.strategy;
             match strategy {
                 RebootStrategy::Warm => self.begin_quick_reload(sched),
-                RebootStrategy::Saved => self.after_saves(sched),
+                RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental => {
+                    self.after_saves(sched)
+                }
                 RebootStrategy::Cold => {
                     self.phase_end_if_open(sched.now(), Phase::GuestShutdown);
                     self.maybe_start_reset(sched);
@@ -1734,10 +1842,27 @@ impl Host {
                     self.begin_quick_reload(sched);
                 }
             }
-            Some(RebootStrategy::Saved) => {
-                // Capture the logical image and stream it to disk.
+            Some(
+                RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental,
+            ) => {
+                // Capture the logical image and stream it to disk. An
+                // incremental save writes only the extents dirtied since
+                // the domain's delta chain was last current (plus the
+                // exec-state record); no current chain means a full save.
                 let image = MemoryImage::capture(&dom.p2m, &self.contents);
-                let bytes = image.size_bytes() as f64;
+                let full_bytes = image.size_bytes();
+                let write_bytes = if strategy == Some(RebootStrategy::Incremental) {
+                    let dirty = match self.delta_chains.get(&id) {
+                        Some(chain) if chain.p2m_epoch() == dom.p2m.epoch() => {
+                            dirty_extent_bytes(&dom.p2m, &self.contents, chain.contents_epoch())
+                        }
+                        _ => full_bytes,
+                    };
+                    self.stats.add("incremental.save_bytes", dirty);
+                    (dirty + self.t.exec_state_bytes) as f64
+                } else {
+                    full_bytes as f64
+                };
                 let Some(exec) = dom.exec_state else {
                     self.errors
                         .push(VmmError::BadDomainState(id, "save without exec state"));
@@ -1753,7 +1878,7 @@ impl Host {
                     },
                 );
                 self.domains.insert(id, dom);
-                let job = self.disk.submit(sched.now(), IoKind::Write, bytes);
+                let job = self.disk.submit(sched.now(), IoKind::Write, write_bytes);
                 self.disk_jobs.insert(job, DiskPurpose::SaveImage(id));
                 self.rearm_disk(sched);
                 self.trace.emit(sched.now(), Event::SaveStarted(id.into()));
@@ -1807,11 +1932,15 @@ impl Host {
         self.phase_end_if_open(sched.now(), Phase::Suspend);
         self.phase_begin(sched.now(), Phase::QuickReload);
         self.vmm.set_down();
+        // Size the frozen set from the P2M (resident pages), not the spec:
+        // a domain with an inflated balloon no longer owns the ballooned-out
+        // pseudo-physical pages, and they must not be counted (or digested)
+        // as part of the frozen image.
         let preserved_gib: f64 = self
             .domains
             .values()
             .filter(|d| !d.id.is_dom0() && d.exec_state.is_some())
-            .map(|d| d.mem_gib())
+            .map(|d| d.resident_gib())
             .sum();
         // Account the preserved metadata exactly (P2M tables at 2 MB/GB +
         // 16 KB exec slots), via the machine layout model.
@@ -1819,7 +1948,7 @@ impl Host {
             .domains
             .values()
             .filter(|d| !d.id.is_dom0() && d.exec_state.is_some())
-            .map(|d| (d.id.0, d.spec.mem_bytes))
+            .map(|d| (d.id.0, d.resident_pages() * rh_memory::frame::PAGE_SIZE))
             .collect();
         let layout =
             rh_memory::layout::MemoryLayout::plan(64 << 20, &frozen, self.t.exec_state_bytes);
@@ -1967,7 +2096,9 @@ impl Host {
         let setup_empty = run.setup_queue.is_empty();
         let phase = match run.strategy {
             RebootStrategy::Warm => Phase::Resume,
-            RebootStrategy::Saved => Phase::Restore,
+            RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental => {
+                Phase::Restore
+            }
             RebootStrategy::Cold => Phase::GuestBoot,
         };
         self.phase_begin(sched.now(), phase);
@@ -1985,10 +2116,11 @@ impl Host {
         };
         let strategy = run.strategy;
         // Warm resumes and cold creates are dom0-serialized but their
-        // in-guest work overlaps; saved restores are fully serial — Xen's
-        // `xm restore` streams one whole image back at a time, so the next
-        // restore starts only after this one's disk read completes.
-        if !run.setup_queue.is_empty() && strategy != RebootStrategy::Saved {
+        // in-guest work overlaps; disk-image restores are fully serial —
+        // Xen's `xm restore` streams one image back at a time, so the next
+        // restore starts only after this one's disk read completes (for a
+        // streamed restore, the *foreground* working-set read).
+        if !run.setup_queue.is_empty() && !Self::restores_from_disk(strategy) {
             self.sched_reboot(sched, self.t.domain_create, RebootStep::NextDomainSetup);
         }
         let is_driver = self
@@ -1998,7 +2130,7 @@ impl Host {
             .unwrap_or(false);
         match strategy {
             RebootStrategy::Cold => self.setup_cold_boot(sched, id),
-            RebootStrategy::Warm | RebootStrategy::Saved if is_driver => {
+            _ if is_driver => {
                 // The driver domain lost its image; rebuild it cold.
                 self.setup_cold_boot(sched, id)
             }
@@ -2019,7 +2151,7 @@ impl Host {
                     self.setup_cold_boot(sched, id);
                 }
             }
-            RebootStrategy::Saved => {
+            RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental => {
                 let Some(saved) = self.saved.get(&id) else {
                     // No image on disk (the guest was dead before the
                     // reboot): bring it back cold and keep the serial
@@ -2036,10 +2168,17 @@ impl Host {
                     return;
                 };
                 // Recreate the domain shell from its snapshot and stream
-                // the image back from disk.
+                // the image back from disk. A streamed restore reads only
+                // the working set before resume; the residual pages are
+                // kicked off as a background stream once this read lands.
                 let mut dom = saved.snapshot.clone();
-                let bytes = saved.image.size_bytes() as f64;
-                match self.vmm.create_domain_empty(&mut dom) {
+                let full = saved.image.size_bytes() as f64;
+                let bytes = if strategy == RebootStrategy::Streamed {
+                    (full * self.cfg.stream_working_set).max(1.0)
+                } else {
+                    full
+                };
+                match self.vmm.create_domain_empty(&mut dom, saved.image.pages()) {
                     Ok(()) => {
                         self.domains.insert(id, dom);
                         let job = self.disk.submit(sched.now(), IoKind::Read, bytes);
@@ -2072,6 +2211,7 @@ impl Host {
         let Some(saved) = self.saved.remove(&id) else {
             return;
         };
+        let total_bytes = saved.image.size_bytes();
         // Direct field access (not dom_mut) so contents stays borrowable.
         let Some(dom) = self.domains.get_mut(&id) else {
             return;
@@ -2100,8 +2240,30 @@ impl Host {
                 false
             }
         };
+        // Post-copy: the working set is resident and the guest resumes
+        // now; the residual image streams in behind it. The *logical*
+        // contents were restored in full above — the stream models disk
+        // occupancy and the fault-in window, never a correctness gap (the
+        // postcopy protocol checker guards the never-serve-unvalidated
+        // invariant at the page level).
+        if restored && self.run.as_ref().map(|r| r.strategy) == Some(RebootStrategy::Streamed) {
+            let residual = total_bytes as f64 * (1.0 - self.cfg.stream_working_set);
+            if residual > 0.0 {
+                let was_streaming = !self.streaming.is_empty();
+                self.streaming.insert(id);
+                let job = self.disk.submit(sched.now(), IoKind::Read, residual);
+                self.disk_jobs.insert(job, DiskPurpose::StreamIn(id));
+                self.rearm_disk(sched);
+                self.stats.inc("stream.started");
+                self.trace
+                    .emit(sched.now(), Event::StreamStarted(id.into()));
+                if !was_streaming {
+                    self.phase_begin(sched.now(), Phase::StreamIn);
+                }
+            }
+        }
         // Serial restore: kick the next domain's restore now that this
-        // image is fully read back.
+        // image('s working set) is fully read back.
         let more = self
             .run
             .as_ref()
@@ -2113,6 +2275,117 @@ impl Host {
         if !restored {
             self.maybe_finish_reboot(sched);
         }
+    }
+
+    /// A streamed domain's residual image finished faulting in: it is
+    /// fully resident again and serves at full speed.
+    fn on_stream_in_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        if !self.streaming.remove(&id) {
+            return; // stale completion (crash cleared the stream)
+        }
+        self.stats.inc("stream.completed");
+        self.trace
+            .emit(sched.now(), Event::StreamCompleted(id.into()));
+        if self.streaming.is_empty() {
+            self.phase_end_if_open(sched.now(), Phase::StreamIn);
+        }
+    }
+
+    /// True for the strategies whose restore path reads images back from
+    /// disk one at a time (saved and both refinements).
+    fn restores_from_disk(strategy: RebootStrategy) -> bool {
+        matches!(
+            strategy,
+            RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental
+        )
+    }
+
+    /// One background snapshot round: for every running domain U, write
+    /// the extents dirtied since its chain was last current (a full base
+    /// when no current chain exists). Quiesced while a reboot is in
+    /// flight; a domain whose previous snapshot write is still on the
+    /// disk is skipped this round.
+    fn on_snapshot_tick(&mut self, sched: &mut Scheduler<HostEvent>) {
+        let Some(interval) = self.cfg.snapshot_interval else {
+            return; // ticker disarmed
+        };
+        sched.schedule_in(interval, HostEvent::SnapshotTick);
+        if self.run.is_some() || !self.vmm.is_running() {
+            return;
+        }
+        for id in self.domu_ids() {
+            if self.pending_snapshots.contains_key(&id) {
+                continue;
+            }
+            let Some(dom) = self.domains.get(&id) else {
+                continue;
+            };
+            if !dom.kernel.is_running() {
+                continue;
+            }
+            let dirty =
+                match self.delta_chains.get(&id) {
+                    // A restore rebuilds the P2M (new epoch), so chains go
+                    // conservatively stale across reboots: full re-base.
+                    Some(chain) if chain.p2m_epoch() == dom.p2m.epoch() => Some(
+                        dirty_extent_bytes(&dom.p2m, &self.contents, chain.contents_epoch()),
+                    ),
+                    _ => None,
+                };
+            let contents_epoch = self.contents.epoch();
+            let p2m_epoch = dom.p2m.epoch();
+            if dirty == Some(0) {
+                // Provably clean since the chain's epoch: advance the
+                // chain without touching the disk.
+                if let Some(chain) = self.delta_chains.get_mut(&id) {
+                    chain.mark_current(contents_epoch, p2m_epoch);
+                }
+                self.stats.inc("snapshot.clean_tick");
+                continue;
+            }
+            let image = MemoryImage::capture(&dom.p2m, &self.contents);
+            let full = dirty.is_none();
+            let bytes = dirty.unwrap_or_else(|| image.size_bytes());
+            self.pending_snapshots.insert(
+                id,
+                PendingSnapshot {
+                    image,
+                    bytes,
+                    contents_epoch,
+                    p2m_epoch,
+                    full,
+                },
+            );
+            let job = self.disk.submit(sched.now(), IoKind::Write, bytes as f64);
+            self.disk_jobs.insert(job, DiskPurpose::SnapshotDelta(id));
+        }
+        self.rearm_disk(sched);
+    }
+
+    /// A background snapshot's disk write landed: fold it into the
+    /// domain's chain.
+    fn on_snapshot_written(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let Some(p) = self.pending_snapshots.remove(&id) else {
+            return; // stale completion (crash cleared the snapshot)
+        };
+        match self.delta_chains.get_mut(&id) {
+            Some(chain) if !p.full => {
+                chain.record_delta(p.image, p.bytes, p.contents_epoch, p.p2m_epoch)
+            }
+            _ => {
+                self.delta_chains
+                    .insert(id, DeltaChain::new(p.image, p.contents_epoch, p.p2m_epoch));
+            }
+        }
+        self.stats.inc("snapshot.delta");
+        self.stats.add("snapshot.bytes", p.bytes);
+        self.trace.emit(
+            sched.now(),
+            Event::DeltaSnapshot {
+                dom: id.into(),
+                bytes: p.bytes,
+            },
+        );
     }
 
     fn on_resume_handler_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
@@ -2250,8 +2523,10 @@ impl Host {
                     self.begin_quick_reload(sched);
                 }
             }
-            RebootStrategy::Saved => self.maybe_start_reset(sched),
-            RebootStrategy::Cold => self.maybe_start_reset(sched),
+            RebootStrategy::Saved
+            | RebootStrategy::Streamed
+            | RebootStrategy::Incremental
+            | RebootStrategy::Cold => self.maybe_start_reset(sched),
         }
     }
 
@@ -2263,7 +2538,9 @@ impl Host {
         }
         let phase = match run.strategy {
             RebootStrategy::Warm => Phase::Resume,
-            RebootStrategy::Saved => Phase::Restore,
+            RebootStrategy::Saved | RebootStrategy::Streamed | RebootStrategy::Incremental => {
+                Phase::Restore
+            }
             RebootStrategy::Cold => Phase::GuestBoot,
         };
         self.phase_end_if_open(sched.now(), phase);
@@ -2337,11 +2614,26 @@ impl Host {
                     issued: now,
                 },
             );
-            if plan.miss_bytes > 0 {
-                fs.commit_read(&mut dom.cache, file);
-                self.account_read(target, plan.miss_bytes as f64);
+            // While the domain's residual image is still streaming in, the
+            // non-local fraction of every request faults its pages in
+            // through the disk first (post-copy degradation, Fig. 8).
+            let fault_bytes = if self.streaming.contains(&target) {
+                bytes as f64 * (1.0 - self.cfg.stream_locality)
+            } else {
+                0.0
+            };
+            if fault_bytes > 0.0 {
+                self.stats.add("stream.fault_bytes", fault_bytes as u64);
+            }
+            if plan.miss_bytes > 0 || fault_bytes > 0.0 {
+                if plan.miss_bytes > 0 {
+                    fs.commit_read(&mut dom.cache, file);
+                    self.account_read(target, plan.miss_bytes as f64);
+                }
                 let slow = self.vmm.xenstored().io_slowdown();
-                let work = plan.miss_bytes as f64 / self.t.file_read_efficiency * slow * os_slow;
+                let work = (plan.miss_bytes as f64 / self.t.file_read_efficiency + fault_bytes)
+                    * slow
+                    * os_slow;
                 let job = self.disk.submit(now, IoKind::Read, work);
                 self.disk_jobs.insert(job, DiskPurpose::RequestMiss(rid));
             } else {
@@ -2415,8 +2707,22 @@ impl Host {
         self.rearm_net(sched);
     }
 
+    /// The disk stage of a faulting/missing file read finished; pay the
+    /// remaining memory-copy tail (if any) before reporting the result.
+    fn on_file_read_disk_done(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
+        let Some(entry) = self.file_reads.get_mut(&id) else {
+            return;
+        };
+        let tail = std::mem::replace(&mut entry.2, SimDuration::ZERO);
+        if tail == SimDuration::ZERO {
+            self.finish_file_read(sched, id);
+        } else {
+            sched.schedule_in(tail, HostEvent::WorkFixedDone(id, WorkTag::ResumeHandler));
+        }
+    }
+
     fn finish_file_read(&mut self, sched: &mut Scheduler<HostEvent>, id: DomainId) {
-        let Some((start, bytes)) = self.file_reads.remove(&id) else {
+        let Some((start, bytes, _)) = self.file_reads.remove(&id) else {
             return;
         };
         self.file_read_results.push(FileReadResult {
@@ -2489,6 +2795,7 @@ impl World for Host {
             HostEvent::HttperfKick => self.on_httperf_kick(sched),
             HostEvent::ProbeTick => self.on_probe_tick(sched),
             HostEvent::DirtyTick(id) => self.on_dirty_tick(sched, id),
+            HostEvent::SnapshotTick => self.on_snapshot_tick(sched),
         }
     }
 }

@@ -296,12 +296,15 @@ impl Vmm {
 
     /// Creates a domain's memory mapping *without* initializing contents —
     /// the restore path allocates empty frames and fills them from the
-    /// saved image afterwards.
+    /// saved image afterwards. `pages` is the saved image's geometry, not
+    /// the spec size: a domain saved with an inflated balloon owns fewer
+    /// pages than its spec says, and restoring it spec-sized would make
+    /// the image's page count mismatch the recreated shell.
     ///
     /// # Errors
     ///
     /// Propagates allocator/heap exhaustion.
-    pub fn create_domain_empty(&mut self, dom: &mut Domain) -> Result<(), VmmError> {
+    pub fn create_domain_empty(&mut self, dom: &mut Domain, pages: u64) -> Result<(), VmmError> {
         if !dom.p2m.is_empty() {
             return Err(VmmError::BadDomainState(
                 dom.id,
@@ -309,7 +312,7 @@ impl Vmm {
             ));
         }
         let alloc = self.heap.alloc(HEAP_PER_DOMAIN)?;
-        let frames = match self.ram.allocate(dom.mem_pages()) {
+        let frames = match self.ram.allocate(pages) {
             Ok(f) => f,
             Err(e) => {
                 self.heap.free(alloc);

@@ -50,6 +50,19 @@ if ! grep -q "I7 single-recovery" "$smoke_dir/fleet_buggy.txt"; then
     exit 1
 fi
 
+echo "==> rh-lint postcopy (stream-in invariants P1/P2, DESIGN.md §15)"
+cargo run -q --release -p rh-lint --offline -- postcopy
+if cargo run -q --release -p rh-lint --offline -- \
+    postcopy --buggy > "$smoke_dir/postcopy_buggy.txt" 2>&1; then
+    echo "FAIL: postcopy --buggy must produce a P1 counterexample" >&2
+    exit 1
+fi
+if ! grep -q "P1 validated-before-serve" "$smoke_dir/postcopy_buggy.txt"; then
+    echo "FAIL: postcopy --buggy counterexample must cite P1" >&2
+    cat "$smoke_dir/postcopy_buggy.txt" >&2
+    exit 1
+fi
+
 echo "==> model-checker --jobs determinism smoke (jobs 1 vs 4)"
 cargo run -q --release -p rh-lint --offline -- \
     protocol --domains 4 --jobs 1 > "$smoke_dir/mc_seq.txt"
@@ -67,6 +80,15 @@ cargo run -q --release -p rh-lint --offline -- \
 if ! cmp -s "$smoke_dir/fleet_seq.txt" "$smoke_dir/fleet_par.txt"; then
     echo "FAIL: fleet --jobs 4 output differs from --jobs 1" >&2
     diff "$smoke_dir/fleet_seq.txt" "$smoke_dir/fleet_par.txt" >&2 || true
+    exit 1
+fi
+cargo run -q --release -p rh-lint --offline -- \
+    postcopy --jobs 1 > "$smoke_dir/pc_seq.txt"
+cargo run -q --release -p rh-lint --offline -- \
+    postcopy --jobs 4 > "$smoke_dir/pc_par.txt"
+if ! cmp -s "$smoke_dir/pc_seq.txt" "$smoke_dir/pc_par.txt"; then
+    echo "FAIL: postcopy --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/pc_seq.txt" "$smoke_dir/pc_par.txt" >&2 || true
     exit 1
 fi
 
@@ -122,6 +144,17 @@ cargo run -q --release -p rh-bench --bin faults --offline -- \
 if ! cmp -s "$smoke_dir/faults_seq.txt" "$smoke_dir/faults_par.txt"; then
     echo "FAIL: faults --jobs 2 output differs from --jobs 1" >&2
     diff "$smoke_dir/faults_seq.txt" "$smoke_dir/faults_par.txt" >&2 || true
+    exit 1
+fi
+
+echo "==> frontier --jobs 4 determinism smoke (strategy frontier sweep)"
+cargo run -q --release -p rh-bench --bin frontier --offline -- \
+    --quick --jobs 4 > "$smoke_dir/frontier_par.txt"
+cargo run -q --release -p rh-bench --bin frontier --offline -- \
+    --quick --jobs 1 > "$smoke_dir/frontier_seq.txt"
+if ! cmp -s "$smoke_dir/frontier_seq.txt" "$smoke_dir/frontier_par.txt"; then
+    echo "FAIL: frontier --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/frontier_seq.txt" "$smoke_dir/frontier_par.txt" >&2 || true
     exit 1
 fi
 

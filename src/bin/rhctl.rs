@@ -1,7 +1,7 @@
 //! `rhctl` — a small operator-style CLI over the simulated host.
 //!
 //! ```text
-//! rhctl reboot  [--strategy warm|cold|saved] [--vms N] [--service ssh|jboss|web]
+//! rhctl reboot  [--strategy warm|cold|saved|streamed|incremental] [--vms N] [--service ssh|jboss|web]
 //! rhctl crash   [--vms N]
 //! rhctl policy  [--weeks N] [--vms N]
 //! rhctl plan    [--hosts M] [--downtime SECS] [--max-down K]
@@ -44,7 +44,11 @@ fn parse_strategy(args: &[String]) -> RebootStrategy {
         None | Some("warm") => RebootStrategy::Warm,
         Some("cold") => RebootStrategy::Cold,
         Some("saved") => RebootStrategy::Saved,
-        Some(other) => die(&format!("unknown strategy {other:?} (warm|cold|saved)")),
+        Some("streamed") => RebootStrategy::Streamed,
+        Some("incremental") => RebootStrategy::Incremental,
+        Some(other) => die(&format!(
+            "unknown strategy {other:?} (warm|cold|saved|streamed|incremental)"
+        )),
     }
 }
 
@@ -57,7 +61,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rhctl <command> [flags]\n\
          commands:\n\
-           reboot  [--strategy warm|cold|saved] [--vms N] [--service ssh|jboss|web]\n\
+           reboot  [--strategy warm|cold|saved|streamed|incremental]\n\
+                   [--vms N] [--service ssh|jboss|web]\n\
            crash   [--vms N]\n\
            policy  [--weeks N] [--vms N]\n\
            plan    [--hosts M] [--downtime SECS] [--max-down K]"
