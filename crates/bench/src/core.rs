@@ -59,6 +59,9 @@ const EARLY_OUT_CALLS: u64 = 1_000_000;
 /// Full digests per rehash sample (keeps each sample ≥ 1 ms so the
 /// best-of-N estimate is stable against scheduler jitter).
 const DIGEST_REPS: u64 = 8;
+/// Hosts in the `fleet/steady` workload (~22k VM arrivals over its
+/// horizon; event count measured by an untimed run).
+const FLEET_HOSTS: u32 = 300;
 
 /// One timed benchmark: its best sample and the work done per sample.
 #[derive(Debug, Clone)]
@@ -244,7 +247,25 @@ pub fn run_suite(samples: u32) -> Vec<CoreBenchResult> {
         }
         hits
     });
+
+    // A steady-state fleet workload (arrivals, placements, departures,
+    // aging crashes across FLEET_HOSTS cells) — the rh-fleet layer's
+    // cost on top of the flat core. One untimed run counts the events.
+    let fleet_events = fleet_steady();
+    timed("fleet/steady", fleet_events, "events", &mut || {
+        fleet_steady()
+    });
     results
+}
+
+/// One deterministic campaign-free fleet run; returns events fired.
+fn fleet_steady() -> u64 {
+    let cfg = rh_fleet::config::FleetConfig::datacenter(FLEET_HOSTS);
+    let report = rh_fleet::sim::FleetSimulation::new(cfg)
+        // lint:allow(unwrap-panic): FleetConfig::datacenter always validates
+        .expect("datacenter config is valid")
+        .run();
+    report.events
 }
 
 /// Reads this process's peak resident set size (VmHWM) in bytes.

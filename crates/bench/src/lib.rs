@@ -17,6 +17,7 @@
 //! | [`ablations`] | DESIGN.md ablations (suspend ordering, reservation order, driver domains) |
 //! | [`reliability`] | proactive vs adaptive vs reactive rejuvenation under injected aging |
 //! | [`frontier`] | DESIGN.md §15 — the 5-strategy downtime/degradation frontier |
+//! | [`fleet`] | DESIGN.md §16 — datacenter fleet: placement × campaign SLA sweep |
 //!
 //! The [`json`] module is the in-tree JSON emitter/validator behind the
 //! `BENCH_repro.json` run records (string escaping, NaN→null hardening,
@@ -51,6 +52,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod frontier;
 pub mod json;
 pub mod reliability;

@@ -1,0 +1,114 @@
+//! The fleet's rolling-campaign decision rule.
+//!
+//! [`WaveDriver`] generalizes [`SerialDriver`](rh_cluster::driver::SerialDriver)
+//! from one-at-a-time to wave-parallel: it starts pending hosts in index
+//! order until the fleet's down count reaches `max_down`, counting each
+//! start it hands out. Unlike `SerialDriver` it does **not** stall behind
+//! a `Recovering` host — a crashed host is simply skipped this poll and
+//! retried once it serves again, while later hosts proceed around it.
+//!
+//! The driver is a plain [`CampaignDriver`], so the `rh-lint fleet` model
+//! checker explores it event-by-event against the same I6/I7 invariants it
+//! proves for `SerialDriver` — the fleet simulation and the checker share
+//! the decision rule, not just its description.
+
+use rh_cluster::driver::{CampaignDriver, FleetView, HostPhase};
+
+/// Wave-parallel campaign rule: start pending serving hosts in index order
+/// while the down count (including the starts issued this poll) stays
+/// under `max_down`.
+///
+/// I6-safe under any subset of its starts: each start is counted against
+/// the down budget before it is offered. I7-safe by construction: only
+/// `Serving` hosts are ever offered, so a recovering host cannot be handed
+/// a second reboot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaveDriver;
+
+impl CampaignDriver for WaveDriver {
+    fn eligible_starts(&self, view: &FleetView<'_>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut down = view.down();
+        for (h, completed) in view.completed.iter().enumerate() {
+            if down >= view.max_down {
+                break;
+            }
+            if *completed || view.phases[h] != HostPhase::Serving {
+                continue;
+            }
+            out.push(h as u32);
+            down += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_the_down_budget_in_index_order() {
+        let phases = vec![HostPhase::Serving; 6];
+        let completed = vec![false; 6];
+        let starts = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, 3));
+        assert_eq!(starts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn counts_existing_down_hosts_against_the_budget() {
+        let phases = vec![
+            HostPhase::Rebooting,
+            HostPhase::Serving,
+            HostPhase::Recovering,
+            HostPhase::Serving,
+        ];
+        let completed = vec![false; 4];
+        // Two hosts already down; budget 3 leaves room for exactly one.
+        let starts = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, 3));
+        assert_eq!(starts, vec![1]);
+        // Budget exhausted → nothing.
+        let starts = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, 2));
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn skips_a_recovering_host_instead_of_stalling() {
+        let phases = vec![
+            HostPhase::Recovering,
+            HostPhase::Serving,
+            HostPhase::Serving,
+        ];
+        let completed = vec![false; 3];
+        // SerialDriver would return nothing here; the wave moves on.
+        let starts = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, 2));
+        assert_eq!(starts, vec![1]);
+    }
+
+    #[test]
+    fn skips_completed_hosts() {
+        let phases = vec![HostPhase::Serving; 4];
+        let completed = vec![true, true, false, true];
+        let starts = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, 2));
+        assert_eq!(starts, vec![2]);
+    }
+
+    #[test]
+    fn safe_under_any_subset_of_its_starts() {
+        // Apply only a strict subset of the offered starts, re-poll, and
+        // check the union never exceeds the budget — the CampaignDriver
+        // contract the model checker exercises.
+        let mut phases = vec![HostPhase::Serving; 8];
+        let completed = vec![false; 8];
+        let max_down = 3;
+        let starts = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, max_down));
+        // Apply only the *last* offered start.
+        phases[*starts.last().unwrap() as usize] = HostPhase::Rebooting;
+        let again = WaveDriver.eligible_starts(&FleetView::new(&phases, &completed, max_down));
+        let down_if_all_applied = 1 + again.len() as u32;
+        assert!(down_if_all_applied <= max_down);
+        for h in again {
+            assert_eq!(phases[h as usize], HostPhase::Serving);
+        }
+    }
+}

@@ -18,14 +18,20 @@
 //!   ReHype-style microreboot would tear down the very state the recovery
 //!   is rebuilding.
 //!
-//! With the correct [`SerialDriver`] both invariants hold across all
-//! interleavings, including a crash mid-campaign. With
-//! [`OverlapBugDriver`] (`rh-lint fleet --buggy-overlap`) — a poll-based
-//! rule that watches reboot windows instead of host phases — BFS finds the
-//! shortest I7 counterexample: start a host, crash it mid-reboot, and the
-//! next poll re-issues the start while recovery is in flight. The trace
-//! prints through the same [`rh_obs::render_numbered`] path as protocol
-//! counterexamples and simulator runs.
+//! The campaign rule under test is selected by [`DriverKind`]
+//! (`rh-lint fleet --driver serial|wave|buggy-overlap`). With the correct
+//! [`SerialDriver`] both invariants hold across all interleavings,
+//! including a crash mid-campaign; the same goes for the scheduler-driven
+//! [`rh_fleet::campaign::WaveDriver`] that `rh-fleet` rolls real
+//! datacenter campaigns with — it fills the whole `max_down` budget per
+//! poll and skips (rather than stalls behind) recovering hosts, so
+//! checking it here proves the fleet simulator's waves can never overdraw
+//! the SLA headroom under any crash interleaving. With [`OverlapBugDriver`]
+//! — a poll-based rule that watches reboot windows instead of host phases —
+//! BFS finds the shortest I7 counterexample: start a host, crash it
+//! mid-reboot, and the next poll re-issues the start while recovery is in
+//! flight. The trace prints through the same [`rh_obs::render_numbered`]
+//! path as protocol counterexamples and simulator runs.
 //!
 //! The fleet state space is small (hosts are *not* interchangeable — the
 //! serial campaign orders them), so this model uses neither symmetry nor
@@ -35,8 +41,58 @@
 use std::fmt;
 
 use rh_cluster::driver::{CampaignDriver, FleetView, HostPhase, OverlapBugDriver, SerialDriver};
+use rh_fleet::campaign::WaveDriver;
 
 use crate::explore::{self, Model, Options as ExploreOptions};
+
+/// Which campaign decision rule drives the model (`--driver`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverKind {
+    /// [`SerialDriver`] — one host at a time, stalls behind recoveries.
+    Serial,
+    /// [`WaveDriver`] — the `rh-fleet` scheduler rule: fills the whole
+    /// `max_down` budget each poll and skips recovering hosts.
+    Wave,
+    /// [`OverlapBugDriver`] — the poll bug; must yield an I7
+    /// counterexample whenever a crash is budgeted.
+    OverlapBug,
+}
+
+impl DriverKind {
+    /// Parses a `--driver` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings on anything else.
+    pub fn parse(s: &str) -> Result<DriverKind, String> {
+        match s {
+            "serial" => Ok(DriverKind::Serial),
+            "wave" => Ok(DriverKind::Wave),
+            "buggy-overlap" => Ok(DriverKind::OverlapBug),
+            other => Err(format!(
+                "--driver {other:?}: expected serial, wave, or buggy-overlap"
+            )),
+        }
+    }
+
+    fn build(self) -> Box<dyn CampaignDriver + Send + Sync> {
+        match self {
+            DriverKind::Serial => Box::new(SerialDriver),
+            DriverKind::Wave => Box::new(WaveDriver),
+            DriverKind::OverlapBug => Box::new(OverlapBugDriver),
+        }
+    }
+}
+
+impl fmt::Display for DriverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DriverKind::Serial => "serial",
+            DriverKind::Wave => "wave",
+            DriverKind::OverlapBug => "buggy-overlap",
+        })
+    }
+}
 
 /// Tunable parameters of the fleet model.
 #[derive(Debug, Clone)]
@@ -49,9 +105,8 @@ pub struct FleetConfig {
     /// Crash-injection budget: how many warm reboots may crash mid-flight
     /// across the whole campaign.
     pub max_crashes: u32,
-    /// Drive the campaign with [`OverlapBugDriver`] instead of
-    /// [`SerialDriver`] — must yield an I7 counterexample.
-    pub buggy_overlap: bool,
+    /// The campaign decision rule to check.
+    pub driver: DriverKind,
 }
 
 impl Default for FleetConfig {
@@ -60,7 +115,7 @@ impl Default for FleetConfig {
             hosts: 4,
             max_down: 1,
             max_crashes: 1,
-            buggy_overlap: false,
+            driver: DriverKind::Serial,
         }
     }
 }
@@ -175,14 +230,9 @@ struct FleetModel {
 
 impl FleetModel {
     fn new(cfg: &FleetConfig) -> FleetModel {
-        let driver: Box<dyn CampaignDriver + Send + Sync> = if cfg.buggy_overlap {
-            Box::new(OverlapBugDriver)
-        } else {
-            Box::new(SerialDriver)
-        };
         FleetModel {
             cfg: cfg.clone(),
-            driver,
+            driver: cfg.driver.build(),
         }
     }
 
@@ -360,30 +410,72 @@ mod tests {
     }
 
     #[test]
-    fn correct_driver_holds_across_fleet_shapes() {
-        for (hosts, max_down, max_crashes) in
-            [(1, 1, 0), (2, 1, 1), (3, 1, 2), (3, 2, 1), (5, 2, 2)]
-        {
-            let cfg = FleetConfig {
-                hosts,
-                max_down,
-                max_crashes,
-                buggy_overlap: false,
-            };
-            let result = explore(&cfg, &opts()).unwrap();
-            assert!(
-                result.passed(),
-                "{hosts} hosts / max_down {max_down} / {max_crashes} crash(es): {:?}",
-                result.violation
-            );
-            assert!(result.completed_campaigns >= 1);
+    fn correct_drivers_hold_across_fleet_shapes() {
+        // Both safe rules — the serial stall-behind-recovery driver and
+        // the rh-fleet wave driver that fills the whole max_down budget —
+        // satisfy I6/I7 on every interleaving of every shape, crashes
+        // included.
+        for driver in [DriverKind::Serial, DriverKind::Wave] {
+            for (hosts, max_down, max_crashes) in
+                [(1, 1, 0), (2, 1, 1), (3, 1, 2), (3, 2, 1), (5, 2, 2)]
+            {
+                let cfg = FleetConfig {
+                    hosts,
+                    max_down,
+                    max_crashes,
+                    driver,
+                };
+                let result = explore(&cfg, &opts()).unwrap();
+                assert!(
+                    result.passed(),
+                    "{driver}: {hosts} hosts / max_down {max_down} / {max_crashes} crash(es): {:?}",
+                    result.violation
+                );
+                assert!(result.completed_campaigns >= 1);
+            }
         }
+    }
+
+    #[test]
+    fn wave_driver_explores_wider_but_stays_safe() {
+        // With max_down 2 the wave driver offers two concurrent starts
+        // where the serial driver offers one, so its reachable state space
+        // is a strict superset — and every extra state still satisfies the
+        // invariants.
+        let shape = |driver| FleetConfig {
+            hosts: 5,
+            max_down: 2,
+            max_crashes: 1,
+            driver,
+        };
+        let serial = explore(&shape(DriverKind::Serial), &opts()).unwrap();
+        let wave = explore(&shape(DriverKind::Wave), &opts()).unwrap();
+        assert!(serial.passed() && wave.passed());
+        assert!(
+            wave.states > serial.states,
+            "wave {} vs serial {} states",
+            wave.states,
+            serial.states
+        );
+    }
+
+    #[test]
+    fn driver_kind_parses_and_displays() {
+        for (s, kind) in [
+            ("serial", DriverKind::Serial),
+            ("wave", DriverKind::Wave),
+            ("buggy-overlap", DriverKind::OverlapBug),
+        ] {
+            assert_eq!(DriverKind::parse(s).unwrap(), kind);
+            assert_eq!(kind.to_string(), s);
+        }
+        assert!(DriverKind::parse("parallel").is_err());
     }
 
     #[test]
     fn buggy_overlap_finds_the_shortest_i7_counterexample() {
         let cfg = FleetConfig {
-            buggy_overlap: true,
+            driver: DriverKind::OverlapBug,
             ..FleetConfig::default()
         };
         let result = explore(&cfg, &opts()).unwrap();
@@ -405,7 +497,7 @@ mod tests {
     #[test]
     fn buggy_overlap_counterexample_renders_numbered() {
         let cfg = FleetConfig {
-            buggy_overlap: true,
+            driver: DriverKind::OverlapBug,
             ..FleetConfig::default()
         };
         let result = explore(&cfg, &opts()).unwrap();
@@ -429,7 +521,7 @@ mod tests {
         // overlap bug is strictly a crash-recovery hazard.
         let cfg = FleetConfig {
             max_crashes: 0,
-            buggy_overlap: true,
+            driver: DriverKind::OverlapBug,
             ..FleetConfig::default()
         };
         let result = explore(&cfg, &opts()).unwrap();
@@ -442,9 +534,9 @@ mod tests {
 
     #[test]
     fn fleet_exploration_is_byte_identical_at_any_jobs() {
-        for buggy in [false, true] {
+        for driver in [DriverKind::Serial, DriverKind::Wave, DriverKind::OverlapBug] {
             let cfg = FleetConfig {
-                buggy_overlap: buggy,
+                driver,
                 ..FleetConfig::default()
             };
             let baseline = explore(&cfg, &opts()).unwrap();
@@ -457,7 +549,7 @@ mod tests {
                     },
                 )
                 .unwrap();
-                assert_eq!(baseline, parallel, "jobs={jobs} buggy={buggy}");
+                assert_eq!(baseline, parallel, "jobs={jobs} driver={driver}");
             }
         }
     }

@@ -7,7 +7,8 @@
 //!                  [--faults [--unsafe-recovery]]
 //!                  [--jobs N] [--max-states N] [--no-reduce]
 //! rh-lint fleet    [--hosts N] [--max-down N] [--crashes N]
-//!                  [--buggy-overlap] [--jobs N] [--max-states N] [--json]
+//!                  [--driver serial|wave|buggy-overlap] [--buggy-overlap]
+//!                  [--jobs N] [--max-states N] [--json]
 //! rh-lint postcopy [--domains N] [--pages N] [--working-set N] [--buggy]
 //!                  [--no-torn] [--jobs N] [--max-states N] [--no-reduce]
 //!                  [--json]
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 
 use rh_lint::diagnostics::violation_json;
 use rh_lint::explore::Options as ExploreOptions;
-use rh_lint::fleet::{self, FleetConfig};
+use rh_lint::fleet::{self, DriverKind, FleetConfig};
 use rh_lint::postcopy::{self, PostcopyConfig};
 use rh_lint::protocol::{explore, ProtocolConfig};
 use rh_lint::walk::find_workspace_root;
@@ -225,7 +226,15 @@ fn run_fleet(args: &[String]) -> Result<bool, String> {
                 opts.max_states = Some(parse_num(args.get(i + 1), "--max-states")?);
                 i += 1;
             }
-            "--buggy-overlap" => cfg.buggy_overlap = true,
+            "--driver" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--driver needs a value".to_string())?;
+                cfg.driver = DriverKind::parse(v)?;
+                i += 1;
+            }
+            // Pre-DriverKind spelling, kept as an alias.
+            "--buggy-overlap" => cfg.driver = DriverKind::OverlapBug,
             "--json" => json = true,
             other => return Err(format!("unknown fleet argument `{other}`")),
         }
@@ -235,11 +244,7 @@ fn run_fleet(args: &[String]) -> Result<bool, String> {
         return Err("--hosts must be in 1..=8 (the fleet model is explored raw)".to_string());
     }
     let result = fleet::explore(&cfg, &opts)?;
-    let driver = if cfg.buggy_overlap {
-        "buggy-overlap"
-    } else {
-        "serial"
-    };
+    let driver = cfg.driver;
     if json {
         let violation = match &result.violation {
             None => "null".to_string(),

@@ -39,6 +39,10 @@ trap 'rm -rf "$smoke_dir"' EXIT
 
 echo "==> rh-lint fleet (rolling-campaign invariants I6/I7, DESIGN.md §14)"
 cargo run -q --release -p rh-lint --offline -- fleet
+# The rh-fleet simulator's wave driver must satisfy the same invariants
+# under crash interleavings (it is the rule the datacenter campaigns run).
+cargo run -q --release -p rh-lint --offline -- \
+    fleet --driver wave --hosts 5 --max-down 2 --crashes 2
 if cargo run -q --release -p rh-lint --offline -- \
     fleet --buggy-overlap > "$smoke_dir/fleet_buggy.txt" 2>&1; then
     echo "FAIL: fleet --buggy-overlap must produce an I7 counterexample" >&2
@@ -155,6 +159,17 @@ cargo run -q --release -p rh-bench --bin frontier --offline -- \
 if ! cmp -s "$smoke_dir/frontier_seq.txt" "$smoke_dir/frontier_par.txt"; then
     echo "FAIL: frontier --jobs 4 output differs from --jobs 1" >&2
     diff "$smoke_dir/frontier_seq.txt" "$smoke_dir/frontier_par.txt" >&2 || true
+    exit 1
+fi
+
+echo "==> fleetbench --jobs 4 determinism smoke (datacenter fleet sweep)"
+cargo run -q --release -p rh-bench --bin fleetbench --offline -- \
+    --quick --jobs 4 > "$smoke_dir/fleet_bench_par.txt"
+cargo run -q --release -p rh-bench --bin fleetbench --offline -- \
+    --quick --jobs 1 > "$smoke_dir/fleet_bench_seq.txt"
+if ! cmp -s "$smoke_dir/fleet_bench_seq.txt" "$smoke_dir/fleet_bench_par.txt"; then
+    echo "FAIL: fleetbench --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/fleet_bench_seq.txt" "$smoke_dir/fleet_bench_par.txt" >&2 || true
     exit 1
 fi
 
