@@ -255,6 +255,12 @@ pub fn run_suite(samples: u32) -> Vec<CoreBenchResult> {
     timed("fleet/steady", fleet_events, "events", &mut || {
         fleet_steady()
     });
+
+    // A steady-state serverless cell (function-VM arrivals on one
+    // overcommitted host with balloon reclaim and a warm pool) — the
+    // rh-cell layer's cost, dominated by real P2M map/unmap traffic.
+    let cell_events = cell_steady();
+    timed("cell/steady", cell_events, "events", &mut || cell_steady());
     results
 }
 
@@ -265,6 +271,19 @@ fn fleet_steady() -> u64 {
         // lint:allow(unwrap-panic): FleetConfig::datacenter always validates
         .expect("datacenter config is valid")
         .run();
+    report.events
+}
+
+/// One deterministic cell run (balloon-reclaim at 1.5× overcommit);
+/// returns events processed.
+fn cell_steady() -> u64 {
+    let cfg = rh_cell::CellConfig::steady(rh_cell::ProvisionStrategy::BalloonReclaim, 1.5);
+    let report = rh_cell::CellSimulation::new(cfg)
+        // lint:allow(unwrap-panic): the steady preset always validates
+        .expect("steady cell config is valid")
+        .run()
+        // lint:allow(unwrap-panic): steady runs cannot fail mid-flight
+        .expect("steady cell run completes");
     report.events
 }
 

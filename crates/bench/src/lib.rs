@@ -18,6 +18,7 @@
 //! | [`reliability`] | proactive vs adaptive vs reactive rejuvenation under injected aging |
 //! | [`frontier`] | DESIGN.md §15 — the 5-strategy downtime/degradation frontier |
 //! | [`fleet`] | DESIGN.md §16 — datacenter fleet: placement × campaign SLA sweep |
+//! | [`cell`] | DESIGN.md §17 — serverless cell: cold-start latency vs overcommit per strategy |
 //!
 //! The [`json`] module is the in-tree JSON emitter/validator behind the
 //! `BENCH_repro.json` run records (string escaping, NaN→null hardening,
@@ -45,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod cell;
 pub mod core;
 pub mod exec;
 pub mod fig45;

@@ -356,6 +356,121 @@ fn crash_mid_delta_snapshot_recovers_and_incremental_still_saves() {
     assert!(sim.host().all_services_up());
 }
 
+#[test]
+fn crash_during_deflate_leaves_the_p2m_and_allocator_consistent() {
+    use rh_vmm::{dispatch_hooked, Domain, Hypercall, HypercallError, Vmm, VmmState};
+    use std::collections::BTreeMap;
+
+    // A guest grows back toward spec (balloon-in, the cell's revive
+    // deflate) and the VMM dies at the hypercall boundary. The crash
+    // lands before any frame moves: the P2M must keep its exact
+    // pre-call geometry, stay injective, and a recovered VMM must be
+    // able to retry the same deflate cleanly.
+    let mut vmm = Vmm::new(2 * rh_memory::frame::FRAMES_PER_GIB);
+    let mut contents = rh_memory::contents::FrameContents::new();
+    let mut domains = BTreeMap::new();
+    let mut guest = Domain::new(
+        DomainId(1),
+        DomainSpec::standard("fn-vm", ServiceKind::Ssh),
+        0,
+    );
+    vmm.create_domain(&mut guest, &mut contents)
+        .expect("guest fits");
+    domains.insert(DomainId(1), guest);
+
+    // Squeeze first, so the deflate has room to grow back into.
+    let spec_pages = domains[&DomainId(1)].p2m.total_pages();
+    rh_vmm::dispatch(
+        &mut vmm,
+        &mut domains,
+        &mut contents,
+        DomainId(1),
+        Hypercall::BalloonOut { pages: 4_096 },
+    )
+    .expect("balloon out succeeds");
+    let squeezed = domains[&DomainId(1)].p2m.total_pages();
+    assert_eq!(squeezed, spec_pages - 4_096);
+    let ranges_before = domains[&DomainId(1)].p2m.machine_ranges();
+
+    let plan = FaultPlan::new(31).arm(InjectPoint::Hypercall, Trigger::Nth(1), FaultKind::VmmCrash);
+    let mut hook = Injector::new(&plan);
+    let err = dispatch_hooked(
+        &mut vmm,
+        &mut domains,
+        &mut contents,
+        DomainId(1),
+        Hypercall::BalloonIn { pages: 4_096 },
+        &mut hook,
+        rh_sim::time::SimTime::ZERO,
+    )
+    .expect_err("the injected crash must abort the deflate");
+    assert!(matches!(err, HypercallError::Vmm(_)), "{err:?}");
+    assert_eq!(vmm.state(), VmmState::Down);
+
+    // Nothing moved: same page count, same machine frames, no overlap.
+    // (Recovery-side retry — a recovered host deflating the same guest
+    // back to spec — is covered end to end by the harness test below.)
+    let dom = &domains[&DomainId(1)];
+    assert_eq!(dom.p2m.total_pages(), squeezed);
+    assert_eq!(dom.p2m.machine_ranges(), ranges_before);
+    dom.p2m
+        .check_machine_disjoint()
+        .expect("P2M stayed injective across the crash");
+}
+
+#[test]
+fn ballooned_domain_survives_vmm_crash_and_deflates_after_recovery() {
+    // The cell's steady state: a guest squeezed by reclaim-under-pressure
+    // when the VMM crashes mid-warm-reboot. Recovery must salvage the
+    // shrunk geometry bit for bit (the frozen image carries the ballooned
+    // P2M), and the recovered host must still be able to deflate the
+    // guest back to spec.
+    let mut sim = booted_host(3, ServiceKind::Ssh);
+    let id = sim.host().domu_ids()[0];
+    let spec_pages = sim.host().domain(id).expect("exists").p2m.total_pages();
+    let squeeze = spec_pages / 4;
+    sim.host_mut()
+        .balloon(id, -(squeeze as i64))
+        .expect("squeeze succeeds");
+    let shrunk = sim.host().domain(id).expect("exists").p2m.total_pages();
+    let digest_before = sim.host().domain_digest(id).expect("digest");
+
+    let plan = FaultPlan::new(37).arm(
+        InjectPoint::SuspendEnd,
+        Trigger::Nth(2),
+        FaultKind::VmmCrash,
+    );
+    sim.host_mut()
+        .arm_fault_hook(Box::new(Injector::new(&plan)));
+    {
+        let (host, sched) = sim.simulation_mut().parts_mut();
+        host.warm_reboot(sched);
+    }
+    let report = watch_and_recover(&mut sim, &RecoveryConfig::new(RecoveryPolicy::Microreboot))
+        .expect("the crash is detected and recovered");
+    assert_eq!(report.salvaged.len(), 3, "{report}");
+    assert!(report.lost.is_empty(), "{report}");
+
+    let d = sim.host().domain(id).expect("exists");
+    assert_eq!(d.p2m.total_pages(), shrunk, "ballooned geometry salvaged");
+    assert_eq!(
+        sim.host().domain_digest(id).expect("digest"),
+        digest_before,
+        "squeezed image changed across crash + recovery"
+    );
+
+    // And the recovered host still serves the deflate path: grow the
+    // guest back to spec, frame accounting intact.
+    sim.host_mut()
+        .balloon(id, squeeze as i64)
+        .expect("deflate back to spec after recovery");
+    assert_eq!(
+        sim.host().domain(id).expect("exists").p2m.total_pages(),
+        spec_pages
+    );
+    assert!(sim.host().all_services_up());
+}
+
 fn service_generation(sim: &HostSim, id: DomainId) -> u64 {
     sim.host()
         .domain(id)

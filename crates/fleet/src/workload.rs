@@ -8,7 +8,9 @@
 //! config replays byte-identically. [`TraceWorkload`] replays a recorded
 //! arrival list — record a synthetic run once with
 //! [`TraceWorkload::record`], or load a trace from the plain-text format
-//! ([`TraceWorkload::parse`]) to drive the fleet from external data.
+//! ([`TraceWorkload::parse`] for strings, [`TraceWorkload::load`] /
+//! [`TraceWorkload::save`] for files) to drive the fleet from external
+//! data.
 
 use rh_sim::rng::SimRng;
 use rh_sim::time::{SimDuration, SimTime};
@@ -188,6 +190,32 @@ impl TraceWorkload {
     }
 }
 
+impl TraceWorkload {
+    /// Reads a trace from a plain-text file on disk (the dataset-reader
+    /// half of [`parse`](Self::parse) — external traces become replayable
+    /// fleet or cell workloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path for I/O failures, or the first
+    /// malformed line for format errors.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("trace {}: {e}", path.display()))?;
+        TraceWorkload::parse(&text).map_err(|e| format!("trace {}: {e}", path.display()))
+    }
+
+    /// Writes the trace to disk in the plain-text format, so a recorded
+    /// synthetic draw can be rerun later with [`load`](Self::load).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path on I/O failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), String> {
+        std::fs::write(path, self.render()).map_err(|e| format!("trace {}: {e}", path.display()))
+    }
+}
+
 impl WorkloadReader for TraceWorkload {
     fn next_arrival(&mut self) -> Option<VmArrival> {
         let r = self.records.get(self.next).copied();
@@ -278,6 +306,29 @@ mod tests {
         let trace = TraceWorkload::record(&mut w);
         let parsed = TraceWorkload::parse(&trace.render()).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let horizon = SimDuration::from_secs(200);
+        let mut w = SyntheticWorkload::new(cfg(), horizon, SimRng::from_seed(11));
+        let trace = TraceWorkload::record(&mut w);
+        let path = std::env::temp_dir().join(format!(
+            "rh-fleet-trace-{}-{}.txt",
+            std::process::id(),
+            trace.records().len()
+        ));
+        trace.save(&path).unwrap();
+        let loaded = TraceWorkload::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn trace_load_names_the_path_on_error() {
+        let err =
+            TraceWorkload::load(std::path::Path::new("/nonexistent/rh-trace.txt")).unwrap_err();
+        assert!(err.contains("/nonexistent/rh-trace.txt"), "{err}");
     }
 
     #[test]

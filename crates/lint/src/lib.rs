@@ -8,11 +8,12 @@
 //! ratcheted baseline ([`baseline`]) for pre-existing debt — plus a small
 //! explicit-state model-checking engine ([`explore`]: parallel
 //! deterministic BFS with symmetry and partial-order reduction) driving
-//! three models: the suspend → xexec → resume lifecycle of the warm-VM
+//! four models: the suspend → xexec → resume lifecycle of the warm-VM
 //! reboot ([`protocol`], paper §4.2–4.3), the cluster-level rolling
-//! rejuvenation campaign ([`fleet`], invariants I6/I7), and the post-copy
+//! rejuvenation campaign ([`fleet`], invariants I6/I7), the post-copy
 //! page-serving fault path of the streamed reboot ([`postcopy`],
-//! invariants P1/P2).
+//! invariants P1/P2), and the balloon / warm-reboot interaction of the
+//! serverless cell ([`balloon`], invariants I8/I9).
 //!
 //! Run it via the binary:
 //!
@@ -26,12 +27,15 @@
 //! cargo run -p rh-lint -- fleet --buggy-overlap  # must find the I7 bug
 //! cargo run -p rh-lint -- postcopy         # stream-in invariants P1/P2
 //! cargo run -p rh-lint -- postcopy --buggy # must find the early serve
+//! cargo run -p rh-lint -- balloon          # cell invariants I8/I9
+//! cargo run -p rh-lint -- balloon --buggy  # must find the torn image
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod balloon;
 pub mod baseline;
 pub mod diagnostics;
 pub mod explore;

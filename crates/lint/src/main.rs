@@ -12,6 +12,8 @@
 //! rh-lint postcopy [--domains N] [--pages N] [--working-set N] [--buggy]
 //!                  [--no-torn] [--jobs N] [--max-states N] [--no-reduce]
 //!                  [--json]
+//! rh-lint balloon  [--domains N] [--pages N] [--buggy] [--buggy-deflate]
+//!                  [--jobs N] [--max-states N] [--no-reduce] [--json]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/violations, 2 usage or internal error.
@@ -22,6 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rh_lint::balloon::{self, BalloonConfig};
 use rh_lint::diagnostics::violation_json;
 use rh_lint::explore::Options as ExploreOptions;
 use rh_lint::fleet::{self, DriverKind, FleetConfig};
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
         Some("protocol") => run_protocol(&args[1..]),
         Some("fleet") => run_fleet(&args[1..]),
         Some("postcopy") => run_postcopy(&args[1..]),
+        Some("balloon") => run_balloon(&args[1..]),
         _ => run_lint(&args),
     };
     match result {
@@ -343,6 +347,67 @@ fn run_postcopy(args: &[String]) -> Result<bool, String> {
             None => println!(
                 "all interleavings satisfy P1 validated-before-serve, \
                  P2 validated-content-intact"
+            ),
+            Some(v) => print!("{v}"),
+        }
+    }
+    Ok(result.passed())
+}
+
+fn run_balloon(args: &[String]) -> Result<bool, String> {
+    let mut cfg = BalloonConfig::default();
+    let mut opts = ExploreOptions::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--domains" => {
+                let n = parse_num(args.get(i + 1), "--domains")?;
+                cfg.domains = u32::try_from(n).map_err(|_| format!("--domains {n}: too large"))?;
+                i += 1;
+            }
+            "--pages" => {
+                let n = parse_num(args.get(i + 1), "--pages")?;
+                cfg.pages = u32::try_from(n).map_err(|_| format!("--pages {n}: too large"))?;
+                i += 1;
+            }
+            "--jobs" => {
+                opts.jobs = parse_num(args.get(i + 1), "--jobs")? as usize;
+                i += 1;
+            }
+            "--max-states" => {
+                opts.max_states = Some(parse_num(args.get(i + 1), "--max-states")?);
+                i += 1;
+            }
+            "--no-reduce" => opts.reduce = false,
+            "--buggy" => cfg.buggy_reclaim = true,
+            "--buggy-deflate" => cfg.buggy_deflate = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown balloon argument `{other}`")),
+        }
+        i += 1;
+    }
+    let result = balloon::explore(&cfg, &opts)?;
+    let mode = if opts.reduce { "symmetry+por" } else { "raw" };
+    if json {
+        let violation = match &result.violation {
+            None => "null".to_string(),
+            Some(v) => violation_json(&v.invariant, &v.detail, &v.trace),
+        };
+        println!(
+            "{{\"domains\":{},\"pages\":{},\"reduction\":\"{mode}\",\"states\":{},\"transitions\":{},\"completed_rounds\":{},\"violation\":{violation}}}",
+            cfg.domains, cfg.pages, result.states, result.transitions, result.completed_rounds
+        );
+    } else {
+        println!(
+            "balloon: {} domain(s), {} page(s) each, {} state(s), {} transition(s), \
+             {} completed rejuvenation round(s) [{mode}]",
+            cfg.domains, cfg.pages, result.states, result.transitions, result.completed_rounds
+        );
+        match &result.violation {
+            None => println!(
+                "all interleavings satisfy I8 frozen-frames-fenced, \
+                 I9 validated-before-map"
             ),
             Some(v) => print!("{v}"),
         }

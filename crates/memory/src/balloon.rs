@@ -31,6 +31,9 @@ pub enum BalloonError {
         /// Pages currently mapped.
         mapped: u64,
     },
+    /// The controller is frozen (a warm reboot holds the domain's image):
+    /// resize requests are rejected until [`BalloonController::thaw`].
+    Frozen,
 }
 
 impl fmt::Display for BalloonError {
@@ -42,6 +45,12 @@ impl fmt::Display for BalloonError {
                 f,
                 "balloon inflate of {requested} pages exceeds mapped {mapped}"
             ),
+            BalloonError::Frozen => {
+                write!(
+                    f,
+                    "balloon: domain image frozen by an in-flight warm reboot"
+                )
+            }
         }
     }
 }
@@ -125,6 +134,178 @@ impl Balloon {
         }
         self.inflated_pages = self.inflated_pages.saturating_sub(pages);
         Ok(())
+    }
+}
+
+/// Policy layer over [`Balloon`]: guest-cooperative resize targets,
+/// reclaim-under-pressure for the host, and deflate-on-demand with
+/// bounded latency (the pieces the serverless cell in `rh-cell` and the
+/// `rh-lint balloon` model exercise).
+///
+/// Mechanism stays in [`Balloon`]; the controller adds the three rules an
+/// overcommitted host needs:
+///
+/// * **Floor** — reclaim never shrinks the domain below `min_resident`
+///   pages, so a squeezed microVM keeps a viable working set.
+/// * **Freeze fence** — while a warm reboot holds the domain's frozen
+///   image ([`freeze`](Self::freeze)), reclaim refuses (returns 0) and
+///   explicit resizes error with [`BalloonError::Frozen`]. This is the
+///   mechanism-level half of invariant **I8** (a frozen frame is never
+///   balloon-reclaimed while a warm reboot is in flight); the protocol
+///   half is proved by `rh-lint balloon`.
+/// * **Partial deflate** — [`deflate_on_demand`](Self::deflate_on_demand)
+///   maps at most what the machine allocator can supply right now instead
+///   of failing outright, so the latency a blocked guest pays is bounded
+///   by the pages actually moved. Frames come from
+///   [`MachineMemory::allocate`], whose owner scrubs them before reuse —
+///   the digest-validation ordering itself (invariant **I9**) is checked
+///   by the `rh-lint balloon` model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalloonController {
+    balloon: Balloon,
+    min_resident: u64,
+    frozen: bool,
+    reclaimed_pages: u64,
+    deflated_pages: u64,
+}
+
+impl BalloonController {
+    /// A thawed controller that will never reclaim the domain below
+    /// `min_resident` resident pages.
+    pub fn new(min_resident: u64) -> Self {
+        BalloonController {
+            balloon: Balloon::new(),
+            min_resident,
+            frozen: false,
+            reclaimed_pages: 0,
+            deflated_pages: 0,
+        }
+    }
+
+    /// The reclaim floor, in pages.
+    pub fn min_resident(&self) -> u64 {
+        self.min_resident
+    }
+
+    /// Pages currently surrendered to the VMM.
+    pub fn inflated_pages(&self) -> u64 {
+        self.balloon.inflated_pages()
+    }
+
+    /// Total pages ever taken by [`reclaim_under_pressure`](Self::reclaim_under_pressure).
+    pub fn reclaimed_pages(&self) -> u64 {
+        self.reclaimed_pages
+    }
+
+    /// Total pages ever mapped by [`deflate_on_demand`](Self::deflate_on_demand).
+    pub fn deflated_pages(&self) -> u64 {
+        self.deflated_pages
+    }
+
+    /// True while a warm reboot holds the domain's image frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Fences the balloon for the duration of a warm reboot: the frozen
+    /// image's frames must stay exactly where the P2M table says they are.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Lifts the warm-reboot fence.
+    pub fn thaw(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Guest-cooperative resize: converges the domain toward `target`
+    /// resident pages (shrinks via inflate, grows via deflate) and returns
+    /// the signed page delta actually applied. A shrink target below the
+    /// floor is clamped to `min_resident`; a grow takes at most what the
+    /// allocator can supply (like [`deflate_on_demand`](Self::deflate_on_demand)).
+    ///
+    /// # Errors
+    ///
+    /// [`BalloonError::Frozen`] while fenced; propagates allocator/P2M
+    /// failures.
+    pub fn set_target(
+        &mut self,
+        p2m: &mut P2mTable,
+        ram: &mut MachineMemory,
+        target: u64,
+    ) -> Result<i64, BalloonError> {
+        if self.frozen {
+            return Err(BalloonError::Frozen);
+        }
+        let resident = p2m.total_pages();
+        if target < resident {
+            let take = resident - target.max(self.min_resident);
+            self.balloon.inflate(p2m, ram, take)?;
+            Ok(-(take as i64))
+        } else {
+            let want = target - resident;
+            let take = want.min(ram.free_frames());
+            if take > 0 {
+                self.balloon.deflate(p2m, ram, take)?;
+            }
+            Ok(take as i64)
+        }
+    }
+
+    /// Host-side reclaim: inflates by up to `want` pages, never below the
+    /// floor and never while frozen, returning the pages actually freed.
+    /// Policy refusals (frozen, at the floor) are `Ok(0)`, not errors —
+    /// the host treats them as "this domain has nothing to give" and
+    /// moves on to the next candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator/P2M failures only.
+    pub fn reclaim_under_pressure(
+        &mut self,
+        p2m: &mut P2mTable,
+        ram: &mut MachineMemory,
+        want: u64,
+    ) -> Result<u64, BalloonError> {
+        if self.frozen {
+            return Ok(0);
+        }
+        let spare = p2m.total_pages().saturating_sub(self.min_resident);
+        let take = want.min(spare);
+        if take == 0 {
+            return Ok(0);
+        }
+        self.balloon.inflate(p2m, ram, take)?;
+        self.reclaimed_pages += take;
+        Ok(take)
+    }
+
+    /// Guest-demand deflate with bounded latency: maps up to `pages`
+    /// fresh frames, taking at most what the allocator holds free right
+    /// now, and returns the pages actually mapped. The caller charges
+    /// latency proportional to the return value — a short supply means a
+    /// short (partial) deflate, never an unbounded stall.
+    ///
+    /// # Errors
+    ///
+    /// [`BalloonError::Frozen`] while fenced; propagates allocator/P2M
+    /// failures.
+    pub fn deflate_on_demand(
+        &mut self,
+        p2m: &mut P2mTable,
+        ram: &mut MachineMemory,
+        pages: u64,
+    ) -> Result<u64, BalloonError> {
+        if self.frozen {
+            return Err(BalloonError::Frozen);
+        }
+        let take = pages.min(ram.free_frames());
+        if take == 0 {
+            return Ok(0);
+        }
+        self.balloon.deflate(p2m, ram, take)?;
+        self.deflated_pages += take;
+        Ok(take)
     }
 }
 
@@ -231,5 +412,85 @@ mod tests {
         assert!(e2.to_string().contains("balloon"));
         let e3: BalloonError = MemoryError::AlreadyAllocated(FrameRange::new(Mfn(0), 1)).into();
         assert!(e3.to_string().contains("allocated"));
+        assert!(BalloonError::Frozen.to_string().contains("frozen"));
+    }
+
+    fn controller_setup(
+        total: u64,
+        domain: u64,
+        floor: u64,
+    ) -> (P2mTable, MachineMemory, BalloonController) {
+        let (p2m, ram, _) = setup(total, domain);
+        (p2m, ram, BalloonController::new(floor))
+    }
+
+    #[test]
+    fn reclaim_respects_the_floor() {
+        let (mut p2m, mut ram, mut c) = controller_setup(1000, 500, 100);
+        let got = c
+            .reclaim_under_pressure(&mut p2m, &mut ram, 10_000)
+            .unwrap();
+        assert_eq!(got, 400, "only down to the floor");
+        assert_eq!(p2m.total_pages(), 100);
+        assert_eq!(c.reclaimed_pages(), 400);
+        // At the floor there is nothing left to give.
+        assert_eq!(c.reclaim_under_pressure(&mut p2m, &mut ram, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn frozen_controller_refuses_reclaim_and_rejects_resizes() {
+        let (mut p2m, mut ram, mut c) = controller_setup(1000, 500, 100);
+        c.freeze();
+        assert!(c.is_frozen());
+        // The I8 fence: a frozen image gives up nothing, silently.
+        assert_eq!(c.reclaim_under_pressure(&mut p2m, &mut ram, 50).unwrap(), 0);
+        assert_eq!(p2m.total_pages(), 500);
+        // Explicit resizes are caller bugs while frozen.
+        assert_eq!(
+            c.set_target(&mut p2m, &mut ram, 300).unwrap_err(),
+            BalloonError::Frozen
+        );
+        assert_eq!(
+            c.deflate_on_demand(&mut p2m, &mut ram, 10).unwrap_err(),
+            BalloonError::Frozen
+        );
+        c.thaw();
+        assert_eq!(
+            c.reclaim_under_pressure(&mut p2m, &mut ram, 50).unwrap(),
+            50
+        );
+    }
+
+    #[test]
+    fn set_target_converges_both_directions() {
+        let (mut p2m, mut ram, mut c) = controller_setup(1000, 500, 100);
+        assert_eq!(c.set_target(&mut p2m, &mut ram, 200).unwrap(), -300);
+        assert_eq!(p2m.total_pages(), 200);
+        assert_eq!(c.inflated_pages(), 300);
+        assert_eq!(c.set_target(&mut p2m, &mut ram, 450).unwrap(), 250);
+        assert_eq!(p2m.total_pages(), 450);
+        // A target below the floor clamps at the floor.
+        assert_eq!(c.set_target(&mut p2m, &mut ram, 0).unwrap(), -350);
+        assert_eq!(p2m.total_pages(), 100);
+        p2m.check_machine_disjoint().unwrap();
+        ram.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deflate_on_demand_is_partial_when_memory_is_short() {
+        // 600-frame machine, 500 mapped: after reclaiming 200 only the
+        // freed frames plus the original 100 spare are available, and a
+        // competing 250-frame allocation leaves 50.
+        let (mut p2m, mut ram, mut c) = controller_setup(600, 500, 100);
+        c.reclaim_under_pressure(&mut p2m, &mut ram, 200).unwrap();
+        let competing = ram.allocate(250).unwrap();
+        let got = c.deflate_on_demand(&mut p2m, &mut ram, 200).unwrap();
+        assert_eq!(got, 50, "bounded by free frames, not an error");
+        assert_eq!(c.deflated_pages(), 50);
+        assert_eq!(ram.free_frames(), 0);
+        // Nothing free at all: a zero-page deflate, still not an error.
+        assert_eq!(c.deflate_on_demand(&mut p2m, &mut ram, 10).unwrap(), 0);
+        ram.release(&competing).unwrap();
+        p2m.check_machine_disjoint().unwrap();
     }
 }

@@ -39,5 +39,7 @@ pub use event::{DomId, Event, RecoveryKind, StrategyKind};
 pub use log::{render_numbered, EventLog, EventRecord};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use phase::Phase;
+/// Re-exported so latency consumers (cell, fleet) need only rh-obs.
+pub use rh_sim::histogram::LatencyHistogram;
 pub use span::{WallProfile, WallSpan};
 pub use timeline::{PhaseSpan, Timeline};

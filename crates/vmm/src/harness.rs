@@ -698,6 +698,37 @@ mod tests {
     }
 
     #[test]
+    fn reclaim_under_pressure_squeezes_in_order_and_skips_frozen_images() {
+        use crate::domain::ExecState;
+        let mut sim = booted_host(3, ServiceKind::Ssh);
+        let ids = sim.host().domu_ids();
+        let spec = sim.host().domain(ids[0]).unwrap().p2m.total_pages();
+        let floor = spec / 2;
+        // Freeze the first candidate as a warm reboot would (exec state
+        // held, image pinned): reclaim must skip it entirely (I8).
+        sim.host_mut().domain_mut(ids[0]).unwrap().exec_state = Some(ExecState::capture(0, 4096));
+        let freed = sim.host_mut().reclaim_under_pressure(spec, floor);
+        assert_eq!(freed, spec, "two thawed domains cover the request");
+        assert_eq!(
+            sim.host().domain(ids[0]).unwrap().p2m.total_pages(),
+            spec,
+            "frozen image must not shrink"
+        );
+        assert_eq!(sim.host().domain(ids[1]).unwrap().p2m.total_pages(), floor);
+        assert_eq!(sim.host().domain(ids[2]).unwrap().p2m.total_pages(), floor);
+        assert_eq!(sim.host().stats.counter("balloon.reclaimed"), spec);
+        // Everyone thawed is at the floor now — nothing left to give.
+        assert_eq!(sim.host_mut().reclaim_under_pressure(1, floor), 0);
+        // Thaw the frozen domain: it becomes the only candidate.
+        sim.host_mut().domain_mut(ids[0]).unwrap().exec_state = None;
+        assert_eq!(
+            sim.host_mut().reclaim_under_pressure(u64::MAX, floor),
+            spec - floor
+        );
+        assert_eq!(sim.host().domain(ids[0]).unwrap().p2m.total_pages(), floor);
+    }
+
+    #[test]
     fn streamed_reboot_resumes_early_then_streams_in_background() {
         // Tentpole: a post-copy restore reads only the working set before
         // resume, so downtime shrinks vs the full saved restore — and the

@@ -1393,6 +1393,43 @@ impl Host {
         result
     }
 
+    /// Host-side reclaim-under-pressure: balloons guest pages out of
+    /// running domains, in domain-id order, until `want` pages are freed
+    /// or every candidate is exhausted. Returns the pages actually freed
+    /// (counted in `stats` as `balloon.reclaimed`).
+    ///
+    /// Two fences keep this safe against the warm reboot (invariant I8,
+    /// proved exhaustively by `rh-lint balloon`): nothing is reclaimed
+    /// while a VMM reboot is in flight, and a domain whose image is
+    /// frozen (`exec_state` held for quick reload) is skipped — its
+    /// frames must stay exactly where the preserved P2M table says.
+    /// No domain is squeezed below `min_resident` pages.
+    pub fn reclaim_under_pressure(&mut self, want: u64, min_resident: u64) -> u64 {
+        if self.reboot_in_progress() {
+            return 0;
+        }
+        let mut freed = 0;
+        for id in self.domu_ids() {
+            if freed >= want {
+                break;
+            }
+            let spare = match self.domains.get(&id) {
+                Some(dom) if dom.exec_state.is_none() => {
+                    dom.p2m.total_pages().saturating_sub(min_resident)
+                }
+                _ => continue, // frozen image (or gone): I8's fence
+            };
+            let take = spare.min(want - freed);
+            if take > 0 && self.balloon(id, -(take as i64)).is_ok() {
+                freed += take;
+            }
+        }
+        if freed > 0 {
+            self.stats.add("balloon.reclaimed", freed);
+        }
+        freed
+    }
+
     /// Pre-warms a domain's page cache with the first `files` files of its
     /// corpus (experiment setup; costs no simulated time, standing in for a
     /// long-running service's history).

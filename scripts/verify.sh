@@ -67,6 +67,29 @@ if ! grep -q "P1 validated-before-serve" "$smoke_dir/postcopy_buggy.txt"; then
     exit 1
 fi
 
+echo "==> rh-lint balloon (cell balloon invariants I8/I9, DESIGN.md §17)"
+cargo run -q --release -p rh-lint --offline -- balloon --domains 3
+if cargo run -q --release -p rh-lint --offline -- \
+    balloon --buggy > "$smoke_dir/balloon_buggy.txt" 2>&1; then
+    echo "FAIL: balloon --buggy must produce an I8 counterexample" >&2
+    exit 1
+fi
+if ! grep -q "I8 frozen-frames-fenced" "$smoke_dir/balloon_buggy.txt"; then
+    echo "FAIL: balloon --buggy counterexample must cite I8" >&2
+    cat "$smoke_dir/balloon_buggy.txt" >&2
+    exit 1
+fi
+if cargo run -q --release -p rh-lint --offline -- \
+    balloon --buggy-deflate > "$smoke_dir/balloon_deflate.txt" 2>&1; then
+    echo "FAIL: balloon --buggy-deflate must produce an I9 counterexample" >&2
+    exit 1
+fi
+if ! grep -q "I9 validated-before-map" "$smoke_dir/balloon_deflate.txt"; then
+    echo "FAIL: balloon --buggy-deflate counterexample must cite I9" >&2
+    cat "$smoke_dir/balloon_deflate.txt" >&2
+    exit 1
+fi
+
 echo "==> model-checker --jobs determinism smoke (jobs 1 vs 4)"
 cargo run -q --release -p rh-lint --offline -- \
     protocol --domains 4 --jobs 1 > "$smoke_dir/mc_seq.txt"
@@ -93,6 +116,15 @@ cargo run -q --release -p rh-lint --offline -- \
 if ! cmp -s "$smoke_dir/pc_seq.txt" "$smoke_dir/pc_par.txt"; then
     echo "FAIL: postcopy --jobs 4 output differs from --jobs 1" >&2
     diff "$smoke_dir/pc_seq.txt" "$smoke_dir/pc_par.txt" >&2 || true
+    exit 1
+fi
+cargo run -q --release -p rh-lint --offline -- \
+    balloon --jobs 1 > "$smoke_dir/bl_seq.txt"
+cargo run -q --release -p rh-lint --offline -- \
+    balloon --jobs 4 > "$smoke_dir/bl_par.txt"
+if ! cmp -s "$smoke_dir/bl_seq.txt" "$smoke_dir/bl_par.txt"; then
+    echo "FAIL: balloon --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/bl_seq.txt" "$smoke_dir/bl_par.txt" >&2 || true
     exit 1
 fi
 
@@ -170,6 +202,17 @@ cargo run -q --release -p rh-bench --bin fleetbench --offline -- \
 if ! cmp -s "$smoke_dir/fleet_bench_seq.txt" "$smoke_dir/fleet_bench_par.txt"; then
     echo "FAIL: fleetbench --jobs 4 output differs from --jobs 1" >&2
     diff "$smoke_dir/fleet_bench_seq.txt" "$smoke_dir/fleet_bench_par.txt" >&2 || true
+    exit 1
+fi
+
+echo "==> cellbench --jobs 4 determinism smoke (serverless cell sweep)"
+cargo run -q --release -p rh-bench --bin cellbench --offline -- \
+    --quick --jobs 4 > "$smoke_dir/cell_bench_par.txt"
+cargo run -q --release -p rh-bench --bin cellbench --offline -- \
+    --quick --jobs 1 > "$smoke_dir/cell_bench_seq.txt"
+if ! cmp -s "$smoke_dir/cell_bench_seq.txt" "$smoke_dir/cell_bench_par.txt"; then
+    echo "FAIL: cellbench --jobs 4 output differs from --jobs 1" >&2
+    diff "$smoke_dir/cell_bench_seq.txt" "$smoke_dir/cell_bench_par.txt" >&2 || true
     exit 1
 fi
 
